@@ -1,0 +1,40 @@
+//! GRNG sample-rate microbenchmarks (the software analogue of Table 2's
+//! per-design performance comparison, plus the taxonomy baselines).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vibnn_grng::{
+    BnnWallaceGrng, BoxMullerGrng, CdfInversionGrng, CltGrng, GaussianSource, ParallelRlfGrng,
+    SoftwareWallace, WallaceNss, ZigguratGrng,
+};
+
+const BATCH: usize = 4096;
+
+fn bench_source(c: &mut Criterion, name: &str, mut src: Box<dyn GaussianSource>) {
+    let mut group = c.benchmark_group("grng");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function(name, |b| {
+        let mut buf = vec![0.0; BATCH];
+        b.iter(|| {
+            src.fill(&mut buf);
+            std::hint::black_box(buf[BATCH - 1])
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_source(c, "rlf_64_lanes", Box::new(ParallelRlfGrng::new(64, 1)));
+    bench_source(c, "bnnwallace_8x256", Box::new(BnnWallaceGrng::new(8, 256, 2)));
+    bench_source(c, "software_wallace_4096", Box::new(SoftwareWallace::new(4096, 1, 3)));
+    bench_source(c, "wallace_nss_256", Box::new(WallaceNss::new(256, 4)));
+    bench_source(c, "clt_lfsr_pc", Box::new(CltGrng::new(255, 8, 5)));
+    bench_source(c, "box_muller", Box::new(BoxMullerGrng::new(6)));
+    bench_source(c, "ziggurat", Box::new(ZigguratGrng::new(7)));
+    bench_source(c, "cdf_inversion", Box::new(CdfInversionGrng::new(8)));
+}
+
+criterion_group! {
+    name = grng;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(grng);

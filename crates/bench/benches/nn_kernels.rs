@@ -1,0 +1,27 @@
+//! NN kernel microbenchmarks: matrix multiply and BNN training step.
+use criterion::{criterion_group, criterion_main, Criterion};
+use vibnn_bnn::{Bnn, BnnConfig};
+use vibnn_nn::Matrix;
+
+fn benches(c: &mut Criterion) {
+    let a = Matrix::from_vec(64, 200, (0..64 * 200).map(|i| (i % 13) as f32 * 0.1).collect());
+    let b = Matrix::from_vec(200, 200, (0..200 * 200).map(|i| (i % 7) as f32 * 0.1).collect());
+    c.bench_function("matmul_64x200x200", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+
+    let x = Matrix::from_vec(32, 784, vec![0.5; 32 * 784]);
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    c.bench_function("bnn_train_batch_784_200_200_10", |bch| {
+        let mut bnn = Bnn::new(BnnConfig::paper_mnist(), 1);
+        bch.iter(|| std::hint::black_box(bnn.train_batch(&x, &y)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = kernels_target
+}
+fn kernels_target(c: &mut Criterion) { benches(c) }
+criterion_main!(kernels);

@@ -1,0 +1,57 @@
+//! Ablation (reproduction finding): deployment accuracy vs the GRNG used
+//! as the weight generator's eps source. A single RLF lane is a popcount
+//! random walk; its within-sample correlation collapses accuracy even
+//! though its marginal stability (Table 1) is excellent.
+use vibnn_bench::{pct, print_table, RunScale};
+use vibnn_bnn::{Bnn, BnnConfig};
+use vibnn_datasets::{mnist_like_with, MnistLikeSpec};
+use vibnn_grng::{BnnWallaceGrng, BoxMullerGrng, GaussianSource, ParallelRlfGrng};
+use vibnn_hw::QuantizedBnn;
+
+fn main() {
+    let scale = RunScale::from_env().learn();
+    let ds = mnist_like_with(
+        MnistLikeSpec {
+            train_size: scale.mnist_train,
+            test_size: scale.mnist_test,
+            ..Default::default()
+        },
+        5,
+    );
+    let arch = [ds.features(), scale.hidden, scale.hidden, ds.classes];
+    let batch = 64;
+    let batches = ds.train_len().div_ceil(batch);
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&arch)
+            .with_lr(2e-3)
+            .with_kl_weight((1.0 / batches as f32).min(2e-3))
+            .with_sigma_init(0.05)
+            .with_prior_std(0.3),
+        9,
+    );
+    for _ in 0..scale.epochs {
+        bnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+    }
+    let calib = ds.train_x.rows_slice(0, 128);
+    let q = QuantizedBnn::from_params(&bnn.params(), 8, &calib);
+    let mc = scale.mc_samples;
+    let sources: Vec<(&str, Box<dyn GaussianSource>)> = vec![
+        ("ideal iid (Box-Muller)", Box::new(BoxMullerGrng::new(7))),
+        ("BNNWallace 8x256", Box::new(BnnWallaceGrng::new(8, 256, 7))),
+        ("RLF 64 lanes (interleaved)", Box::new(ParallelRlfGrng::new(64, 7))),
+        ("RLF 64 lanes (no interleaver)", Box::new(ParallelRlfGrng::without_interleaver(64, 7))),
+        ("RLF 1024 lanes", Box::new(ParallelRlfGrng::new(1024, 7))),
+        ("RLF 4096 lanes", Box::new(ParallelRlfGrng::new(4096, 7))),
+    ];
+    let mut rows = Vec::new();
+    for (name, mut src) in sources {
+        let acc = q.evaluate_mc(&ds.test_x, &ds.test_y, mc, &mut src);
+        rows.push(vec![name.to_owned(), pct(acc)]);
+    }
+    println!("software float BNN (mean weights): {}", pct(bnn.evaluate_mean(&ds.test_x, &ds.test_y)));
+    print_table(
+        "Ablation: 8-bit hardware accuracy vs eps source",
+        &["eps source", "accuracy"],
+        &rows,
+    );
+}

@@ -1,0 +1,53 @@
+//! Ablation: Monte Carlo sample count vs accuracy and latency (eq. 6).
+use vibnn_bench::{pct, print_table, RunScale};
+use vibnn_bnn::{Bnn, BnnConfig};
+use vibnn_datasets::{mnist_like_with, MnistLikeSpec};
+use vibnn_grng::BnnWallaceGrng;
+use vibnn_hw::{AcceleratorConfig, QuantizedBnn, Schedule};
+
+fn main() {
+    let scale = RunScale::from_env().learn();
+    let ds = mnist_like_with(
+        MnistLikeSpec {
+            train_size: scale.mnist_train,
+            test_size: scale.mnist_test,
+            ..Default::default()
+        },
+        31,
+    );
+    let arch = [ds.features(), scale.hidden, scale.hidden, ds.classes];
+    let batch = 64;
+    let batches = ds.train_len().div_ceil(batch);
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&arch)
+            .with_lr(2e-3)
+            .with_kl_weight((1.0 / batches as f32).min(2e-3)),
+        33,
+    );
+    for _ in 0..scale.epochs {
+        bnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+    }
+    let calib = ds.train_x.rows_slice(0, 128);
+    let q = QuantizedBnn::from_params(&bnn.params(), 8, &calib);
+    let mut rows = Vec::new();
+    for mc in [1usize, 2, 4, 8, 16] {
+        let mut eps = BnnWallaceGrng::new(8, 256, 35);
+        let acc = q.evaluate_mc(&ds.test_x, &ds.test_y, mc, &mut eps);
+        let cfg = AcceleratorConfig {
+            mc_samples: mc,
+            ..AcceleratorConfig::paper()
+        };
+        let sched = Schedule::new(&cfg, &[784, 200, 200, 10]);
+        rows.push(vec![
+            mc.to_string(),
+            pct(acc),
+            format!("{}", sched.cycles_per_image()),
+            format!("{:.0}", sched.images_per_second()),
+        ]);
+    }
+    print_table(
+        "Ablation: MC samples vs accuracy and modelled throughput",
+        &["MC samples", "HW accuracy", "Cycles/image", "Images/s"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! Ablation: PE-set geometry sweep (T, N) under the eq. 14/15 bandwidth
+//! constraints — the throughput surface behind Section 5.4's joint
+//! optimization.
+use vibnn_bench::print_table;
+use vibnn_hw::{power, AcceleratorConfig, ResourceModel, Schedule};
+
+fn main() {
+    let layers = [784usize, 200, 200, 10];
+    let weights: usize = layers.windows(2).map(|w| w[0] * w[1]).sum();
+    let mut rows = Vec::new();
+    for n in [4usize, 8, 16] {
+        for t in [4usize, 8, 16, 32] {
+            let cfg = AcceleratorConfig {
+                pe_sets: t,
+                pes_per_set: n,
+                pe_inputs: n,
+                max_word_size: 2048,
+                ..AcceleratorConfig::paper()
+            };
+            let valid = cfg.validate().is_ok() && cfg.writeback_ok(200);
+            if !valid {
+                rows.push(vec![
+                    format!("T={t} N=S={n}"),
+                    "-".into(),
+                    "-".into(),
+                    "violates eq. 14/15".into(),
+                ]);
+                continue;
+            }
+            let sched = Schedule::new(&cfg, &layers);
+            let res = ResourceModel.system(&cfg, weights, 784);
+            let fits = res.fits_device();
+            let tput = sched.images_per_second();
+            let p = power::system_power_w(&cfg, weights, 784);
+            rows.push(vec![
+                format!("T={t} N=S={n} (M={})", cfg.total_pes()),
+                format!("{tput:.0}"),
+                format!("{:.0}", tput / p),
+                if fits { "fits".into() } else { "exceeds device".into() },
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: PE geometry sweep (MNIST-like network)",
+        &["Geometry", "Images/s", "Images/J", "Feasibility"],
+        &rows,
+    );
+}

@@ -1,0 +1,28 @@
+//! Ablation: BNNWallace pool-size x unit-count trade-off (paper Section
+//! 6.1's "memory savings improve with more sharing units").
+use vibnn_bench::{f4, print_table, RunScale};
+use vibnn_grng::{BnnWallaceGrng, GaussianSource};
+use vibnn_stats::{runs_test, Moments};
+
+fn main() {
+    let samples = RunScale::from_env().grng_samples().min(500_000);
+    let mut rows = Vec::new();
+    for (units, pool) in [(2usize, 1024usize), (4, 512), (8, 256), (16, 128), (32, 64)] {
+        let mut g = BnnWallaceGrng::new(units, pool, 99);
+        let _ = g.take_vec(16_384); // mix
+        let xs = g.take_vec(samples);
+        let m = Moments::from_slice(&xs);
+        let runs = runs_test(&xs[..samples.min(100_000)]);
+        rows.push(vec![
+            format!("{units} units x {pool} pool (total {})", units * pool),
+            f4(m.stability_errors().0),
+            f4(m.stability_errors().1),
+            format!("{}", if runs.passes(0.05) { "pass" } else { "fail" }),
+        ]);
+    }
+    print_table(
+        "Ablation: sharing/shifting trade-off at constant total pool",
+        &["Configuration", "mu err", "sigma err", "runs test"],
+        &rows,
+    );
+}

@@ -1,0 +1,20 @@
+//! Runs every table and figure in sequence (same output as the individual
+//! binaries). Honour VIBNN_SCALE=quick|default|full.
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin dir");
+    for bin in [
+        "table1", "table2", "table3", "table4", "table5", "fig15", "fig16",
+        "fig17", "fig18", "table6", "table7", "ablation_eps_source",
+        "ablation_rlf_update", "ablation_wallace_sharing",
+        "ablation_pe_geometry", "ablation_mc_samples",
+    ] {
+        println!("\n================ {bin} ================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

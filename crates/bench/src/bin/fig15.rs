@@ -1,0 +1,25 @@
+//! Figure 15: runs-test pass rates per GRNG design.
+use vibnn::experiments::fig15;
+use vibnn_bench::{pct, print_table, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let rows = fig15(scale.runs_trials(), scale.runs_samples(), 7);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.design.clone(), pct(r.pass_rate)])
+        .collect();
+    print_table(
+        &format!(
+            "Figure 15: runs-test pass rate ({} trials x {} samples, alpha = 0.05)",
+            scale.runs_trials(),
+            scale.runs_samples()
+        ),
+        &["Design", "Pass rate"],
+        &table,
+    );
+    println!("\nPaper shape: software Wallace and BNNWallace pass at high rates");
+    println!("regardless of pool size; Wallace-NSS passes 0% of trials. The");
+    println!("RLF row is our addition (see EXPERIMENTS.md on its stream");
+    println!("correlation).");
+}

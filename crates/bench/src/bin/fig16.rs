@@ -1,0 +1,24 @@
+//! Figure 16: FNN vs BNN test accuracy as training data shrinks.
+use vibnn::experiments::fig16;
+use vibnn_bench::{pct, print_table, RunScale};
+
+fn main() {
+    let pts = fig16(RunScale::from_env().learn(), 11);
+    let table: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("1/{}", p.denominator),
+                p.train_samples.to_string(),
+                pct(p.fnn_accuracy),
+                pct(p.bnn_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 16: test accuracy vs training fraction (FNN vs BNN)",
+        &["Fraction", "Train samples", "FNN", "BNN"],
+        &table,
+    );
+    println!("\nPaper shape: BNN increasingly outperforms FNN as data shrinks.");
+}

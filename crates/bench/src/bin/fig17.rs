@@ -1,0 +1,16 @@
+//! Figure 17: training convergence on 1/64 of the data.
+use vibnn::experiments::fig17;
+use vibnn_bench::{pct, print_table, RunScale};
+
+fn main() {
+    let pts = fig17(RunScale::from_env().learn(), 13);
+    let table: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| vec![p.epoch.to_string(), pct(p.fnn_accuracy), pct(p.bnn_accuracy)])
+        .collect();
+    print_table(
+        "Figure 17: per-epoch test accuracy, 1/64 training fraction",
+        &["Epoch", "FNN", "BNN"],
+        &table,
+    );
+}

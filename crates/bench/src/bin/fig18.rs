@@ -1,0 +1,18 @@
+//! Figure 18: hardware test accuracy vs datapath bit length.
+use vibnn::experiments::fig18;
+use vibnn_bench::{pct, print_table, RunScale};
+
+fn main() {
+    let (pts, float_acc) = fig18(RunScale::from_env().learn(), 17);
+    let table: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| vec![p.bits.to_string(), pct(p.accuracy)])
+        .collect();
+    print_table(
+        "Figure 18: bit-length vs hardware test accuracy",
+        &["Bits", "Accuracy"],
+        &table,
+    );
+    println!("\nFloat software BNN accuracy: {}", pct(float_acc));
+    println!("Paper shape: accuracy saturates by 8 bits (their threshold 97.5%).");
+}

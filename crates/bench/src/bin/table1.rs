@@ -1,0 +1,20 @@
+//! Table 1: µ/σ stability errors of the GRNG designs vs N(0, 1).
+use vibnn::experiments::{table1, PAPER_TABLE1};
+use vibnn_bench::{f4, print_table, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let rows = table1(scale.grng_samples(), 2024);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(PAPER_TABLE1)
+        .map(|(r, (_, pm, ps))| {
+            vec![r.design.clone(), f4(r.mu_error), f4(r.sigma_error), f4(pm), f4(ps)]
+        })
+        .collect();
+    print_table(
+        "Table 1: Stability errors to (mu, sigma) = (0, 1)",
+        &["GRNG Design", "mu err (ours)", "sigma err (ours)", "mu err (paper)", "sigma err (paper)"],
+        &table,
+    );
+}

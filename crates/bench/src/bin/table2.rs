@@ -1,0 +1,31 @@
+//! Table 2: hardware utilization & performance of the 64-lane GRNGs.
+use vibnn::experiments::table2;
+use vibnn_bench::print_table;
+
+fn main() {
+    let rows = table2();
+    let paper = [
+        ("RLF-GRNG", 831u64, 1780u64, 16_384u64, 3u64, 528.69, 212.95),
+        ("BNNWallace-GRNG", 401, 1166, 1_048_576, 103, 560.25, 117.63),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper)
+        .map(|(r, (_, pa, pr, pb, pblk, pp, pf))| {
+            vec![
+                r.design.clone(),
+                format!("{} (paper {})", r.alms, pa),
+                format!("{} (paper {})", r.registers, pr),
+                format!("{} (paper {})", r.block_bits, pb),
+                format!("{} (paper {})", r.ram_blocks, pblk),
+                format!("{:.2} (paper {:.2})", r.power_mw, pp),
+                format!("{:.2} (paper {:.2})", r.fmax_mhz, pf),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: 64-lane GRNG hardware comparison (model vs paper)",
+        &["Type", "ALMs", "Registers", "Block bits", "RAM blocks", "Power (mW)", "Fmax (MHz)"],
+        &table,
+    );
+}

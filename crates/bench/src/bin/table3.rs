@@ -1,0 +1,5 @@
+//! Table 3: qualitative RLF vs BNNWallace comparison (derived from data).
+fn main() {
+    println!("\n## Table 3: RLF-GRNG and BNNWallace-GRNG comparison\n");
+    println!("{}", vibnn::experiments::table3());
+}

@@ -1,0 +1,27 @@
+//! Table 4: full-accelerator FPGA resource utilization.
+use vibnn::experiments::table4;
+use vibnn_bench::print_table;
+use vibnn_hw::{PAPER_RLF_SYSTEM, PAPER_WALLACE_SYSTEM};
+
+fn main() {
+    let rows = table4();
+    let paper = [PAPER_RLF_SYSTEM, PAPER_WALLACE_SYSTEM];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper)
+        .map(|(r, (pa, pr, pb))| {
+            vec![
+                r.design.clone(),
+                format!("{} / {:.1}% (paper {} / {:.1}%)", r.alms, 100.0 * r.alm_frac, pa, 100.0 * pa as f64 / 113_560.0),
+                format!("{} (paper 342)", r.dsps),
+                format!("{} (paper {})", r.registers, pr),
+                format!("{} / {:.1}% (paper {} / {:.1}%)", r.block_bits, 100.0 * r.block_frac, pb, 100.0 * pb as f64 / 12_492_800.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4: FPGA resource utilization (model vs paper)",
+        &["Type", "ALMs", "DSPs", "Registers", "Block memory bits"],
+        &table,
+    );
+}

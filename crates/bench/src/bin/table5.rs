@@ -1,0 +1,23 @@
+//! Table 5: throughput and energy-efficiency comparison.
+use vibnn::experiments::table5;
+use vibnn_bench::print_table;
+
+fn main() {
+    let rows = table5();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.configuration.clone(),
+                format!("{:.1}", r.throughput),
+                format!("{:.1}", r.energy_eff),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: Performance comparison on the MNIST-like workload",
+        &["Configuration", "Throughput (Images/s)", "Energy (Images/J)"],
+        &table,
+    );
+    println!("\nPaper: FPGA 321,543.4 img/s; 52,694.8 img/J (RLF) / 37,722.1 img/J (Wallace).");
+}

@@ -1,0 +1,18 @@
+//! Table 6: MNIST-like accuracy — FNN+dropout, BNN, VIBNN hardware.
+use vibnn::experiments::table6;
+use vibnn_bench::{pct, print_table, RunScale};
+
+fn main() {
+    let rows = table6(RunScale::from_env().learn(), 19);
+    let paper = [0.9750, 0.9810, 0.9781];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper)
+        .map(|(r, p)| vec![r.model.clone(), pct(r.accuracy), pct(p)])
+        .collect();
+    print_table(
+        "Table 6: accuracy comparison on the MNIST-like dataset",
+        &["Model", "Testing accuracy (ours)", "(paper, real MNIST)"],
+        &table,
+    );
+}

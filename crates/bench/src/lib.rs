@@ -1,0 +1,113 @@
+//! Shared helpers for the VIBNN benchmark binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` (`table1` … `table7`, `fig15` … `fig18`, ablations, and
+//! `all_experiments`). Criterion micro-benchmarks live in `benches/`.
+//!
+//! Scaling: binaries honour the `VIBNN_SCALE` environment variable —
+//! `full` (paper-scale trials; slow), `default`, or `quick`.
+
+/// Run scale for the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Fast sanity pass (seconds).
+    Quick,
+    /// Balanced defaults (a few minutes total).
+    Default,
+    /// Paper-scale trial counts (slow).
+    Full,
+}
+
+impl RunScale {
+    /// Reads `VIBNN_SCALE` (`quick` / `full`; anything else = default).
+    pub fn from_env() -> Self {
+        match std::env::var("VIBNN_SCALE").as_deref() {
+            Ok("quick") => RunScale::Quick,
+            Ok("full") => RunScale::Full,
+            _ => RunScale::Default,
+        }
+    }
+
+    /// Samples per GRNG stability measurement (Table 1).
+    pub fn grng_samples(self) -> usize {
+        match self {
+            RunScale::Quick => 50_000,
+            RunScale::Default => 1_000_000,
+            RunScale::Full => 4_000_000,
+        }
+    }
+
+    /// Runs-test trials (Figure 15; the paper uses 1000).
+    pub fn runs_trials(self) -> usize {
+        match self {
+            RunScale::Quick => 5,
+            RunScale::Default => 40,
+            RunScale::Full => 1000,
+        }
+    }
+
+    /// Samples per runs-test trial (the paper uses 100,000).
+    pub fn runs_samples(self) -> usize {
+        match self {
+            RunScale::Quick => 20_000,
+            _ => 100_000,
+        }
+    }
+
+    /// Learning-experiment scale.
+    pub fn learn(self) -> vibnn::experiments::LearnScale {
+        use vibnn::experiments::LearnScale;
+        match self {
+            RunScale::Quick => LearnScale::smoke(),
+            RunScale::Default => LearnScale {
+                mnist_train: 4_000,
+                mnist_test: 1_000,
+                epochs: 10,
+                mc_samples: 8,
+                hidden: 128,
+            },
+            RunScale::Full => LearnScale::paper(),
+        }
+    }
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a float with 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a percentage with 2 decimal places.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_knobs_are_ordered() {
+        assert_eq!(RunScale::Quick.runs_trials(), 5);
+        assert!(RunScale::Full.grng_samples() > RunScale::Quick.grng_samples());
+        assert!(RunScale::Full.learn().epochs >= RunScale::Quick.learn().epochs);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(1.23456), "1.2346");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+}

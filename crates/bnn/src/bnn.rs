@@ -1,0 +1,461 @@
+//! The full Bayesian MLP: stacked [`VarDense`] layers trained by
+//! Bayes-by-Backprop, with Monte Carlo inference (paper equations 4–6).
+
+use vibnn_grng::{BoxMullerGrng, GaussianSource};
+use vibnn_nn::{
+    accuracy, cross_entropy_loss, relu, relu_backward, softmax_rows, Adam, GaussianInit, Matrix,
+    Optimizer,
+};
+
+use crate::{BnnParams, GaussianPrior, VarDense};
+
+/// Configuration for [`Bnn`].
+///
+/// # Example
+///
+/// ```
+/// use vibnn_bnn::BnnConfig;
+/// let cfg = BnnConfig::new(&[784, 200, 200, 10]).with_kl_weight(1e-3);
+/// assert_eq!(cfg.layer_sizes(), &[784, 200, 200, 10]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnnConfig {
+    sizes: Vec<usize>,
+    lr: f32,
+    prior: GaussianPrior,
+    sigma_init: f32,
+    kl_weight: f32,
+}
+
+impl BnnConfig {
+    /// Creates a configuration from layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes or any size is zero.
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        Self {
+            sizes: sizes.to_vec(),
+            lr: 1e-3,
+            prior: GaussianPrior::new(0.5),
+            sigma_init: 0.05,
+            kl_weight: 1e-4,
+        }
+    }
+
+    /// The paper's MNIST architecture: 784-200-200-10.
+    pub fn paper_mnist() -> Self {
+        Self::new(&[784, 200, 200, 10])
+    }
+
+    /// Sets the Adam learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+        self
+    }
+
+    /// Sets the Gaussian prior standard deviation.
+    pub fn with_prior_std(mut self, std: f64) -> Self {
+        self.prior = GaussianPrior::new(std);
+        self
+    }
+
+    /// Sets the initial posterior σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn with_sigma_init(mut self, sigma: f32) -> Self {
+        assert!(sigma > 0.0, "sigma_init must be positive");
+        self.sigma_init = sigma;
+        self
+    }
+
+    /// Sets the per-batch KL weight (Blundell's `1/num_batches`, often
+    /// tuned smaller for heavily over-parameterized models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 0`.
+    pub fn with_kl_weight(mut self, w: f32) -> Self {
+        assert!(w >= 0.0, "kl weight must be non-negative");
+        self.kl_weight = w;
+        self
+    }
+
+    /// Layer sizes.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The prior.
+    pub fn prior(&self) -> GaussianPrior {
+        self.prior
+    }
+}
+
+/// Per-epoch training statistics for a BNN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BnnTrainReport {
+    /// Mean minibatch total loss (NLL + weighted KL).
+    pub loss: f64,
+    /// Mean minibatch NLL component.
+    pub nll: f64,
+    /// Mean minibatch KL component (unweighted).
+    pub kl: f64,
+    /// Training accuracy (mean-weight network).
+    pub accuracy: f64,
+}
+
+/// A Bayesian MLP with Gaussian variational posteriors over all weights.
+#[derive(Debug, Clone)]
+pub struct Bnn {
+    cfg: BnnConfig,
+    layers: Vec<VarDense>,
+    opt: Adam,
+    slots: Vec<[usize; 4]>,
+    train_eps: BoxMullerGrng,
+    shuffle_rng: GaussianInit,
+}
+
+impl Bnn {
+    /// Builds the network.
+    pub fn new(cfg: BnnConfig, seed: u64) -> Self {
+        let mut layers = Vec::new();
+        for (i, w) in cfg.sizes.windows(2).enumerate() {
+            layers.push(VarDense::new(
+                w[0],
+                w[1],
+                cfg.sigma_init,
+                seed.wrapping_add(i as u64 * 104_729),
+            ));
+        }
+        let mut opt = Adam::new(cfg.lr);
+        let slots = layers
+            .iter()
+            .map(|l| {
+                [
+                    opt.slot(l.in_dim(), l.out_dim()),
+                    opt.slot(l.in_dim(), l.out_dim()),
+                    opt.slot(1, l.out_dim()),
+                    opt.slot(1, l.out_dim()),
+                ]
+            })
+            .collect();
+        Self {
+            cfg,
+            layers,
+            opt,
+            slots,
+            train_eps: BoxMullerGrng::new(seed ^ 0xBEEF),
+            shuffle_rng: GaussianInit::new(seed ^ 0xFACE),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BnnConfig {
+        &self.cfg
+    }
+
+    /// Borrow the layers.
+    pub fn layers(&self) -> &[VarDense] {
+        &self.layers
+    }
+
+    /// Snapshots the trained `(µ, σ)` parameters for deployment.
+    pub fn params(&self) -> BnnParams {
+        BnnParams {
+            weight_mu: self.layers.iter().map(|l| l.mu().clone()).collect(),
+            weight_sigma: self.layers.iter().map(|l| l.sigma()).collect(),
+            bias_mu: self.layers.iter().map(|l| l.bias_mu().to_vec()).collect(),
+            bias_sigma: self.layers.iter().map(|l| l.bias_sigma()).collect(),
+        }
+    }
+
+    /// Monte Carlo predictive probabilities: averages the softmax output
+    /// over `samples` weight draws whose unit Gaussians come from
+    /// `eps_src` (paper equation 6). This is the seam where the hardware
+    /// GRNGs plug in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn predict_proba_mc(
+        &self,
+        x: &Matrix,
+        samples: usize,
+        eps_src: &mut impl GaussianSource,
+    ) -> Matrix {
+        assert!(samples > 0, "need at least one Monte Carlo sample");
+        let mut acc = Matrix::zeros(x.rows(), *self.cfg.sizes.last().expect("sizes"));
+        let last = self.layers.len() - 1;
+        for _ in 0..samples {
+            let mut h = x.clone();
+            for (i, layer) in self.layers.iter().enumerate() {
+                h = layer.forward_sample_inference(&h, eps_src);
+                if i < last {
+                    relu(&mut h);
+                }
+            }
+            softmax_rows(&mut h);
+            acc.axpy(1.0, &h);
+        }
+        acc.scale(1.0 / samples as f32);
+        acc
+    }
+
+    /// Deterministic predictive probabilities using the posterior means.
+    pub fn predict_proba_mean(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_mean(&h);
+            if i < last {
+                relu(&mut h);
+            }
+        }
+        softmax_rows(&mut h);
+        h
+    }
+
+    /// Accuracy under MC inference.
+    pub fn evaluate_mc(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        samples: usize,
+        eps_src: &mut impl GaussianSource,
+    ) -> f64 {
+        accuracy(&self.predict_proba_mc(x, samples, eps_src), labels)
+    }
+
+    /// Accuracy under mean-weight inference.
+    pub fn evaluate_mean(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        accuracy(&self.predict_proba_mean(x), labels)
+    }
+
+    /// One Bayes-by-Backprop step on a minibatch (single MC sample);
+    /// returns `(total loss, nll, kl)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> (f64, f64, f64) {
+        assert_eq!(x.rows(), labels.len(), "batch size mismatch");
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        let mut post_relu: Vec<Matrix> = Vec::with_capacity(last);
+        // Split borrow: iterate by index so we can use self.train_eps.
+        for i in 0..self.layers.len() {
+            h = self.layers[i].forward_sample(&h, &mut self.train_eps);
+            if i < last {
+                relu(&mut h);
+                post_relu.push(h.clone());
+            }
+        }
+        let mut probs = h;
+        softmax_rows(&mut probs);
+        let nll = cross_entropy_loss(&probs, labels);
+
+        let batch = x.rows() as f32;
+        let mut grad = probs;
+        for (r, &label) in labels.iter().enumerate() {
+            grad[(r, label)] -= 1.0;
+        }
+        grad.scale(1.0 / batch);
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                relu_backward(&mut grad, &post_relu[i]);
+            }
+            grad = self.layers[i].backward(&grad);
+        }
+        // KL term and its gradients.
+        let prior_std = self.cfg.prior.std() as f32;
+        let mut kl = 0.0;
+        for layer in &mut self.layers {
+            kl += layer.accumulate_kl(prior_std, self.cfg.kl_weight);
+        }
+        // Apply updates.
+        self.opt.tick();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let [smu, srho, sbmu, sbrho] = self.slots[i];
+            let ((mu, gmu), (rho, grho), (bmu, gbmu), (brho, gbrho)) = layer.params_mut();
+            let mut buf = mu.data().to_vec();
+            self.opt.update(smu, &mut buf, gmu.data());
+            mu.data_mut().copy_from_slice(&buf);
+            let mut buf = rho.data().to_vec();
+            self.opt.update(srho, &mut buf, grho.data());
+            rho.data_mut().copy_from_slice(&buf);
+            self.opt.update(sbmu, bmu, gbmu);
+            self.opt.update(sbrho, brho, gbrho);
+        }
+        let total = nll + f64::from(self.cfg.kl_weight) * kl;
+        (total, nll, kl)
+    }
+
+    /// One epoch with deterministic shuffling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or shapes mismatch.
+    pub fn train_epoch(&mut self, x: &Matrix, labels: &[usize], batch: usize) -> BnnTrainReport {
+        assert!(batch > 0, "batch size must be positive");
+        assert_eq!(x.rows(), labels.len(), "dataset size mismatch");
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (self.shuffle_rng.next_uniform() * (i + 1) as f64) as usize;
+            order.swap(i, j.min(i));
+        }
+        let (mut tl, mut tn, mut tk, mut b) = (0.0, 0.0, 0.0, 0u32);
+        for chunk in order.chunks(batch) {
+            let bx = x.select_rows(chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let (l, nll, kl) = self.train_batch(&bx, &by);
+            tl += l;
+            tn += nll;
+            tk += kl;
+            b += 1;
+        }
+        let b = f64::from(b.max(1));
+        BnnTrainReport {
+            loss: tl / b,
+            nll: tn / b,
+            kl: tk / b,
+            accuracy: self.evaluate_mean(x, labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = GaussianInit::new(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let a = rng.next_gaussian() as f32;
+            let b = rng.next_gaussian() as f32;
+            x[(r, 0)] = a;
+            x[(r, 1)] = b;
+            y.push(usize::from(a + b > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn bnn_learns_toy_problem() {
+        let (x, y) = toy_data(512, 1);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 16, 2]).with_lr(0.02), 3);
+        for _ in 0..40 {
+            bnn.train_epoch(&x, &y, 64);
+        }
+        let acc = bnn.evaluate_mean(&x, &y);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mc_prediction_close_to_mean_prediction_when_trained() {
+        let (x, y) = toy_data(256, 5);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 8, 2]).with_lr(0.02), 7);
+        for _ in 0..30 {
+            bnn.train_epoch(&x, &y, 64);
+        }
+        let mut eps = BoxMullerGrng::new(11);
+        let acc_mc = bnn.evaluate_mc(&x, &y, 16, &mut eps);
+        let acc_mean = bnn.evaluate_mean(&x, &y);
+        assert!(
+            (acc_mc - acc_mean).abs() < 0.1,
+            "mc {acc_mc} vs mean {acc_mean}"
+        );
+    }
+
+    #[test]
+    fn kl_pressure_keeps_sigma_alive() {
+        // With a KL term, posterior sigmas should not collapse to zero.
+        let (x, y) = toy_data(256, 9);
+        let mut bnn = Bnn::new(
+            BnnConfig::new(&[2, 8, 2]).with_lr(0.02).with_kl_weight(1e-2),
+            11,
+        );
+        for _ in 0..30 {
+            bnn.train_epoch(&x, &y, 64);
+        }
+        let min_sigma = bnn
+            .layers()
+            .iter()
+            .flat_map(|l| l.sigma().data().to_vec())
+            .fold(f32::INFINITY, f32::min);
+        assert!(min_sigma > 1e-4, "sigma collapsed to {min_sigma}");
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (x, y) = toy_data(256, 13);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 8, 2]).with_lr(0.02), 15);
+        let first = bnn.train_epoch(&x, &y, 32).loss;
+        for _ in 0..15 {
+            bnn.train_epoch(&x, &y, 32);
+        }
+        let last = bnn.train_epoch(&x, &y, 32).loss;
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn params_snapshot_shapes() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 6, 3]), 17);
+        let p = bnn.params();
+        assert_eq!(p.layers(), 2);
+        assert_eq!(p.layer_sizes(), vec![4, 6, 3]);
+        assert_eq!(p.weight_count(), 4 * 6 + 6 * 3);
+        assert!(p.max_abs_param() > 0.0);
+        // All sigmas positive.
+        for s in &p.weight_sigma {
+            assert!(s.data().iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn mc_averaging_reduces_prediction_variance() {
+        let bnn = Bnn::new(BnnConfig::new(&[2, 8, 2]).with_sigma_init(0.3), 19);
+        let x = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let spread = |samples: usize, seed: u64| -> f64 {
+            let mut outs = Vec::new();
+            for trial in 0..20 {
+                let mut eps = BoxMullerGrng::new(seed + trial);
+                let p = bnn.predict_proba_mc(&x, samples, &mut eps);
+                outs.push(f64::from(p[(0, 0)]));
+            }
+            let m: f64 = outs.iter().sum::<f64>() / outs.len() as f64;
+            outs.iter().map(|o| (o - m).powi(2)).sum::<f64>() / outs.len() as f64
+        };
+        let v1 = spread(1, 100);
+        let v16 = spread(16, 200);
+        assert!(v16 < v1, "variance should shrink with samples: {v1} -> {v16}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = toy_data(64, 21);
+        let mut a = Bnn::new(BnnConfig::new(&[2, 4, 2]), 23);
+        let mut b = Bnn::new(BnnConfig::new(&[2, 4, 2]), 23);
+        assert_eq!(a.train_epoch(&x, &y, 16), b.train_epoch(&x, &y, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Monte Carlo sample")]
+    fn zero_samples_panics() {
+        let bnn = Bnn::new(BnnConfig::new(&[2, 2]), 1);
+        let mut eps = BoxMullerGrng::new(1);
+        let _ = bnn.predict_proba_mc(&Matrix::zeros(1, 2), 0, &mut eps);
+    }
+}

@@ -1,0 +1,425 @@
+//! Variational fully-connected layer with Gaussian weight posteriors.
+
+use vibnn_grng::GaussianSource;
+use vibnn_nn::{GaussianInit, Matrix};
+
+/// Softplus `ln(1 + exp(x))`, the paper's σ parameterization (equation 2).
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Derivative of softplus: the logistic sigmoid.
+pub fn softplus_derivative(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A dense layer whose weights and biases are Gaussian posteriors
+/// `N(µ, softplus(ρ)²)`, trained with the reparameterization trick
+/// `w = µ + σ ◦ ε`.
+#[derive(Debug, Clone)]
+pub struct VarDense {
+    mu: Matrix,
+    rho: Matrix,
+    bias_mu: Vec<f32>,
+    bias_rho: Vec<f32>,
+    // Gradients.
+    grad_mu: Matrix,
+    grad_rho: Matrix,
+    grad_bias_mu: Vec<f32>,
+    grad_bias_rho: Vec<f32>,
+    // Forward caches.
+    cached_input: Option<Matrix>,
+    cached_eps: Option<Matrix>,
+    cached_bias_eps: Option<Vec<f32>>,
+}
+
+impl VarDense {
+    /// Creates the layer: µ ~ He-normal, ρ initialized so σ ≈ `sigma_init`.
+    pub fn new(in_dim: usize, out_dim: usize, sigma_init: f32, seed: u64) -> Self {
+        assert!(sigma_init > 0.0, "sigma_init must be positive");
+        let mut init = GaussianInit::new(seed);
+        let mu = init.he_matrix(in_dim, out_dim);
+        // rho = softplus^{-1}(sigma) = ln(exp(sigma) - 1).
+        let rho0 = (sigma_init.exp() - 1.0).ln();
+        Self {
+            mu,
+            rho: GaussianInit::constant_matrix(in_dim, out_dim, rho0),
+            bias_mu: vec![0.0; out_dim],
+            bias_rho: vec![rho0; out_dim],
+            grad_mu: Matrix::zeros(in_dim, out_dim),
+            grad_rho: Matrix::zeros(in_dim, out_dim),
+            grad_bias_mu: vec![0.0; out_dim],
+            grad_bias_rho: vec![0.0; out_dim],
+            cached_input: None,
+            cached_eps: None,
+            cached_bias_eps: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.mu.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.mu.cols()
+    }
+
+    /// Weight means.
+    pub fn mu(&self) -> &Matrix {
+        &self.mu
+    }
+
+    /// Weight standard deviations `softplus(ρ)` (materialized).
+    pub fn sigma(&self) -> Matrix {
+        let mut s = self.rho.clone();
+        s.map_inplace(softplus);
+        s
+    }
+
+    /// Bias means.
+    pub fn bias_mu(&self) -> &[f32] {
+        &self.bias_mu
+    }
+
+    /// Bias standard deviations.
+    pub fn bias_sigma(&self) -> Vec<f32> {
+        self.bias_rho.iter().map(|&r| softplus(r)).collect()
+    }
+
+    /// Draws one weight sample `w = µ + σ ◦ ε` and runs `y = x·w + b`,
+    /// caching everything needed for `backward`.
+    pub fn forward_sample(&mut self, x: &Matrix, eps_src: &mut impl GaussianSource) -> Matrix {
+        let (i, o) = (self.in_dim(), self.out_dim());
+        let mut eps = Matrix::zeros(i, o);
+        for v in eps.data_mut() {
+            *v = eps_src.next_gaussian() as f32;
+        }
+        let mut bias_eps = vec![0.0f32; o];
+        for v in &mut bias_eps {
+            *v = eps_src.next_gaussian() as f32;
+        }
+        let w = self.sampled_weights(&eps);
+        let b: Vec<f32> = self
+            .bias_mu
+            .iter()
+            .zip(&self.bias_rho)
+            .zip(&bias_eps)
+            .map(|((&m, &r), &e)| m + softplus(r) * e)
+            .collect();
+        let mut y = x.matmul(&w);
+        y.add_row_broadcast(&b);
+        self.cached_input = Some(x.clone());
+        self.cached_eps = Some(eps);
+        self.cached_bias_eps = Some(bias_eps);
+        y
+    }
+
+    /// Inference-only sampled forward (no caching).
+    pub fn forward_sample_inference(
+        &self,
+        x: &Matrix,
+        eps_src: &mut impl GaussianSource,
+    ) -> Matrix {
+        let (i, o) = (self.in_dim(), self.out_dim());
+        let mut eps = Matrix::zeros(i, o);
+        for v in eps.data_mut() {
+            *v = eps_src.next_gaussian() as f32;
+        }
+        let w = self.sampled_weights(&eps);
+        let b: Vec<f32> = self
+            .bias_mu
+            .iter()
+            .zip(&self.bias_rho)
+            .map(|(&m, &r)| m + softplus(r) * eps_src.next_gaussian() as f32)
+            .collect();
+        let mut y = x.matmul(&w);
+        y.add_row_broadcast(&b);
+        y
+    }
+
+    /// Mean-weights forward (the deterministic `w = µ` network).
+    pub fn forward_mean(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.mu);
+        y.add_row_broadcast(&self.bias_mu);
+        y
+    }
+
+    fn sampled_weights(&self, eps: &Matrix) -> Matrix {
+        let mut w = self.mu.clone();
+        for ((w, &r), &e) in w
+            .data_mut()
+            .iter_mut()
+            .zip(self.rho.data())
+            .zip(eps.data())
+        {
+            *w += softplus(r) * e;
+        }
+        w
+    }
+
+    /// Backward through the sampled forward: accumulates ∂L/∂µ, ∂L/∂ρ
+    /// (likelihood part) and returns ∂L/∂x.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_sample`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward_sample");
+        let eps = self.cached_eps.as_ref().expect("missing eps cache");
+        let bias_eps = self.cached_bias_eps.as_ref().expect("missing bias eps");
+        // dL/dw = xᵀ · dy ; dµ = dw ; dρ = dw ∘ ε ∘ sigmoid(ρ).
+        let grad_w = x.t_matmul(grad_out);
+        self.grad_mu = grad_w.clone();
+        let mut grad_rho = grad_w;
+        for ((g, &e), &r) in grad_rho
+            .data_mut()
+            .iter_mut()
+            .zip(eps.data())
+            .zip(self.rho.data())
+        {
+            *g *= e * softplus_derivative(r);
+        }
+        self.grad_rho = grad_rho;
+        let grad_b = grad_out.col_sums();
+        self.grad_bias_mu = grad_b.clone();
+        self.grad_bias_rho = grad_b
+            .iter()
+            .zip(bias_eps)
+            .zip(&self.bias_rho)
+            .map(|((&g, &e), &r)| g * e * softplus_derivative(r))
+            .collect();
+        // dL/dx uses the *sampled* weights.
+        let w = self.sampled_weights(eps);
+        grad_out.matmul_t(&w)
+    }
+
+    /// Adds the KL-divergence gradient w.r.t. a `N(0, prior_std²)` prior,
+    /// scaled by `weight` (the minibatch KL share). Returns this layer's
+    /// KL contribution (unscaled).
+    pub fn accumulate_kl(&mut self, prior_std: f32, weight: f32) -> f64 {
+        let ps2 = f64::from(prior_std) * f64::from(prior_std);
+        let mut kl = 0.0f64;
+        // Weights.
+        for i in 0..self.mu.data().len() {
+            let mu = f64::from(self.mu.data()[i]);
+            let rho = self.rho.data()[i];
+            let sigma = f64::from(softplus(rho));
+            kl += (f64::from(prior_std) / sigma).ln() + (sigma * sigma + mu * mu) / (2.0 * ps2)
+                - 0.5;
+            // dKL/dµ = µ/σp², dKL/dσ = σ/σp² - 1/σ.
+            let dmu = (mu / ps2) as f32;
+            let dsigma = (sigma / ps2 - 1.0 / sigma) as f32;
+            self.grad_mu.data_mut()[i] += weight * dmu;
+            self.grad_rho.data_mut()[i] += weight * dsigma * softplus_derivative(rho);
+        }
+        // Biases.
+        for j in 0..self.bias_mu.len() {
+            let mu = f64::from(self.bias_mu[j]);
+            let rho = self.bias_rho[j];
+            let sigma = f64::from(softplus(rho));
+            kl += (f64::from(prior_std) / sigma).ln() + (sigma * sigma + mu * mu) / (2.0 * ps2)
+                - 0.5;
+            let dmu = (mu / ps2) as f32;
+            let dsigma = (sigma / ps2 - 1.0 / sigma) as f32;
+            self.grad_bias_mu[j] += weight * dmu;
+            self.grad_bias_rho[j] += weight * dsigma * softplus_derivative(rho);
+        }
+        kl
+    }
+
+    /// Parameter/gradient access for the optimizer, flattened as four
+    /// tensors: `(µ, ∂µ), (ρ, ∂ρ), (bµ, ∂bµ), (bρ, ∂bρ)`.
+    #[allow(clippy::type_complexity)]
+    pub fn params_mut(
+        &mut self,
+    ) -> (
+        (&mut Matrix, &Matrix),
+        (&mut Matrix, &Matrix),
+        (&mut Vec<f32>, &Vec<f32>),
+        (&mut Vec<f32>, &Vec<f32>),
+    ) {
+        (
+            (&mut self.mu, &self.grad_mu),
+            (&mut self.rho, &self.grad_rho),
+            (&mut self.bias_mu, &self.grad_bias_mu),
+            (&mut self.bias_rho, &self.grad_bias_rho),
+        )
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_mu.scale(0.0);
+        self.grad_rho.scale(0.0);
+        for g in &mut self.grad_bias_mu {
+            *g = 0.0;
+        }
+        for g in &mut self.grad_bias_rho {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_grng::BoxMullerGrng;
+
+    #[test]
+    fn softplus_properties() {
+        assert!((softplus(0.0) - 2.0f32.ln()).abs() < 1e-6);
+        assert!(softplus(30.0) - 30.0 < 1e-5);
+        assert!(softplus(-30.0) > 0.0);
+        assert!(softplus(-30.0) < 1e-10);
+        // Derivative is sigmoid.
+        assert!((softplus_derivative(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigma_matches_rho_parameterization() {
+        let layer = VarDense::new(3, 2, 0.1, 1);
+        for &s in layer.sigma().data() {
+            assert!((s - 0.1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_mean_is_deterministic() {
+        let layer = VarDense::new(4, 3, 0.05, 2);
+        let x = Matrix::from_rows(&[&[1.0, -1.0, 0.5, 0.2]]);
+        assert_eq!(layer.forward_mean(&x).data(), layer.forward_mean(&x).data());
+    }
+
+    #[test]
+    fn sampled_forward_varies_but_centers_on_mean() {
+        let mut layer = VarDense::new(4, 2, 0.2, 3);
+        let x = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        let mean_out = layer.forward_mean(&x);
+        let mut eps = BoxMullerGrng::new(5);
+        let n = 2000;
+        let mut acc = vec![0.0f64; 2];
+        let mut sq = vec![0.0f64; 2];
+        for _ in 0..n {
+            let y = layer.forward_sample(&x, &mut eps);
+            for c in 0..2 {
+                acc[c] += f64::from(y[(0, c)]);
+                sq[c] += f64::from(y[(0, c)]).powi(2);
+            }
+        }
+        for c in 0..2 {
+            let m = acc[c] / f64::from(n);
+            let var = sq[c] / f64::from(n) - m * m;
+            assert!(
+                (m - f64::from(mean_out[(0, c)])).abs() < 0.05,
+                "output mean {m} vs {}",
+                mean_out[(0, c)]
+            );
+            // Output variance = Σ_i x_i² σ_i² + σ_b² = 4·0.04 + 0.04 = 0.2.
+            assert!((var - 0.2).abs() < 0.05, "output var {var}");
+        }
+    }
+
+    /// Finite-difference validation of the reparameterized gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = VarDense::new(3, 2, 0.3, 7);
+        let x = Matrix::from_rows(&[&[0.4, -0.6, 1.2]]);
+        // Fix epsilon by using identical seeded sources.
+        let loss_with = |l: &VarDense, seed: u64| -> f32 {
+            let mut src = BoxMullerGrng::new(seed);
+            let mut l2 = l.clone();
+            let y = l2.forward_sample(&x, &mut src);
+            y.data().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        let mut src = BoxMullerGrng::new(99);
+        let y = layer.forward_sample(&x, &mut src);
+        let _ = layer.backward(&y.clone());
+        let eps = 1e-3;
+        for (r, c) in [(0, 0), (2, 1)] {
+            // dmu check.
+            let mut plus = layer.clone();
+            plus.mu[(r, c)] += eps;
+            let mut minus = layer.clone();
+            minus.mu[(r, c)] -= eps;
+            let num = (loss_with(&plus, 99) - loss_with(&minus, 99)) / (2.0 * eps);
+            let ana = layer.grad_mu[(r, c)];
+            assert!(
+                (num - ana).abs() < 3e-2 * ana.abs().max(1.0),
+                "dmu[{r},{c}] numeric {num} vs {ana}"
+            );
+            // drho check.
+            let mut plus = layer.clone();
+            plus.rho[(r, c)] += eps;
+            let mut minus = layer.clone();
+            minus.rho[(r, c)] -= eps;
+            let num = (loss_with(&plus, 99) - loss_with(&minus, 99)) / (2.0 * eps);
+            let ana = layer.grad_rho[(r, c)];
+            assert!(
+                (num - ana).abs() < 3e-2 * ana.abs().max(1.0),
+                "drho[{r},{c}] numeric {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn kl_is_zero_when_posterior_equals_prior() {
+        let mut layer = VarDense::new(2, 2, 1.0, 9);
+        // Force µ = 0 and σ = 1 = prior.
+        layer.mu.scale(0.0);
+        let kl = layer.accumulate_kl(1.0, 0.0);
+        assert!(kl.abs() < 1e-6, "KL {kl}");
+    }
+
+    #[test]
+    fn kl_grows_with_posterior_mean() {
+        let mut a = VarDense::new(2, 2, 0.5, 11);
+        a.mu.scale(0.0);
+        let kl0 = a.accumulate_kl(1.0, 0.0);
+        a.mu.map_inplace(|_| 2.0);
+        let kl2 = a.accumulate_kl(1.0, 0.0);
+        assert!(kl2 > kl0 + 1.0, "KL should grow: {kl0} -> {kl2}");
+    }
+
+    #[test]
+    fn kl_gradient_matches_finite_difference() {
+        let mut layer = VarDense::new(2, 2, 0.4, 13);
+        layer.zero_grad();
+        let _ = layer.accumulate_kl(0.8, 1.0);
+        let ana_mu = layer.grad_mu[(0, 0)];
+        let ana_rho = layer.grad_rho[(0, 0)];
+        let eps = 1e-3;
+        let kl_of = |l: &VarDense| {
+            let mut c = l.clone();
+            c.zero_grad();
+            c.accumulate_kl(0.8, 0.0)
+        };
+        let mut plus = layer.clone();
+        plus.mu[(0, 0)] += eps;
+        let mut minus = layer.clone();
+        minus.mu[(0, 0)] -= eps;
+        let num_mu = ((kl_of(&plus) - kl_of(&minus)) / (2.0 * f64::from(eps))) as f32;
+        assert!(
+            (num_mu - ana_mu).abs() < 2e-2 * ana_mu.abs().max(1.0),
+            "dKL/dmu numeric {num_mu} vs {ana_mu}"
+        );
+        let mut plus = layer.clone();
+        plus.rho[(0, 0)] += eps;
+        let mut minus = layer.clone();
+        minus.rho[(0, 0)] -= eps;
+        let num_rho = ((kl_of(&plus) - kl_of(&minus)) / (2.0 * f64::from(eps))) as f32;
+        assert!(
+            (num_rho - ana_rho).abs() < 2e-2 * ana_rho.abs().max(1.0),
+            "dKL/drho numeric {num_rho} vs {ana_rho}"
+        );
+    }
+}

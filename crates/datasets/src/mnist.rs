@@ -1,0 +1,250 @@
+//! An MNIST-like synthetic image dataset (28×28 grayscale, 10 classes).
+//!
+//! Each class has a fixed smooth "digit prototype" (a low-pass-filtered
+//! random field); samples add per-sample smooth deformation noise plus
+//! pixel noise, clamped to `[0, 1]`. The result exercises the exact
+//! 784-200-200-10 network, small-data curves, quantization, and hardware
+//! path of the paper's MNIST experiments.
+
+use vibnn_nn::{GaussianInit, Matrix};
+
+use crate::Dataset;
+
+/// Image side length (28, as MNIST).
+pub const SIDE: usize = 28;
+
+/// Configuration for [`mnist_like`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MnistLikeSpec {
+    /// Training set size (paper MNIST: 60k; default scaled to 8k for
+    /// tractable CPU training — documented in DESIGN.md).
+    pub train_size: usize,
+    /// Test set size (default 2k).
+    pub test_size: usize,
+    /// Strength of per-sample deformation noise.
+    pub deform: f64,
+    /// Strength of iid pixel noise.
+    pub pixel_noise: f64,
+}
+
+impl Default for MnistLikeSpec {
+    fn default() -> Self {
+        Self {
+            train_size: 8_000,
+            test_size: 2_000,
+            deform: 0.8,
+            pixel_noise: 0.22,
+        }
+    }
+}
+
+/// Generates the default MNIST-like dataset.
+pub fn mnist_like(seed: u64) -> Dataset {
+    mnist_like_with(MnistLikeSpec::default(), seed)
+}
+
+/// Generates an MNIST-like dataset with an explicit spec.
+///
+/// # Panics
+///
+/// Panics if either split size is zero.
+pub fn mnist_like_with(spec: MnistLikeSpec, seed: u64) -> Dataset {
+    assert!(
+        spec.train_size > 0 && spec.test_size > 0,
+        "split sizes must be positive"
+    );
+    let mut rng = GaussianInit::new(seed ^ 0x3141_5926);
+    // Compress the prototypes toward their global mean so classes overlap
+    // and small-data training genuinely overfits (without this, nearest
+    // prototype is learnable from a handful of samples and the Figure
+    // 16/17 small-data effect cannot appear).
+    let mut prototypes: Vec<Vec<f32>> = (0..10).map(|_| smooth_field(&mut rng, 3)).collect();
+    let mut mean = vec![0.0f32; SIDE * SIDE];
+    for p in &prototypes {
+        for (m, &v) in mean.iter_mut().zip(p) {
+            *m += v / 10.0;
+        }
+    }
+    for p in &mut prototypes {
+        for (v, &m) in p.iter_mut().zip(&mean) {
+            *v = m + 0.6 * (*v - m);
+        }
+    }
+
+    let make = |n: usize, rng: &mut GaussianInit| {
+        let mut x = Matrix::zeros(n, SIDE * SIDE);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let class = (rng.next_uniform() * 10.0) as usize % 10;
+            let deform = smooth_field(rng, 2);
+            let row = x.row_mut(r);
+            for (i, v) in row.iter_mut().enumerate() {
+                let base = prototypes[class][i];
+                let d = spec.deform as f32 * (deform[i] - 0.5);
+                let p = spec.pixel_noise as f32 * rng.next_gaussian() as f32;
+                *v = (base + d + p).clamp(0.0, 1.0);
+            }
+            y.push(class);
+        }
+        (x, y)
+    };
+    let (train_x, train_y) = make(spec.train_size, &mut rng);
+    let (test_x, test_y) = make(spec.test_size, &mut rng);
+    Dataset {
+        name: "MNIST-like (synthetic)".to_owned(),
+        classes: 10,
+        train_x,
+        train_y,
+        test_x,
+        test_y,
+    }
+}
+
+/// A smooth random field in `[0, 1]`: white noise box-blurred `passes`
+/// times and min-max normalized.
+fn smooth_field(rng: &mut GaussianInit, passes: usize) -> Vec<f32> {
+    let mut field: Vec<f32> = (0..SIDE * SIDE)
+        .map(|_| rng.next_gaussian() as f32)
+        .collect();
+    for _ in 0..passes {
+        let mut next = vec![0.0f32; SIDE * SIDE];
+        for r in 0..SIDE {
+            for c in 0..SIDE {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                for dr in -1i32..=1 {
+                    for dc in -1i32..=1 {
+                        let rr = r as i32 + dr;
+                        let cc = c as i32 + dc;
+                        if (0..SIDE as i32).contains(&rr) && (0..SIDE as i32).contains(&cc) {
+                            sum += field[rr as usize * SIDE + cc as usize];
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                next[r * SIDE + c] = sum / cnt;
+            }
+        }
+        field = next;
+    }
+    let min = field.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = field.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-9);
+    for v in &mut field {
+        *v = (*v - min) / span;
+    }
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_mnist() {
+        let ds = mnist_like_with(
+            MnistLikeSpec {
+                train_size: 100,
+                test_size: 50,
+                ..MnistLikeSpec::default()
+            },
+            1,
+        );
+        assert_eq!(ds.features(), 784);
+        assert_eq!(ds.classes, 10);
+        assert_eq!(ds.train_len(), 100);
+        assert_eq!(ds.test_len(), 50);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let ds = mnist_like_with(
+            MnistLikeSpec {
+                train_size: 50,
+                test_size: 10,
+                ..MnistLikeSpec::default()
+            },
+            2,
+        );
+        assert!(ds
+            .train_x
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn all_ten_classes_appear() {
+        let ds = mnist_like_with(
+            MnistLikeSpec {
+                train_size: 500,
+                test_size: 10,
+                ..MnistLikeSpec::default()
+            },
+            3,
+        );
+        let mut seen = [false; 10];
+        for &y in &ds.train_y {
+            seen[y] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "class coverage {seen:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = MnistLikeSpec {
+            train_size: 20,
+            test_size: 5,
+            ..MnistLikeSpec::default()
+        };
+        let a = mnist_like_with(spec, 7);
+        let b = mnist_like_with(spec, 7);
+        assert_eq!(a.train_x.data(), b.train_x.data());
+        assert_eq!(a.train_y, b.train_y);
+    }
+
+    #[test]
+    fn classes_are_distinguishable_by_nearest_prototype() {
+        // Sanity: a trivial nearest-class-mean classifier should beat
+        // chance comfortably, otherwise the dataset carries no signal.
+        let ds = mnist_like_with(
+            MnistLikeSpec {
+                train_size: 1000,
+                test_size: 300,
+                ..MnistLikeSpec::default()
+            },
+            5,
+        );
+        let d = ds.features();
+        let mut means = vec![vec![0.0f64; d]; 10];
+        let mut counts = [0usize; 10];
+        for (r, &y) in ds.train_y.iter().enumerate() {
+            counts[y] += 1;
+            for f in 0..d {
+                means[y][f] += f64::from(ds.train_x[(r, f)]);
+            }
+        }
+        for (m, n) in means.iter_mut().zip(counts) {
+            for v in m.iter_mut() {
+                *v /= n.max(1) as f64;
+            }
+        }
+        let mut correct = 0;
+        for (r, &y) in ds.test_y.iter().enumerate() {
+            let mut best = (f64::INFINITY, 0usize);
+            for (c, m) in means.iter().enumerate() {
+                let dist: f64 = (0..d)
+                    .map(|f| (f64::from(ds.test_x[(r, f)]) - m[f]).powi(2))
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            if best.1 == y {
+                correct += 1;
+            }
+        }
+        let acc = f64::from(correct) / ds.test_len() as f64;
+        assert!(acc > 0.5, "nearest-mean accuracy {acc}");
+    }
+}

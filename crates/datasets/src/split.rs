@@ -1,0 +1,133 @@
+//! Stratified sub-sampling for the small-data experiments.
+
+use vibnn_nn::{GaussianInit, Matrix};
+
+/// The training-fraction denominators swept in Figures 16/17
+/// (1/256 of the data up to the whole set).
+pub const fn train_fractions() -> [usize; 9] {
+    [256, 128, 64, 32, 16, 8, 4, 2, 1]
+}
+
+/// Takes a stratified random `fraction` of `(x, y)`: each class keeps
+/// (approximately) `fraction` of its samples, with at least one sample per
+/// class that appears in the input.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]`, shapes mismatch, or a label
+/// is out of range.
+pub fn stratified_fraction(
+    x: &Matrix,
+    y: &[usize],
+    fraction: f64,
+    classes: usize,
+    seed: u64,
+) -> (Matrix, Vec<usize>) {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+    assert_eq!(x.rows(), y.len(), "row/label mismatch");
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &label) in y.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        per_class[label].push(i);
+    }
+    let mut rng = GaussianInit::new(seed ^ 0x57A7);
+    let mut chosen: Vec<usize> = Vec::new();
+    for indices in per_class.iter_mut() {
+        if indices.is_empty() {
+            continue;
+        }
+        // Deterministic Fisher-Yates, then take the prefix.
+        for i in (1..indices.len()).rev() {
+            let j = (rng.next_uniform() * (i + 1) as f64) as usize;
+            indices.swap(i, j.min(i));
+        }
+        let keep = ((indices.len() as f64 * fraction).round() as usize)
+            .max(1)
+            .min(indices.len());
+        chosen.extend_from_slice(&indices[..keep]);
+    }
+    chosen.sort_unstable();
+    let sub_y: Vec<usize> = chosen.iter().map(|&i| y[i]).collect();
+    (x.select_rows(&chosen), sub_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Vec<usize>) {
+        let mut x = Matrix::zeros(100, 2);
+        let mut y = Vec::new();
+        for r in 0..100 {
+            x[(r, 0)] = r as f32;
+            y.push(r % 4);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let (x, y) = toy();
+        let (sx, sy) = stratified_fraction(&x, &y, 0.25, 4, 1);
+        assert_eq!(sy.len(), 24); // hmm: 25 per class * 0.25 = 6.25 -> 6 each
+        assert_eq!(sx.rows(), sy.len());
+    }
+
+    #[test]
+    fn preserves_class_balance() {
+        let (x, y) = toy();
+        let (_, sy) = stratified_fraction(&x, &y, 0.5, 4, 2);
+        let mut counts = [0usize; 4];
+        for &l in &sy {
+            counts[l] += 1;
+        }
+        for &c in &counts {
+            assert!((12..=13).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn at_least_one_per_class() {
+        let (x, y) = toy();
+        let (_, sy) = stratified_fraction(&x, &y, 0.001, 4, 3);
+        let mut seen = [false; 4];
+        for &l in &sy {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(sy.len(), 4);
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let (x, y) = toy();
+        let (sx, sy) = stratified_fraction(&x, &y, 1.0, 4, 4);
+        assert_eq!(sx.rows(), 100);
+        assert_eq!(sy, y);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = toy();
+        let a = stratified_fraction(&x, &y, 0.3, 4, 5);
+        let b = stratified_fraction(&x, &y, 0.3, 4, 5);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0.data(), b.0.data());
+    }
+
+    #[test]
+    fn fractions_table_is_descending() {
+        let f = train_fractions();
+        for w in f.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert_eq!(*f.last().unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0,1]")]
+    fn zero_fraction_panics() {
+        let (x, y) = toy();
+        let _ = stratified_fraction(&x, &y, 0.0, 4, 1);
+    }
+}

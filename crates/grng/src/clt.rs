@@ -1,0 +1,169 @@
+//! Naive CLT generator: LFSR + full-width parallel counter.
+//!
+//! This is the conceptually simple binomial-approximation design the paper
+//! starts from in Section 4.1.1 (an n-bit LFSR whose popcount approximates
+//! `N(n/2, n/4)`), before replacing it with the RAM-based RLF design. It is
+//! kept as the ablation baseline: it works, but costs a huge parallel
+//! counter (`n - log2(n+1)` full adders) and registers.
+
+use vibnn_rng::{BitSource, CircularLfsr, ParallelCounter, SplitMix64};
+
+use crate::GaussianSource;
+
+/// LFSR + parallel-counter CLT generator.
+///
+/// Each sample requires `decimation` LFSR steps; decimating reduces the
+/// sample-to-sample correlation inherent in popcount outputs (the popcount
+/// changes by at most the tap count per step).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{CltGrng, GaussianSource};
+/// let mut g = CltGrng::new(255, 16, 1);
+/// assert!(g.next_gaussian().is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CltGrng {
+    lfsr: CircularLfsr,
+    counter: ParallelCounter,
+    decimation: u32,
+    mean: f64,
+    std: f64,
+}
+
+impl CltGrng {
+    /// Creates a CLT generator over a `width`-bit LFSR, emitting one sample
+    /// every `decimation` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` has no tabulated taps, `width < 19` (equation 8:
+    /// `n > 9(1-p)/p = 9` and the binomial approximation needs n > 18), or
+    /// `decimation == 0`.
+    pub fn new(width: usize, decimation: u32, seed: u64) -> Self {
+        assert!(width > 18, "binomial approximation requires n > 18 (paper eq. 8)");
+        assert!(decimation > 0, "decimation must be at least 1");
+        let taps = vibnn_rng::taps::taps_for(width)
+            .unwrap_or_else(|| panic!("no tabulated taps for width {width}"));
+        let mut src = SplitMix64::new(seed);
+        let lfsr = CircularLfsr::random(width, taps, &mut src);
+        let n = width as f64;
+        Self {
+            lfsr,
+            counter: ParallelCounter::new(width),
+            decimation,
+            mean: n / 2.0,
+            std: (n / 4.0).sqrt(),
+        }
+    }
+
+    /// Hardware cost of the full-width parallel counter (full adders).
+    pub fn counter_full_adders(&self) -> usize {
+        self.counter.full_adders()
+    }
+
+    /// LFSR register count (the resource the RLF design eliminates).
+    pub fn register_bits(&self) -> usize {
+        self.lfsr.width()
+    }
+}
+
+impl GaussianSource for CltGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        let mut count = 0;
+        for _ in 0..self.decimation {
+            count = self.lfsr.step();
+        }
+        (f64::from(count) - self.mean) / self.std
+    }
+}
+
+/// Sum-of-uniforms CLT generator (the textbook variant: sum of `k` uniform
+/// variates, standardized). Included for the taxonomy's completeness.
+#[derive(Debug, Clone)]
+pub struct UniformSumGrng {
+    uniform: vibnn_rng::Xoshiro256,
+    k: u32,
+}
+
+impl UniformSumGrng {
+    /// Creates a sum-of-`k`-uniforms generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32, seed: u64) -> Self {
+        assert!(k > 0, "need at least one uniform");
+        Self {
+            uniform: vibnn_rng::Xoshiro256::new(seed),
+            k,
+        }
+    }
+}
+
+impl GaussianSource for UniformSumGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        let k = f64::from(self.k);
+        let sum: f64 = (0..self.k).map(|_| self.uniform.next_f64()).sum();
+        (sum - k / 2.0) / (k / 12.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_stats::{autocorrelation, Moments};
+
+    #[test]
+    fn clt_moments_match_binomial() {
+        let mut g = CltGrng::new(255, 8, 3);
+        let m = Moments::from_slice(&g.take_vec(100_000));
+        assert!(m.mean().abs() < 0.05, "mean {}", m.mean());
+        assert!((m.std_dev() - 1.0).abs() < 0.05, "std {}", m.std_dev());
+    }
+
+    #[test]
+    fn decimation_reduces_autocorrelation() {
+        let mut fast = CltGrng::new(255, 1, 5);
+        let mut slow = CltGrng::new(255, 64, 5);
+        let fast_r1 = autocorrelation(&fast.take_vec(20_000), 1);
+        let slow_r1 = autocorrelation(&slow.take_vec(20_000), 1);
+        assert!(
+            fast_r1 > slow_r1 + 0.2,
+            "fast {fast_r1} should exceed slow {slow_r1}"
+        );
+        assert!(fast_r1 > 0.8, "undecimated popcount walks slowly: {fast_r1}");
+    }
+
+    #[test]
+    fn hardware_cost_figures() {
+        let g = CltGrng::new(255, 1, 1);
+        // 255-input PC: 255 - 8 = 247 full adders; the RLF replaces this
+        // with a 5-input PC (2 FAs).
+        assert_eq!(g.counter_full_adders(), 247);
+        assert_eq!(g.register_bits(), 255);
+    }
+
+    #[test]
+    fn uniform_sum_moments() {
+        let mut g = UniformSumGrng::new(12, 7);
+        let m = Moments::from_slice(&g.take_vec(100_000));
+        assert!(m.mean().abs() < 0.02);
+        assert!((m.std_dev() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_sum_small_k_has_bounded_support() {
+        let mut g = UniformSumGrng::new(2, 9);
+        // Sum of 2 uniforms standardized: support is [-sqrt(6), sqrt(6)].
+        let bound = 6.0f64.sqrt() + 1e-9;
+        assert!(g.take_vec(10_000).iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 18")]
+    fn too_narrow_width_panics() {
+        let _ = CltGrng::new(16, 1, 1);
+    }
+}

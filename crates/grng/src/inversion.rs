@@ -1,0 +1,70 @@
+//! CDF-inversion reference generator (taxonomy category 1).
+
+use vibnn_rng::{BitSource, Xoshiro256};
+
+use crate::GaussianSource;
+
+/// Generates Gaussians by inverting the normal CDF with the
+/// Beasley–Springer–Moro rational approximation — the classic
+/// inversion-method sampler the paper cites ([7, 37] in its references).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{CdfInversionGrng, GaussianSource};
+/// let mut g = CdfInversionGrng::new(1);
+/// assert!(g.next_gaussian().is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdfInversionGrng {
+    uniform: Xoshiro256,
+}
+
+impl CdfInversionGrng {
+    /// Creates the generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            uniform: Xoshiro256::new(seed),
+        }
+    }
+}
+
+impl GaussianSource for CdfInversionGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        // Map away from exact 0/1.
+        let u = self.uniform.next_f64().clamp(1e-15, 1.0 - 1e-15);
+        vibnn_stats::normal::quantile_bsm(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_stats::{chi_square_gof_normal, Moments};
+
+    #[test]
+    fn inversion_moments() {
+        let mut g = CdfInversionGrng::new(5);
+        let m = Moments::from_slice(&g.take_vec(200_000));
+        assert!(m.mean().abs() < 0.01);
+        assert!((m.std_dev() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn inversion_passes_chi_square() {
+        let mut g = CdfInversionGrng::new(6);
+        let out = chi_square_gof_normal(&g.take_vec(50_000), 32);
+        assert!(out.passes(0.01), "p={}", out.p_value);
+    }
+
+    #[test]
+    fn symmetric_tails() {
+        let mut g = CdfInversionGrng::new(7);
+        let xs = g.take_vec(100_000);
+        let left = xs.iter().filter(|&&x| x < -2.0).count() as f64;
+        let right = xs.iter().filter(|&&x| x > 2.0).count() as f64;
+        // Both tails should hold about 2.28% of mass.
+        assert!((left / 100_000.0 - 0.0228).abs() < 0.004);
+        assert!((right / 100_000.0 - 0.0228).abs() < 0.004);
+    }
+}

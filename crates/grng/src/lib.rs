@@ -1,0 +1,137 @@
+//! Gaussian random number generators — the core contribution of VIBNN.
+//!
+//! The paper (Section 2.3) classifies GRNG algorithms into four families
+//! and implements hardware-friendly members of two of them. This crate
+//! provides all of them behind the [`GaussianSource`] trait:
+//!
+//! **The paper's designs**
+//! - [`RlfGrng`] — the RAM-based Linear Feedback GRNG (Section 4.1):
+//!   a 255-bit seed whose population count follows `B(255, ½) ≈ N(127.5,
+//!   63.75)`, updated by the combined 5-tap feedback, normalized to N(0,1).
+//! - [`ParallelRlfGrng`] — `m` RLF lanes sharing one indexer, with the
+//!   output-multiplexer shuffling of Figure 8.
+//! - [`BnnWallaceGrng`] — the BNN-oriented Wallace generator (Section 4.2):
+//!   N Wallace units with small per-unit pools made to act as one large
+//!   pool by the *sharing-and-shifting* write-back scheme.
+//!
+//! **Baselines from the paper's evaluation**
+//! - [`SoftwareWallace`] — the classic software Wallace method with a
+//!   configurable pool size (Table 1 rows 1–3).
+//! - [`WallaceNss`] — hardware Wallace with *neither sharing and shifting
+//!   nor multi-loop transforms* (Table 1 row 4, the failing baseline).
+//! - [`CltGrng`] — naive CLT generator: LFSR + full-width parallel counter.
+//!
+//! **Reference generators (taxonomy categories 1–3)**
+//! - [`CdfInversionGrng`] (category 1), [`BoxMullerGrng`] /
+//!   [`PolarGrng`] (category 2), [`ZigguratGrng`] (category 3).
+//!
+//! # Example
+//!
+//! ```
+//! use vibnn_grng::{GaussianSource, RlfGrng};
+//! let mut g = RlfGrng::from_seed(1);
+//! let eps: Vec<f64> = (0..1000).map(|_| g.next_gaussian()).collect();
+//! let mean = eps.iter().sum::<f64>() / 1000.0;
+//! assert!(mean.abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clt;
+mod inversion;
+mod rlf;
+mod transform;
+pub mod wallace;
+mod ziggurat;
+
+pub use clt::{CltGrng, UniformSumGrng};
+pub use inversion::CdfInversionGrng;
+pub use rlf::{ParallelRlfGrng, RlfGrng};
+pub use transform::{BoxMullerGrng, PolarGrng};
+pub use wallace::{BnnWallaceGrng, SoftwareWallace, WallaceNss, WallaceUnit};
+pub use ziggurat::ZigguratGrng;
+
+/// A stream of (approximately) standard normal random numbers.
+pub trait GaussianSource {
+    /// Returns the next sample, targeting N(0, 1).
+    fn next_gaussian(&mut self) -> f64;
+
+    /// Fills `out` with samples.
+    fn fill(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.next_gaussian();
+        }
+    }
+
+    /// Collects `n` samples into a vector.
+    fn take_vec(&mut self, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        self.fill(&mut v);
+        v
+    }
+}
+
+impl<T: GaussianSource + ?Sized> GaussianSource for &mut T {
+    fn next_gaussian(&mut self) -> f64 {
+        (**self).next_gaussian()
+    }
+}
+
+impl GaussianSource for Box<dyn GaussianSource> {
+    fn next_gaussian(&mut self) -> f64 {
+        (**self).next_gaussian()
+    }
+}
+
+/// Which GRNG design to instantiate — used by the accelerator configuration
+/// in `vibnn-hw` and the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrngKind {
+    /// RAM-based Linear Feedback GRNG (paper Section 4.1).
+    Rlf,
+    /// BNN-oriented Wallace GRNG (paper Section 4.2).
+    BnnWallace,
+}
+
+impl std::fmt::Display for GrngKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrngKind::Rlf => write!(f, "RLF-GRNG"),
+            GrngKind::BnnWallace => write!(f, "BNNWallace-GRNG"),
+        }
+    }
+}
+
+impl GrngKind {
+    /// Builds a boxed generator of this kind with `lanes` parallel outputs.
+    pub fn build(self, lanes: usize, seed: u64) -> Box<dyn GaussianSource> {
+        match self {
+            GrngKind::Rlf => Box::new(ParallelRlfGrng::new(lanes, seed)),
+            GrngKind::BnnWallace => {
+                Box::new(BnnWallaceGrng::new(lanes.max(1), 32, seed))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(GrngKind::Rlf.to_string(), "RLF-GRNG");
+        assert_eq!(GrngKind::BnnWallace.to_string(), "BNNWallace-GRNG");
+    }
+
+    #[test]
+    fn kind_build_produces_samples() {
+        for kind in [GrngKind::Rlf, GrngKind::BnnWallace] {
+            let mut g = kind.build(8, 42);
+            let xs = g.take_vec(256);
+            assert_eq!(xs.len(), 256);
+            assert!(xs.iter().all(|x| x.is_finite()));
+        }
+    }
+}

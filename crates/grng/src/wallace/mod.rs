@@ -1,0 +1,59 @@
+//! The Wallace GRNG family (paper Section 4.2).
+//!
+//! Wallace's method exploits the fact that an orthogonal linear combination
+//! of Gaussians is still Gaussian: a pool of pre-generated normals is
+//! repeatedly transformed by a scaled 4×4 Hadamard matrix (equation 13).
+//! Because `H/2` is orthogonal, the pool's sum of squares — and therefore
+//! its variance — is *exactly* conserved; quality concerns are entirely
+//! about correlation and pool mixing, which is what the three variants here
+//! differ in:
+//!
+//! - [`SoftwareWallace`] — random pool addressing (needs a uniform RNG for
+//!   addresses, the hardware cost the paper wants to avoid).
+//! - [`WallaceNss`] — sequential addressing with in-place write-back and
+//!   no sharing/shifting: the pool decomposes into closed 4-element orbits
+//!   and the output stream is blatantly non-random (Table 1 row 4 /
+//!   Figure 15's failing bar).
+//! - [`BnnWallaceGrng`] — the paper's design: N units with small private
+//!   pools, sequential addressing, and a one-number rotation of the
+//!   write-back across units so all small pools behave as one large pool.
+
+mod bnn;
+mod nss;
+mod software;
+mod unit;
+
+pub use bnn::BnnWallaceGrng;
+pub use nss::WallaceNss;
+pub use software::SoftwareWallace;
+pub use unit::WallaceUnit;
+
+use crate::{BoxMullerGrng, GaussianSource};
+
+/// Draws an initial Wallace pool of `size` standard normals from a
+/// Box–Muller reference generator (the paper samples the initial pool from
+/// the standard normal distribution).
+pub fn initial_pool(size: usize, seed: u64) -> Vec<f64> {
+    assert!(size >= 4, "a Wallace pool needs at least one quad");
+    let mut bm = BoxMullerGrng::new(seed);
+    bm.take_vec(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_pool_is_roughly_standard() {
+        let pool = initial_pool(4096, 1);
+        let m = vibnn_stats::Moments::from_slice(&pool);
+        assert!(m.mean().abs() < 0.05);
+        assert!((m.std_dev() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one quad")]
+    fn tiny_pool_panics() {
+        let _ = initial_pool(3, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Wallace-NSS: the hardware strawman with No Sharing/Shifting.
+
+use crate::{GaussianSource, WallaceUnit};
+
+/// Hardware Wallace with sequential addressing, in-place write-back, no
+/// sharing-and-shifting, and no multi-loop transformations (the paper's
+/// "Wallace-NSS" baseline, Table 1 row 4).
+///
+/// Because each quad of pool positions is read, transformed, and written
+/// back in place, the pool decomposes into `pool_size / 4` *closed orbits*:
+/// values never mix across quads. The output stream consequently fails
+/// every randomness test — exactly the behaviour Figure 15 reports (0%
+/// pass rate).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{GaussianSource, WallaceNss};
+/// let mut g = WallaceNss::new(256, 1);
+/// assert!(g.next_gaussian().is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallaceNss {
+    pool: Vec<f64>,
+    addr: usize,
+    out_buf: [f64; 4],
+    out_pos: usize,
+}
+
+impl WallaceNss {
+    /// Creates the generator with a pool of `pool_size` initial normals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size < 8` or not a multiple of 4.
+    pub fn new(pool_size: usize, seed: u64) -> Self {
+        assert!(pool_size >= 8, "pool must hold at least two quads");
+        assert!(pool_size % 4 == 0, "pool size must be a multiple of 4");
+        Self {
+            pool: super::initial_pool(pool_size, seed),
+            addr: 0,
+            out_buf: [0.0; 4],
+            out_pos: 4,
+        }
+    }
+
+    /// Pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn generate_quad(&mut self) {
+        let a = self.addr;
+        let quad = [
+            self.pool[a],
+            self.pool[a + 1],
+            self.pool[a + 2],
+            self.pool[a + 3],
+        ];
+        let out = WallaceUnit::transform(quad);
+        self.pool[a..a + 4].copy_from_slice(&out);
+        self.addr = (self.addr + 4) % self.pool.len();
+        self.out_buf = out;
+        self.out_pos = 0;
+    }
+}
+
+impl GaussianSource for WallaceNss {
+    fn next_gaussian(&mut self) -> f64 {
+        if self.out_pos >= 4 {
+            self.generate_quad();
+        }
+        let v = self.out_buf[self.out_pos];
+        self.out_pos += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_stats::runs_test;
+
+    #[test]
+    fn fails_runs_test() {
+        // The defining property of the strawman: 0% randomness pass rate.
+        let mut g = WallaceNss::new(256, 3);
+        let out = runs_test(&g.take_vec(100_000));
+        assert!(!out.passes(0.05), "NSS should fail, p = {}", out.p_value);
+    }
+
+    #[test]
+    fn quads_are_closed_orbits() {
+        // Energy of each 4-element quad is individually conserved: values
+        // never leak between quads.
+        let mut g = WallaceNss::new(64, 5);
+        let quad_energy: Vec<f64> = g
+            .pool
+            .chunks(4)
+            .map(|q| q.iter().map(|x| x * x).sum())
+            .collect();
+        let _ = g.take_vec(10_000);
+        for (i, q) in g.pool.chunks(4).enumerate() {
+            let e: f64 = q.iter().map(|x| x * x).sum();
+            assert!(
+                (e - quad_energy[i]).abs() < 1e-9,
+                "quad {i} energy changed: {} -> {e}",
+                quad_energy[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_addressing_cycles_the_pool() {
+        let mut g = WallaceNss::new(16, 7);
+        let _ = g.take_vec(16); // 4 quads -> addr wraps to 0
+        assert_eq!(g.addr, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn unaligned_pool_panics() {
+        let _ = WallaceNss::new(10, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Software Wallace method with random pool addressing.
+
+use vibnn_rng::{BitSource, SplitMix64};
+
+use crate::{GaussianSource, WallaceUnit};
+
+/// The classic software Wallace generator (paper Table 1 rows 1–3).
+///
+/// A pool of `pool_size` Gaussians is maintained; each generation step
+/// chooses four distinct random positions, applies `loops` Hadamard
+/// transformations, writes the results back to the same positions, and
+/// emits them. Random addressing requires a uniform RNG — acceptable in
+/// software, costly in hardware, which is the drawback the BNNWallace
+/// design removes.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{GaussianSource, SoftwareWallace};
+/// let mut g = SoftwareWallace::new(1024, 1, 42);
+/// let xs = g.take_vec(100);
+/// assert!(xs.iter().all(|x| x.is_finite()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftwareWallace {
+    pool: Vec<f64>,
+    addr_rng: SplitMix64,
+    loops: u32,
+    out_buf: [f64; 4],
+    out_pos: usize,
+}
+
+impl SoftwareWallace {
+    /// Creates a generator with a `pool_size`-element pool initialized from
+    /// the standard normal, applying `loops` transformations per quad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size < 8` or `loops == 0`.
+    pub fn new(pool_size: usize, loops: u32, seed: u64) -> Self {
+        assert!(pool_size >= 8, "pool must hold at least two quads");
+        assert!(loops > 0, "at least one transformation loop required");
+        let mut seeder = SplitMix64::new(seed);
+        let pool = super::initial_pool(pool_size, seeder.next_u64());
+        Self {
+            pool,
+            addr_rng: seeder.fork(),
+            loops,
+            out_buf: [0.0; 4],
+            out_pos: 4,
+        }
+    }
+
+    /// Pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Current pool contents (for stability diagnostics).
+    pub fn pool(&self) -> &[f64] {
+        &self.pool
+    }
+
+    fn pick_distinct_indices(&mut self) -> [usize; 4] {
+        let n = self.pool.len() as u64;
+        let mut idx = [0usize; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            let cand = self.addr_rng.next_bounded(n) as usize;
+            if !idx[..filled].contains(&cand) {
+                idx[filled] = cand;
+                filled += 1;
+            }
+        }
+        idx
+    }
+
+    fn generate_quad(&mut self) {
+        let idx = self.pick_distinct_indices();
+        let quad = [
+            self.pool[idx[0]],
+            self.pool[idx[1]],
+            self.pool[idx[2]],
+            self.pool[idx[3]],
+        ];
+        let out = WallaceUnit::transform_loops(quad, self.loops);
+        for (k, &i) in idx.iter().enumerate() {
+            self.pool[i] = out[k];
+        }
+        self.out_buf = out;
+        self.out_pos = 0;
+    }
+}
+
+impl GaussianSource for SoftwareWallace {
+    fn next_gaussian(&mut self) -> f64 {
+        if self.out_pos >= 4 {
+            self.generate_quad();
+        }
+        let v = self.out_buf[self.out_pos];
+        self.out_pos += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_stats::{runs_test, Moments};
+
+    #[test]
+    fn pool_energy_is_conserved() {
+        let mut g = SoftwareWallace::new(256, 1, 7);
+        let before: f64 = g.pool().iter().map(|x| x * x).sum();
+        let _ = g.take_vec(10_000);
+        let after: f64 = g.pool().iter().map(|x| x * x).sum();
+        assert!(
+            (before - after).abs() < 1e-6 * before.abs().max(1.0),
+            "energy drifted: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn output_moments_follow_pool_size() {
+        // Bigger pools start closer to N(0,1), so stability errors shrink
+        // with pool size — the Table 1 trend.
+        let err = |pool: usize| {
+            let mut g = SoftwareWallace::new(pool, 1, 123);
+            let m = Moments::from_slice(&g.take_vec(100_000));
+            m.stability_errors().1
+        };
+        let e256 = err(256);
+        let e4096 = err(4096);
+        assert!(
+            e4096 < e256 + 1e-9,
+            "sigma error should shrink with pool size: 256 -> {e256}, 4096 -> {e4096}"
+        );
+    }
+
+    #[test]
+    fn passes_runs_test() {
+        let mut g = SoftwareWallace::new(1024, 1, 9);
+        let out = runs_test(&g.take_vec(100_000));
+        assert!(out.passes(0.05), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SoftwareWallace::new(256, 2, 5);
+        let mut b = SoftwareWallace::new(256, 2, 5);
+        assert_eq!(a.take_vec(64), b.take_vec(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "two quads")]
+    fn tiny_pool_panics() {
+        let _ = SoftwareWallace::new(4, 1, 1);
+    }
+}

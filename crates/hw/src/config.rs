@@ -1,0 +1,262 @@
+//! Accelerator configuration (paper Section 5.4) and validation.
+
+use vibnn_grng::GrngKind;
+
+/// Configuration error returned by [`AcceleratorConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `S != N` (equation 14c/15c requires square PE sets).
+    PeSetNotSquare {
+        /// PEs per set.
+        s: usize,
+        /// Inputs per PE.
+        n: usize,
+    },
+    /// The per-PE-set weight word exceeds the maximum word size
+    /// (equation 15b: `B × N × S <= MaxWS`).
+    WordTooWide {
+        /// Required word bits.
+        required: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// A dimension is zero.
+    ZeroDimension(&'static str),
+    /// Bit length outside `2..=32`.
+    BadBitLength(u32),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::PeSetNotSquare { s, n } => {
+                write!(f, "PE sets must be square: S={s} != N={n} (eq. 15c)")
+            }
+            ConfigError::WordTooWide { required, max } => {
+                write!(f, "WPMem word {required} bits exceeds MaxWS {max} (eq. 15b)")
+            }
+            ConfigError::ZeroDimension(which) => write!(f, "{which} must be positive"),
+            ConfigError::BadBitLength(b) => write!(f, "bit length {b} outside 2..=32"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// VIBNN accelerator architecture parameters.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_hw::AcceleratorConfig;
+/// let cfg = AcceleratorConfig::paper();
+/// assert_eq!(cfg.total_pes(), 128);
+/// cfg.validate().expect("the paper's configuration is valid");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of PE sets (`T`).
+    pub pe_sets: usize,
+    /// PEs per set (`S`; must equal `pe_inputs`).
+    pub pes_per_set: usize,
+    /// Inputs per PE (`N`).
+    pub pe_inputs: usize,
+    /// Operand bit length (`B`; the paper settles on 8).
+    pub bit_len: u32,
+    /// Maximum allowable on-chip memory word size in bits (`MaxWS`).
+    pub max_word_size: usize,
+    /// Which GRNG design feeds the weight generator.
+    pub grng: GrngKind,
+    /// Parallel GRNG lanes in the weight generator (the paper's Table 2
+    /// benchmarks 64).
+    pub grng_lanes: usize,
+    /// System clock in MHz. The paper runs both variants at a common clock
+    /// bounded by the slower (Wallace) GRNG Fmax.
+    pub clock_mhz: f64,
+    /// Monte Carlo samples per inference (equation 6's N).
+    pub mc_samples: usize,
+}
+
+impl AcceleratorConfig {
+    /// The paper's deployed configuration: 16 PE-sets of eight 8-input
+    /// PEs, 8-bit operands, 64-lane GRNG, common 117.63 MHz clock.
+    pub fn paper() -> Self {
+        Self {
+            pe_sets: 16,
+            pes_per_set: 8,
+            pe_inputs: 8,
+            bit_len: 8,
+            max_word_size: 1024,
+            grng: GrngKind::Rlf,
+            grng_lanes: 64,
+            clock_mhz: timing_default_clock(),
+            mc_samples: 1,
+        }
+    }
+
+    /// Same architecture with the BNNWallace GRNG.
+    pub fn paper_wallace() -> Self {
+        Self {
+            grng: GrngKind::BnnWallace,
+            ..Self::paper()
+        }
+    }
+
+    /// Total PE count `M = T × S` (equation 15d).
+    pub fn total_pes(&self) -> usize {
+        self.pe_sets * self.pes_per_set
+    }
+
+    /// MACs the array performs per cycle (`M × N`).
+    pub fn macs_per_cycle(&self) -> usize {
+        self.total_pes() * self.pe_inputs
+    }
+
+    /// The WPMem word width `B × N × S` bits (equation 15b's left side).
+    pub fn wpmem_word_bits(&self) -> usize {
+        self.bit_len as usize * self.pe_inputs * self.pes_per_set
+    }
+
+    /// The IFMem word width `B × N` bits.
+    pub fn ifmem_word_bits(&self) -> usize {
+        self.bit_len as usize * self.pe_inputs
+    }
+
+    /// Validates the architectural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (see [`ConfigError`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pe_sets == 0 {
+            return Err(ConfigError::ZeroDimension("pe_sets"));
+        }
+        if self.pes_per_set == 0 {
+            return Err(ConfigError::ZeroDimension("pes_per_set"));
+        }
+        if self.pe_inputs == 0 {
+            return Err(ConfigError::ZeroDimension("pe_inputs"));
+        }
+        if self.grng_lanes == 0 {
+            return Err(ConfigError::ZeroDimension("grng_lanes"));
+        }
+        if self.mc_samples == 0 {
+            return Err(ConfigError::ZeroDimension("mc_samples"));
+        }
+        if !(2..=32).contains(&self.bit_len) {
+            return Err(ConfigError::BadBitLength(self.bit_len));
+        }
+        if self.pes_per_set != self.pe_inputs {
+            return Err(ConfigError::PeSetNotSquare {
+                s: self.pes_per_set,
+                n: self.pe_inputs,
+            });
+        }
+        let word = self.wpmem_word_bits();
+        if word > self.max_word_size {
+            return Err(ConfigError::WordTooWide {
+                required: word,
+                max: self.max_word_size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Write-back feasibility for a network whose smallest layer input is
+    /// `min_in`: the memory distributor must drain `T` PE-set words within
+    /// one accumulation round of `ceil(min_in / N)` cycles.
+    ///
+    /// (The paper's equation 14a prints this as `T × S < ceil(MinIn/N)`,
+    /// which its own 128-PE configuration would violate for MNIST; the
+    /// drain requirement is per PE-set *word*, hence `T`, not `T × S` —
+    /// see DESIGN.md.)
+    pub fn writeback_ok(&self, min_in: usize) -> bool {
+        self.pe_sets <= min_in.div_ceil(self.pe_inputs)
+    }
+}
+
+/// The common system clock (MHz) used for both variants in the paper's
+/// throughput table: bounded by the BNNWallace GRNG Fmax.
+fn timing_default_clock() -> f64 {
+    crate::timing::PAPER_WALLACE_FMAX_MHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        let cfg = AcceleratorConfig::paper();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.total_pes(), 128);
+        assert_eq!(cfg.macs_per_cycle(), 1024);
+        assert_eq!(cfg.wpmem_word_bits(), 8 * 8 * 8);
+        assert_eq!(cfg.ifmem_word_bits(), 64);
+    }
+
+    #[test]
+    fn paper_writeback_holds_for_mnist() {
+        let cfg = AcceleratorConfig::paper();
+        // MinIn for 784-200-200-10 is 200 (hidden layers): ceil(200/8)=25
+        // rounds >= 16 PE-set words.
+        assert!(cfg.writeback_ok(200));
+        assert!(cfg.writeback_ok(784));
+        // A tiny layer would violate it.
+        assert!(!cfg.writeback_ok(64));
+    }
+
+    #[test]
+    fn non_square_pe_set_rejected() {
+        let cfg = AcceleratorConfig {
+            pes_per_set: 4,
+            ..AcceleratorConfig::paper()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::PeSetNotSquare { s: 4, n: 8 })
+        );
+    }
+
+    #[test]
+    fn wide_word_rejected() {
+        let cfg = AcceleratorConfig {
+            pes_per_set: 16,
+            pe_inputs: 16,
+            max_word_size: 1024,
+            ..AcceleratorConfig::paper()
+        };
+        // 8 * 16 * 16 = 2048 > 1024.
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::WordTooWide { required: 2048, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let cfg = AcceleratorConfig {
+            mc_samples: 0,
+            ..AcceleratorConfig::paper()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDimension("mc_samples")));
+    }
+
+    #[test]
+    fn bad_bit_length_rejected() {
+        let cfg = AcceleratorConfig {
+            bit_len: 1,
+            ..AcceleratorConfig::paper()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::BadBitLength(1)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ConfigError::WordTooWide {
+            required: 2048,
+            max: 1024,
+        };
+        assert!(e.to_string().contains("2048"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The global controller's schedule: a closed-form cycle model for
+//! time-multiplexed layer execution (verified against the ticking
+//! simulator in `sim.rs`).
+
+use crate::AcceleratorConfig;
+
+/// Pipeline fill depth: multiply, adder tree, accumulate/bias, ReLU
+/// (Figure 14's PE pipeline plus the weight-generator register tier).
+pub const PIPELINE_FILL: u64 = 4;
+
+/// Controller overhead per layer: IFMem ping-pong swap, address reset,
+/// command distribution.
+pub const LAYER_CONTROL: u64 = 10;
+
+/// Cycle breakdown for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCycles {
+    /// Neuron rounds: `ceil(out_dim / M)`.
+    pub rounds: u64,
+    /// Accumulation iterations per round: `ceil(in_dim / N)`.
+    pub iterations: u64,
+    /// Total cycles for the layer including pipeline fill, write-back
+    /// drain, and control overhead.
+    pub total: u64,
+}
+
+/// The closed-form schedule for a feed-forward network on the accelerator.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_hw::{AcceleratorConfig, Schedule};
+/// let sched = Schedule::new(&AcceleratorConfig::paper(), &[784, 200, 200, 10]);
+/// let cycles = sched.cycles_per_image();
+/// assert!(cycles > 200 && cycles < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    layers: Vec<LayerCycles>,
+    mc_samples: u64,
+    clock_mhz: f64,
+    macs_per_cycle: u64,
+    total_macs: u64,
+}
+
+impl Schedule {
+    /// Builds the schedule for `layer_sizes` (input, hidden…, output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or fewer than two sizes are
+    /// given.
+    pub fn new(cfg: &AcceleratorConfig, layer_sizes: &[usize]) -> Self {
+        cfg.validate().expect("invalid accelerator configuration");
+        assert!(layer_sizes.len() >= 2, "need at least two layer sizes");
+        let m = cfg.total_pes() as u64;
+        let n = cfg.pe_inputs as u64;
+        let t = cfg.pe_sets as u64;
+        let mut layers = Vec::new();
+        let mut total_macs = 0u64;
+        for w in layer_sizes.windows(2) {
+            let (d_in, d_out) = (w[0] as u64, w[1] as u64);
+            let rounds = d_out.div_ceil(m);
+            let iterations = d_in.div_ceil(n);
+            let total = rounds * iterations + PIPELINE_FILL + t + LAYER_CONTROL;
+            layers.push(LayerCycles {
+                rounds,
+                iterations,
+                total,
+            });
+            total_macs += d_in * d_out;
+        }
+        Self {
+            layers,
+            mc_samples: cfg.mc_samples as u64,
+            clock_mhz: cfg.clock_mhz,
+            macs_per_cycle: cfg.macs_per_cycle() as u64,
+            total_macs,
+        }
+    }
+
+    /// Per-layer breakdown.
+    pub fn layers(&self) -> &[LayerCycles] {
+        &self.layers
+    }
+
+    /// Cycles for one Monte Carlo sample of one image.
+    pub fn cycles_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.total).sum()
+    }
+
+    /// Cycles for one image (all MC samples).
+    pub fn cycles_per_image(&self) -> u64 {
+        self.cycles_per_sample() * self.mc_samples
+    }
+
+    /// Ideal lower bound: total MACs / array MAC throughput.
+    pub fn ideal_cycles_per_sample(&self) -> u64 {
+        self.total_macs.div_ceil(self.macs_per_cycle)
+    }
+
+    /// PE-array utilization: ideal cycles / actual cycles.
+    pub fn utilization(&self) -> f64 {
+        self.ideal_cycles_per_sample() as f64 / self.cycles_per_sample() as f64
+    }
+
+    /// Throughput in images per second at the configured clock.
+    pub fn images_per_second(&self) -> f64 {
+        self.clock_mhz * 1.0e6 / self.cycles_per_image() as f64
+    }
+
+    /// MAC operations per weight sample (also the ε demand per sample).
+    pub fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_sched() -> Schedule {
+        Schedule::new(&AcceleratorConfig::paper(), &[784, 200, 200, 10])
+    }
+
+    #[test]
+    fn paper_network_layer_breakdown() {
+        let s = paper_sched();
+        let l = s.layers();
+        // 784 -> 200: ceil(200/128)=2 rounds x ceil(784/8)=98 iterations.
+        assert_eq!(l[0].rounds, 2);
+        assert_eq!(l[0].iterations, 98);
+        // 200 -> 200: 2 x 25.
+        assert_eq!(l[1].rounds, 2);
+        assert_eq!(l[1].iterations, 25);
+        // 200 -> 10: 1 x 25.
+        assert_eq!(l[2].rounds, 1);
+        assert_eq!(l[2].iterations, 25);
+    }
+
+    #[test]
+    fn paper_throughput_matches_table5_shape() {
+        // Table 5 reports 321,543.4 images/s; the model should land within
+        // ~15% of that at the common clock.
+        let s = paper_sched();
+        let tput = s.images_per_second();
+        let paper = 321_543.4;
+        assert!(
+            (tput - paper).abs() / paper < 0.15,
+            "model {tput:.1} vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn mc_samples_scale_cycles_linearly() {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.mc_samples = 3;
+        let s3 = Schedule::new(&cfg, &[784, 200, 200, 10]);
+        let s1 = paper_sched();
+        assert_eq!(s3.cycles_per_image(), 3 * s1.cycles_per_image());
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let s = paper_sched();
+        let u = s.utilization();
+        assert!(u > 0.4 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn cycles_monotone_in_layer_width() {
+        let cfg = AcceleratorConfig::paper();
+        let small = Schedule::new(&cfg, &[256, 128, 10]).cycles_per_sample();
+        let big = Schedule::new(&cfg, &[512, 256, 10]).cycles_per_sample();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn more_pes_reduce_cycles() {
+        let base = paper_sched().cycles_per_sample();
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.pe_sets = 32;
+        let wide = Schedule::new(&cfg, &[784, 200, 200, 10]).cycles_per_sample();
+        assert!(wide < base, "{wide} !< {base}");
+    }
+
+    #[test]
+    fn ideal_bound_is_lower() {
+        let s = paper_sched();
+        assert!(s.ideal_cycles_per_sample() <= s.cycles_per_sample());
+        // 198,800 MACs / 1024 per cycle = 195 (rounded up).
+        assert_eq!(s.ideal_cycles_per_sample(), 195);
+        assert_eq!(s.total_macs(), 784 * 200 + 200 * 200 + 200 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layer sizes")]
+    fn single_size_panics() {
+        let _ = Schedule::new(&AcceleratorConfig::paper(), &[784]);
+    }
+}

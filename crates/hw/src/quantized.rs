@@ -1,0 +1,445 @@
+//! The functional fixed-point datapath: exactly the arithmetic the
+//! accelerator performs, vectorized for fast accuracy evaluation.
+//!
+//! Semantics (paper Sections 5.1–5.3):
+//!
+//! 1. The weight generator computes `w = µ + σ·ε` in B-bit fixed point:
+//!    `σ_q · ε_q` is requantized to the weight format and added to `µ_q`
+//!    with saturation.
+//! 2. Each PE multiplies B-bit activations by B-bit weights into a wide
+//!    accumulator (no intermediate rounding — the adder tree of Figure 11),
+//!    adds the bias, requantizes once to the activation format, and applies
+//!    ReLU.
+//! 3. The final layer's logits are dequantized; softmax and Monte Carlo
+//!    averaging (equation 6) happen at full precision on the host, as they
+//!    would on the CPU collecting accelerator outputs.
+
+use vibnn_bnn::BnnParams;
+use vibnn_fixed::{choose_format, MacAccumulator, QFormat};
+use vibnn_grng::GaussianSource;
+use vibnn_nn::{softmax_rows, Matrix};
+
+/// Fixed-point formats for every signal class in the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizationSpec {
+    /// Operand bit length `B`.
+    pub bit_len: u32,
+    /// Format for weights (µ and sampled w).
+    pub weight_fmt: QFormat,
+    /// Format for σ values.
+    pub sigma_fmt: QFormat,
+    /// Format for activations (inputs and layer outputs).
+    pub act_fmt: QFormat,
+    /// Format for the unit Gaussian ε samples.
+    pub eps_fmt: QFormat,
+}
+
+impl QuantizationSpec {
+    /// Calibrates formats for `params` at `bit_len` bits.
+    ///
+    /// Weight range covers `max|µ| + 2·max σ` (rarer ε excursions are
+    /// absorbed by saturation); ε gets ±4 range; activations are
+    /// calibrated from `act_max` (the largest |activation| observed on a
+    /// float calibration pass — see [`QuantizedBnn::from_params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` is outside `2..=32` or `act_max <= 0`.
+    pub fn calibrate(params: &BnnParams, bit_len: u32, act_max: f64) -> Self {
+        assert!(act_max > 0.0, "activation range must be positive");
+        let mut mu_max = 0.0f32;
+        let mut sigma_max = 0.0f32;
+        for w in &params.weight_mu {
+            for &v in w.data() {
+                mu_max = mu_max.max(v.abs());
+            }
+        }
+        for s in &params.weight_sigma {
+            for &v in s.data() {
+                sigma_max = sigma_max.max(v.abs());
+            }
+        }
+        for b in &params.bias_mu {
+            for &v in b {
+                mu_max = mu_max.max(v.abs());
+            }
+        }
+        for b in &params.bias_sigma {
+            for &v in b {
+                sigma_max = sigma_max.max(v.abs());
+            }
+        }
+        let w_range = f64::from(mu_max) + 2.0 * f64::from(sigma_max);
+        Self {
+            bit_len,
+            weight_fmt: choose_format(bit_len, w_range.max(1e-3)),
+            sigma_fmt: choose_format(bit_len, f64::from(sigma_max).max(1e-3)),
+            act_fmt: choose_format(bit_len, act_max),
+            eps_fmt: choose_format(bit_len, 4.0),
+        }
+    }
+}
+
+/// One quantized layer: integer µ/σ tables plus biases.
+#[derive(Debug, Clone)]
+struct QLayer {
+    in_dim: usize,
+    out_dim: usize,
+    mu: Vec<i32>,
+    sigma: Vec<i32>,
+    bias_mu: Vec<i32>,
+    bias_sigma: Vec<i32>,
+}
+
+/// A BNN deployed on the fixed-point datapath.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_bnn::{Bnn, BnnConfig};
+/// use vibnn_grng::BoxMullerGrng;
+/// use vibnn_hw::QuantizedBnn;
+/// use vibnn_nn::Matrix;
+///
+/// let bnn = Bnn::new(BnnConfig::new(&[4, 8, 2]), 1);
+/// let calib = Matrix::zeros(4, 4);
+/// let q = QuantizedBnn::from_params(&bnn.params(), 8, &calib);
+/// let mut eps = BoxMullerGrng::new(2);
+/// let probs = q.predict_proba_mc(&calib, 4, &mut eps);
+/// assert_eq!(probs.cols(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedBnn {
+    spec: QuantizationSpec,
+    layers: Vec<QLayer>,
+}
+
+impl QuantizedBnn {
+    /// Quantizes `params` at `bit_len` bits, calibrating the activation
+    /// format with a float forward pass over `calibration` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty or shapes mismatch.
+    pub fn from_params(params: &BnnParams, bit_len: u32, calibration: &Matrix) -> Self {
+        assert!(calibration.rows() > 0, "need calibration inputs");
+        assert_eq!(
+            calibration.cols(),
+            params.weight_mu[0].rows(),
+            "calibration width mismatch"
+        );
+        // Float mean-forward pass to find the activation range; a modest
+        // margin absorbs weight-sampling noise, and saturation handles the
+        // rare excursions beyond it (clipping outliers costs far less
+        // accuracy than starving the format of fraction bits).
+        let mut act_max = 1.0f64;
+        let mut h = calibration.clone();
+        let layers = params.layers();
+        for l in 0..layers {
+            let mut y = h.matmul(&params.weight_mu[l]);
+            y.add_row_broadcast(&params.bias_mu[l]);
+            for &v in y.data() {
+                act_max = act_max.max(f64::from(v.abs()));
+            }
+            if l + 1 < layers {
+                y.map_inplace(|v| v.max(0.0));
+            }
+            h = y;
+        }
+        let spec = QuantizationSpec::calibrate(params, bit_len, act_max * 1.3);
+        Self::with_spec(params, spec)
+    }
+
+    /// Quantizes with an explicit spec.
+    pub fn with_spec(params: &BnnParams, spec: QuantizationSpec) -> Self {
+        let mut layers = Vec::with_capacity(params.layers());
+        for l in 0..params.layers() {
+            let mu_m = &params.weight_mu[l];
+            let sg_m = &params.weight_sigma[l];
+            layers.push(QLayer {
+                in_dim: mu_m.rows(),
+                out_dim: mu_m.cols(),
+                mu: mu_m
+                    .data()
+                    .iter()
+                    .map(|&v| spec.weight_fmt.quantize_f32(v))
+                    .collect(),
+                sigma: sg_m
+                    .data()
+                    .iter()
+                    .map(|&v| spec.sigma_fmt.quantize_f32(v))
+                    .collect(),
+                bias_mu: params.bias_mu[l]
+                    .iter()
+                    .map(|&v| spec.weight_fmt.quantize_f32(v))
+                    .collect(),
+                bias_sigma: params.bias_sigma[l]
+                    .iter()
+                    .map(|&v| spec.sigma_fmt.quantize_f32(v))
+                    .collect(),
+            });
+        }
+        Self { spec, layers }
+    }
+
+    /// The quantization formats in use.
+    pub fn spec(&self) -> &QuantizationSpec {
+        &self.spec
+    }
+
+    /// Layer sizes `[input, hidden…, output]`.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut v = vec![self.layers[0].in_dim];
+        v.extend(self.layers.iter().map(|l| l.out_dim));
+        v
+    }
+
+    /// Total weight count (µ entries).
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.mu.len()).sum()
+    }
+
+    /// Samples one full set of quantized weights `w_q = µ_q + requant(σ_q·ε_q)`
+    /// — the weight generator's output for one Monte Carlo sample.
+    /// Returned per layer as row-major `in_dim × out_dim` tables, plus
+    /// biases.
+    pub fn sample_weights(
+        &self,
+        eps_src: &mut impl GaussianSource,
+    ) -> Vec<(Vec<i32>, Vec<i32>)> {
+        let spec = &self.spec;
+        let prod_frac = spec.sigma_fmt.frac_bits() + spec.eps_fmt.frac_bits();
+        self.layers
+            .iter()
+            .map(|layer| {
+                let mut w = Vec::with_capacity(layer.mu.len());
+                for (&mu, &sg) in layer.mu.iter().zip(&layer.sigma) {
+                    let e = spec.eps_fmt.quantize(eps_src.next_gaussian());
+                    let noise = spec
+                        .weight_fmt
+                        .requantize(i64::from(sg) * i64::from(e), prod_frac);
+                    w.push(spec.weight_fmt.saturate(i64::from(mu) + i64::from(noise)));
+                }
+                let mut b = Vec::with_capacity(layer.bias_mu.len());
+                for (&mu, &sg) in layer.bias_mu.iter().zip(&layer.bias_sigma) {
+                    let e = spec.eps_fmt.quantize(eps_src.next_gaussian());
+                    let noise = spec
+                        .weight_fmt
+                        .requantize(i64::from(sg) * i64::from(e), prod_frac);
+                    b.push(spec.weight_fmt.saturate(i64::from(mu) + i64::from(noise)));
+                }
+                (w, b)
+            })
+            .collect()
+    }
+
+    /// Forward pass of one batch through one sampled weight set; returns
+    /// dequantized logits. This is the reference semantics the cycle
+    /// simulator must match bit-for-bit.
+    pub fn forward_with_weights(
+        &self,
+        x: &Matrix,
+        weights: &[(Vec<i32>, Vec<i32>)],
+    ) -> Matrix {
+        assert_eq!(weights.len(), self.layers.len(), "weight set mismatch");
+        let spec = &self.spec;
+        let act_f = spec.act_fmt.frac_bits();
+        let w_f = spec.weight_fmt.frac_bits();
+        // Quantize inputs.
+        let mut act: Vec<Vec<i32>> = (0..x.rows())
+            .map(|r| {
+                x.row(r)
+                    .iter()
+                    .map(|&v| spec.act_fmt.quantize_f32(v))
+                    .collect()
+            })
+            .collect();
+        let last = self.layers.len() - 1;
+        for (l, (layer, (w, b))) in self.layers.iter().zip(weights).enumerate() {
+            let mut next: Vec<Vec<i32>> = Vec::with_capacity(act.len());
+            for row in &act {
+                assert_eq!(row.len(), layer.in_dim, "activation width mismatch");
+                let mut out_row = Vec::with_capacity(layer.out_dim);
+                for j in 0..layer.out_dim {
+                    let mut acc = MacAccumulator::new();
+                    for (i, &xi) in row.iter().enumerate() {
+                        acc.mac(xi, w[i * layer.out_dim + j]);
+                    }
+                    // Bias enters at the accumulator scale (act_f + w_f):
+                    // shift the weight-format bias by act_f.
+                    acc.add_raw(i64::from(b[j]) << act_f);
+                    let mut v = spec.act_fmt.requantize(acc.raw(), act_f + w_f);
+                    if l < last {
+                        v = vibnn_fixed::relu_raw(v);
+                    }
+                    out_row.push(v);
+                }
+                next.push(out_row);
+            }
+            act = next;
+        }
+        // Dequantize logits.
+        let out_dim = self.layers[last].out_dim;
+        let mut logits = Matrix::zeros(act.len(), out_dim);
+        for (r, row) in act.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                logits[(r, c)] = spec.act_fmt.dequantize(v) as f32;
+            }
+        }
+        logits
+    }
+
+    /// Monte Carlo predictive probabilities on the fixed-point datapath
+    /// (equation 6 with hardware weight sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn predict_proba_mc(
+        &self,
+        x: &Matrix,
+        samples: usize,
+        eps_src: &mut impl GaussianSource,
+    ) -> Matrix {
+        assert!(samples > 0, "need at least one Monte Carlo sample");
+        let out_dim = self.layers.last().expect("layers").out_dim;
+        let mut acc = Matrix::zeros(x.rows(), out_dim);
+        for _ in 0..samples {
+            let weights = self.sample_weights(eps_src);
+            let mut probs = self.forward_with_weights(x, &weights);
+            softmax_rows(&mut probs);
+            acc.axpy(1.0, &probs);
+        }
+        acc.scale(1.0 / samples as f32);
+        acc
+    }
+
+    /// Accuracy under hardware MC inference.
+    pub fn evaluate_mc(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        samples: usize,
+        eps_src: &mut impl GaussianSource,
+    ) -> f64 {
+        vibnn_nn::accuracy(&self.predict_proba_mc(x, samples, eps_src), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_bnn::{Bnn, BnnConfig};
+    use vibnn_grng::BoxMullerGrng;
+    use vibnn_nn::GaussianInit;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = GaussianInit::new(seed);
+        let mut x = Matrix::zeros(n, 4);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut s = 0.0;
+            for c in 0..4 {
+                let v = rng.next_gaussian() as f32;
+                x[(r, c)] = v;
+                s += v;
+            }
+            y.push(usize::from(s > 0.0));
+        }
+        (x, y)
+    }
+
+    fn trained_bnn(seed: u64) -> (Bnn, Matrix, Vec<usize>) {
+        let (x, y) = toy_data(512, seed);
+        let mut bnn = Bnn::new(BnnConfig::new(&[4, 16, 2]).with_lr(0.02), seed ^ 1);
+        for _ in 0..40 {
+            bnn.train_epoch(&x, &y, 64);
+        }
+        (bnn, x, y)
+    }
+
+    #[test]
+    fn eight_bit_accuracy_close_to_float() {
+        // The Table 6 claim: 8-bit hardware degrades accuracy only
+        // slightly vs the float software BNN.
+        let (bnn, x, y) = trained_bnn(3);
+        let float_acc = bnn.evaluate_mean(&x, &y);
+        let q = QuantizedBnn::from_params(&bnn.params(), 8, &x.rows_slice(0, 64));
+        let mut eps = BoxMullerGrng::new(5);
+        let q_acc = q.evaluate_mc(&x, &y, 8, &mut eps);
+        assert!(
+            q_acc > float_acc - 0.05,
+            "8-bit acc {q_acc} vs float {float_acc}"
+        );
+    }
+
+    #[test]
+    fn accuracy_degrades_at_very_low_bit_lengths() {
+        // The Figure 18 mechanism: too few bits destroy accuracy.
+        let (bnn, x, y) = trained_bnn(7);
+        let calib = x.rows_slice(0, 64);
+        let mut eps_hi = BoxMullerGrng::new(9);
+        let mut eps_lo = BoxMullerGrng::new(9);
+        let hi = QuantizedBnn::from_params(&bnn.params(), 8, &calib)
+            .evaluate_mc(&x, &y, 8, &mut eps_hi);
+        let lo = QuantizedBnn::from_params(&bnn.params(), 3, &calib)
+            .evaluate_mc(&x, &y, 8, &mut eps_lo);
+        assert!(hi > lo, "8-bit {hi} should beat 3-bit {lo}");
+    }
+
+    #[test]
+    fn sample_weights_are_within_format_range() {
+        let (bnn, x, _) = trained_bnn(11);
+        let q = QuantizedBnn::from_params(&bnn.params(), 8, &x.rows_slice(0, 16));
+        let mut eps = BoxMullerGrng::new(13);
+        for (w, b) in q.sample_weights(&mut eps) {
+            let (lo, hi) = (q.spec().weight_fmt.min_raw(), q.spec().weight_fmt.max_raw());
+            assert!(w.iter().all(|&v| v >= lo && v <= hi));
+            assert!(b.iter().all(|&v| v >= lo && v <= hi));
+        }
+    }
+
+    #[test]
+    fn sampled_weights_scatter_around_mu() {
+        let (bnn, x, _) = trained_bnn(17);
+        let q = QuantizedBnn::from_params(&bnn.params(), 8, &x.rows_slice(0, 16));
+        let mut eps = BoxMullerGrng::new(19);
+        let a = q.sample_weights(&mut eps);
+        let b = q.sample_weights(&mut eps);
+        // Two samples should differ somewhere (σ > 0).
+        assert_ne!(a[0].0, b[0].0, "weight samples identical");
+    }
+
+    #[test]
+    fn zero_sigma_makes_weights_deterministic() {
+        let (bnn, x, _) = trained_bnn(23);
+        let mut params = bnn.params();
+        for s in &mut params.weight_sigma {
+            s.scale(0.0);
+        }
+        for b in &mut params.bias_sigma {
+            for v in b.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        let q = QuantizedBnn::from_params(&params, 8, &x.rows_slice(0, 16));
+        let mut e1 = BoxMullerGrng::new(29);
+        let mut e2 = BoxMullerGrng::new(31);
+        assert_eq!(q.sample_weights(&mut e1), q.sample_weights(&mut e2));
+    }
+
+    #[test]
+    fn layer_sizes_and_weight_count() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 16, 2]), 1);
+        let q = QuantizedBnn::from_params(&bnn.params(), 8, &Matrix::zeros(2, 4));
+        assert_eq!(q.layer_sizes(), vec![4, 16, 2]);
+        assert_eq!(q.total_weights(), 4 * 16 + 16 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need calibration inputs")]
+    fn empty_calibration_panics() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 4, 2]), 1);
+        let _ = QuantizedBnn::from_params(&bnn.params(), 8, &Matrix::zeros(0, 4));
+    }
+}

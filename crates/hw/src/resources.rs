@@ -1,0 +1,270 @@
+//! FPGA resource model (ALMs, registers, block memory, DSPs), calibrated
+//! against the paper's Cyclone V synthesis results.
+//!
+//! The target device (5CGTFD9E5F35C7) provides 113,560 ALMs, 12,492,800
+//! block-memory bits, 1,220 M10K RAM blocks, and 342 DSP blocks. The model
+//! is linear in the architecture parameters with constants fitted so the
+//! paper's two published design points (Table 2's 64-lane GRNGs and
+//! Table 4's full networks) are reproduced within tolerance; tests at the
+//! bottom assert this.
+
+use vibnn_grng::GrngKind;
+
+use crate::AcceleratorConfig;
+
+/// Device capacity: ALMs.
+pub const DEVICE_ALMS: u64 = 113_560;
+/// Device capacity: block memory bits.
+pub const DEVICE_BLOCK_BITS: u64 = 12_492_800;
+/// Device capacity: M10K RAM blocks.
+pub const DEVICE_RAM_BLOCKS: u64 = 1_220;
+/// Device capacity: DSP blocks.
+pub const DEVICE_DSPS: u64 = 342;
+
+/// Paper Table 2: RLF-GRNG, 64 lanes.
+pub const PAPER_RLF_GRNG_64: GrngResources = GrngResources {
+    alms: 831,
+    registers: 1780,
+    block_bits: 16_384,
+    ram_blocks: 3,
+};
+
+/// Paper Table 2: BNNWallace-GRNG, 64 lanes.
+pub const PAPER_WALLACE_GRNG_64: GrngResources = GrngResources {
+    alms: 401,
+    registers: 1166,
+    block_bits: 1_048_576,
+    ram_blocks: 103,
+};
+
+/// Paper Table 4: full RLF-based network (ALMs, registers, block bits).
+pub const PAPER_RLF_SYSTEM: (u64, u64, u64) = (98_006, 88_720, 4_572_928);
+/// Paper Table 4: full BNNWallace-based network.
+pub const PAPER_WALLACE_SYSTEM: (u64, u64, u64) = (91_126, 78_800, 4_880_128);
+
+/// Resource usage of a GRNG instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrngResources {
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// Dedicated registers.
+    pub registers: u64,
+    /// Block memory bits.
+    pub block_bits: u64,
+    /// M10K RAM blocks.
+    pub ram_blocks: u64,
+}
+
+/// Resource usage of a full accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemResources {
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// Dedicated registers.
+    pub registers: u64,
+    /// Block memory bits.
+    pub block_bits: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+}
+
+impl SystemResources {
+    /// ALM utilization fraction of the paper's device.
+    pub fn alm_utilization(&self) -> f64 {
+        self.alms as f64 / DEVICE_ALMS as f64
+    }
+
+    /// Block-memory utilization fraction.
+    pub fn block_bit_utilization(&self) -> f64 {
+        self.block_bits as f64 / DEVICE_BLOCK_BITS as f64
+    }
+
+    /// DSP utilization fraction.
+    pub fn dsp_utilization(&self) -> f64 {
+        self.dsps as f64 / DEVICE_DSPS as f64
+    }
+
+    /// Whether the design fits the paper's device.
+    pub fn fits_device(&self) -> bool {
+        self.alms <= DEVICE_ALMS
+            && self.block_bits <= DEVICE_BLOCK_BITS
+            && self.dsps <= DEVICE_DSPS
+    }
+}
+
+/// The analytic resource model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceModel;
+
+// Calibration constants (fitted to Tables 2 and 4; see module docs).
+const RLF_GRNG_BASE_ALMS: f64 = 120.0;
+const RLF_GRNG_ALMS_PER_LANE: f64 = 11.1;
+const RLF_GRNG_BASE_REGS: f64 = 100.0;
+const RLF_GRNG_REGS_PER_LANE: f64 = 26.25;
+const WAL_GRNG_BASE_ALMS: f64 = 50.0;
+const WAL_GRNG_ALMS_PER_UNIT: f64 = 22.0;
+const WAL_GRNG_BASE_REGS: f64 = 80.0;
+const WAL_GRNG_REGS_PER_UNIT: f64 = 68.0;
+/// BNNWallace per-unit block allocation observed in Table 2
+/// (1,048,576 bits / 16 units).
+const WAL_GRNG_BITS_PER_UNIT: u64 = 65_536;
+const PE_ALMS: f64 = 715.0;
+const PE_REGS: f64 = 630.0;
+/// Controller, memory distributor, and interconnect fabric.
+const CONTROL_ALMS: f64 = 2_500.0;
+const CONTROL_REGS: f64 = 2_000.0;
+/// Batch/stream buffers and controller tables.
+const CONTROL_BUFFER_BITS: u64 = 1_000_000;
+/// Multipliers packed per DSP block for 8-bit operands.
+const MULTS_PER_DSP: u64 = 3;
+
+impl ResourceModel {
+    /// Resources of a standalone GRNG with `lanes` parallel outputs
+    /// (Table 2's benchmark configuration is 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn grng(&self, kind: GrngKind, lanes: usize) -> GrngResources {
+        assert!(lanes > 0, "need at least one lane");
+        let lanes_f = lanes as f64;
+        match kind {
+            GrngKind::Rlf => {
+                // SeMem: 255 seed cells per lane, logically allocated as
+                // 256-deep words of `lanes` bits, banked 3 ways.
+                let block_bits = 256 * lanes as u64;
+                let bank_bits = (85 * lanes as u64).div_ceil(1);
+                let ram_blocks = 3 * bank_bits.div_ceil(10_240).max(1);
+                GrngResources {
+                    alms: (RLF_GRNG_BASE_ALMS + RLF_GRNG_ALMS_PER_LANE * lanes_f) as u64,
+                    registers: (RLF_GRNG_BASE_REGS + RLF_GRNG_REGS_PER_LANE * lanes_f) as u64,
+                    block_bits,
+                    ram_blocks,
+                }
+            }
+            GrngKind::BnnWallace => {
+                // Four outputs per Wallace unit.
+                let units = lanes.div_ceil(4) as u64;
+                let units_f = units as f64;
+                GrngResources {
+                    alms: (WAL_GRNG_BASE_ALMS + WAL_GRNG_ALMS_PER_UNIT * units_f) as u64,
+                    registers: (WAL_GRNG_BASE_REGS + WAL_GRNG_REGS_PER_UNIT * units_f) as u64,
+                    block_bits: WAL_GRNG_BITS_PER_UNIT * units,
+                    ram_blocks: (103 * units).div_ceil(16),
+                }
+            }
+        }
+    }
+
+    /// Resources of a full accelerator running a network with
+    /// `total_weights` weights and `max_layer_width` activations.
+    pub fn system(
+        &self,
+        cfg: &AcceleratorConfig,
+        total_weights: usize,
+        max_layer_width: usize,
+    ) -> SystemResources {
+        let m = cfg.total_pes() as f64;
+        let grng = self.grng(cfg.grng, cfg.grng_lanes);
+        let alms = (PE_ALMS * m + CONTROL_ALMS) as u64 + grng.alms;
+        let registers = (PE_REGS * m + CONTROL_REGS) as u64 + grng.registers;
+        // Weight parameter memory: µ and σ for every weight, B bits each.
+        let wp_bits = 2 * total_weights as u64 * u64::from(cfg.bit_len);
+        // Two IFMems sized for the widest activation vector.
+        let if_bits = 2 * max_layer_width as u64 * u64::from(cfg.bit_len);
+        let block_bits = wp_bits + if_bits + grng.block_bits + CONTROL_BUFFER_BITS;
+        let dsps = (cfg.macs_per_cycle() as u64)
+            .div_ceil(MULTS_PER_DSP)
+            .min(DEVICE_DSPS);
+        SystemResources {
+            alms,
+            registers,
+            block_bits,
+            dsps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(model: u64, paper: u64, tol: f64) -> bool {
+        (model as f64 - paper as f64).abs() / paper as f64 <= tol
+    }
+
+    #[test]
+    fn rlf_grng_64_matches_table2() {
+        let r = ResourceModel.grng(GrngKind::Rlf, 64);
+        assert!(within(r.alms, PAPER_RLF_GRNG_64.alms, 0.05), "{r:?}");
+        assert!(within(r.registers, PAPER_RLF_GRNG_64.registers, 0.05));
+        assert_eq!(r.block_bits, PAPER_RLF_GRNG_64.block_bits);
+        assert_eq!(r.ram_blocks, PAPER_RLF_GRNG_64.ram_blocks);
+    }
+
+    #[test]
+    fn wallace_grng_64_matches_table2() {
+        let r = ResourceModel.grng(GrngKind::BnnWallace, 64);
+        assert!(within(r.alms, PAPER_WALLACE_GRNG_64.alms, 0.05), "{r:?}");
+        assert!(within(r.registers, PAPER_WALLACE_GRNG_64.registers, 0.05));
+        assert_eq!(r.block_bits, PAPER_WALLACE_GRNG_64.block_bits);
+        assert_eq!(r.ram_blocks, PAPER_WALLACE_GRNG_64.ram_blocks);
+    }
+
+    #[test]
+    fn rlf_uses_less_memory_wallace_fewer_alms() {
+        // The Table 3 qualitative comparison.
+        let rlf = ResourceModel.grng(GrngKind::Rlf, 64);
+        let wal = ResourceModel.grng(GrngKind::BnnWallace, 64);
+        assert!(rlf.block_bits < wal.block_bits / 10);
+        assert!(wal.alms < rlf.alms);
+    }
+
+    #[test]
+    fn full_systems_match_table4() {
+        let weights = 784 * 200 + 200 * 200 + 200 * 10;
+        let rlf = ResourceModel.system(&AcceleratorConfig::paper(), weights, 784);
+        let wal = ResourceModel.system(&AcceleratorConfig::paper_wallace(), weights, 784);
+        assert!(
+            within(rlf.alms, PAPER_RLF_SYSTEM.0, 0.15),
+            "rlf alms {} vs {}",
+            rlf.alms,
+            PAPER_RLF_SYSTEM.0
+        );
+        assert!(within(rlf.registers, PAPER_RLF_SYSTEM.1, 0.15));
+        assert!(within(rlf.block_bits, PAPER_RLF_SYSTEM.2, 0.15));
+        assert!(within(wal.alms, PAPER_WALLACE_SYSTEM.0, 0.15));
+        assert!(within(wal.registers, PAPER_WALLACE_SYSTEM.1, 0.15));
+        assert!(within(wal.block_bits, PAPER_WALLACE_SYSTEM.2, 0.15));
+        assert_eq!(rlf.dsps, DEVICE_DSPS); // Table 4: 100% DSP usage.
+        assert!(rlf.fits_device());
+        assert!(wal.fits_device());
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let weights = 784 * 200 + 200 * 200 + 200 * 10;
+        let r = ResourceModel.system(&AcceleratorConfig::paper(), weights, 784);
+        // Table 4 reports 86.3% ALM and 36.6% block-bit utilization.
+        assert!((r.alm_utilization() - 0.863).abs() < 0.1);
+        assert!((r.block_bit_utilization() - 0.366).abs() < 0.1);
+        assert!((r.dsp_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resources_scale_with_lanes() {
+        let small = ResourceModel.grng(GrngKind::Rlf, 16);
+        let big = ResourceModel.grng(GrngKind::Rlf, 256);
+        assert!(big.alms > small.alms * 8);
+        assert!(big.block_bits == 16 * small.block_bits);
+    }
+
+    #[test]
+    fn oversized_design_does_not_fit() {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.pe_sets = 64;
+        cfg.max_word_size = 4096;
+        let r = ResourceModel.system(&cfg, 200_000, 784);
+        assert!(!r.fits_device(), "{r:?}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Clock-frequency model, calibrated to the paper's synthesis results.
+
+use vibnn_grng::GrngKind;
+
+/// RLF-GRNG Fmax from Table 2 (MHz).
+pub const PAPER_RLF_FMAX_MHZ: f64 = 212.95;
+
+/// BNNWallace-GRNG Fmax from Table 2 (MHz).
+pub const PAPER_WALLACE_FMAX_MHZ: f64 = 117.63;
+
+/// Estimated Fmax of the PE datapath on the Cyclone V fabric (MHz). The
+/// three-stage PE pipeline of Figure 14 comfortably exceeds the Wallace
+/// GRNG's critical path.
+pub const PE_FMAX_MHZ: f64 = 150.0;
+
+/// Fmax of a GRNG design (MHz).
+///
+/// The RLF design's shallow tap parallel counter lets it clock much higher
+/// than the Wallace unit's 4-input adder + subtractor chain (paper
+/// Section 6.1).
+pub fn grng_fmax_mhz(kind: GrngKind) -> f64 {
+    match kind {
+        GrngKind::Rlf => PAPER_RLF_FMAX_MHZ,
+        GrngKind::BnnWallace => PAPER_WALLACE_FMAX_MHZ,
+    }
+}
+
+/// Achievable system clock for an accelerator using `kind`: limited by the
+/// slowest of the GRNG and the PE datapath.
+pub fn system_fmax_mhz(kind: GrngKind) -> f64 {
+    grng_fmax_mhz(kind).min(PE_FMAX_MHZ)
+}
+
+/// The common clock both paper variants are benchmarked at (Table 5 lists
+/// identical throughput for both, implying a shared clock bounded by the
+/// Wallace GRNG).
+pub fn common_clock_mhz() -> f64 {
+    PAPER_WALLACE_FMAX_MHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rlf_clocks_higher_than_wallace() {
+        assert!(grng_fmax_mhz(GrngKind::Rlf) > grng_fmax_mhz(GrngKind::BnnWallace));
+    }
+
+    #[test]
+    fn system_clock_is_bounded_by_components() {
+        assert_eq!(system_fmax_mhz(GrngKind::BnnWallace), PAPER_WALLACE_FMAX_MHZ);
+        assert_eq!(system_fmax_mhz(GrngKind::Rlf), PE_FMAX_MHZ);
+    }
+
+    #[test]
+    fn common_clock_is_the_slower_grng() {
+        assert_eq!(common_clock_mhz(), 117.63);
+    }
+}

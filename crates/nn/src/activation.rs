@@ -1,0 +1,89 @@
+//! Activations: ReLU (the PE's final pipeline stage) and softmax.
+
+use crate::Matrix;
+
+/// In-place ReLU.
+pub fn relu(m: &mut Matrix) {
+    m.map_inplace(|v| v.max(0.0));
+}
+
+/// ReLU backward: zeroes gradient entries where the forward *output* was
+/// zero. `grad` is modified in place.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn relu_backward(grad: &mut Matrix, forward_output: &Matrix) {
+    assert_eq!(
+        (grad.rows(), grad.cols()),
+        (forward_output.rows(), forward_output.cols()),
+        "relu_backward shape mismatch"
+    );
+    for (g, &y) in grad.data_mut().iter_mut().zip(forward_output.data()) {
+        if y <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Row-wise numerically-stable softmax, in place.
+pub fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+        debug_assert_eq!(row.len(), cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        relu(&mut m);
+        assert_eq!(m.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let y = Matrix::from_rows(&[&[0.0, 1.0, 3.0]]);
+        let mut g = Matrix::from_rows(&[&[5.0, 5.0, 5.0]]);
+        relu_backward(&mut g, &y);
+        assert_eq!(g.data(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        softmax_rows(&mut m);
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(m[(0, 2)] > m[(0, 1)] && m[(0, 1)] > m[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        softmax_rows(&mut a);
+        assert!(a.data().iter().all(|v| v.is_finite()));
+        let mut b = Matrix::from_rows(&[&[0.0, 1.0]]);
+        softmax_rows(&mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Fully-connected layer with cached activations for backprop.
+
+use crate::{GaussianInit, Matrix};
+
+/// A dense (fully-connected) layer `y = x·W + b`.
+///
+/// Holds the parameters, their gradients, and the cached forward input so
+/// `backward` can compute `dW = xᵀ·dy`.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_nn::{Dense, Matrix};
+/// let mut layer = Dense::new(3, 2, 1);
+/// let x = Matrix::zeros(4, 3);
+/// let y = layer.forward(&x);
+/// assert_eq!((y.rows(), y.cols()), (4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Vec<f32>,
+    grad_weight: Matrix,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates the layer with He-normal weights and zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut init = GaussianInit::new(seed);
+        Self {
+            weight: init.he_matrix(in_dim, out_dim),
+            bias: vec![0.0; out_dim],
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Borrow the weights.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Borrow the biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable parameter access for optimizers: `(weight, grad_weight,
+    /// bias, grad_bias)`.
+    pub fn params_mut(&mut self) -> (&mut Matrix, &Matrix, &mut Vec<f32>, &Vec<f32>) {
+        (
+            &mut self.weight,
+            &self.grad_weight,
+            &mut self.bias,
+            &self.grad_bias,
+        )
+    }
+
+    /// Forward pass, caching the input for the subsequent backward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight);
+        y.add_row_broadcast(&self.bias);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward pass (no caching).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight);
+        y.add_row_broadcast(&self.bias);
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        self.grad_weight = x.t_matmul(grad_out);
+        self.grad_bias = grad_out.col_sums();
+        grad_out.matmul_t(&self.weight)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.scale(0.0);
+        for g in &mut self.grad_bias {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of dW, db, dx.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Dense::new(3, 2, 7);
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.8], &[-1.0, 0.3, 0.1]]);
+        // Scalar loss = sum of squares of outputs / 2.
+        let loss = |l: &Dense, x: &Matrix| -> f32 {
+            let y = l.forward_inference(x);
+            y.data().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        let y = layer.forward(&x);
+        let grad_out = y.clone(); // dL/dy = y for this loss
+        let grad_in = layer.backward(&grad_out);
+
+        let eps = 1e-3;
+        // Check dW numerically.
+        for (r, c) in [(0, 0), (1, 1), (2, 0)] {
+            let mut plus = layer.clone();
+            plus.weight[(r, c)] += eps;
+            let mut minus = layer.clone();
+            minus.weight[(r, c)] -= eps;
+            let num = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps);
+            let ana = layer.grad_weight[(r, c)];
+            assert!(
+                (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                "dW[{r},{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check db numerically.
+        for c in 0..2 {
+            let mut plus = layer.clone();
+            plus.bias[c] += eps;
+            let mut minus = layer.clone();
+            minus.bias[c] -= eps;
+            let num = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps);
+            let ana = layer.grad_bias[c];
+            assert!(
+                (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                "db[{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check dx numerically.
+        let mut x2 = x.clone();
+        for (r, c) in [(0, 0), (1, 2)] {
+            let orig = x2[(r, c)];
+            x2[(r, c)] = orig + eps;
+            let lp = loss(&layer, &x2);
+            x2[(r, c)] = orig - eps;
+            let lm = loss(&layer, &x2);
+            x2[(r, c)] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad_in[(r, c)];
+            assert!(
+                (num - ana).abs() < 2e-2 * ana.abs().max(1.0),
+                "dx[{r},{c}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut l = Dense::new(5, 3, 1);
+        let y = l.forward(&Matrix::zeros(7, 5));
+        assert_eq!((y.rows(), y.cols()), (7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = Dense::new(2, 2, 1);
+        let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut l = Dense::new(2, 2, 1);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let y = l.forward(&x);
+        let _ = l.backward(&y);
+        assert!(l.grad_weight.frobenius_norm() > 0.0);
+        l.zero_grad();
+        assert_eq!(l.grad_weight.frobenius_norm(), 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Weight initialization: a small Gaussian sampler over SplitMix64.
+
+use vibnn_rng::{BitSource, SplitMix64};
+
+use crate::Matrix;
+
+/// Deterministic Gaussian initializer (Box–Muller over SplitMix64).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_nn::GaussianInit;
+/// let mut init = GaussianInit::new(7);
+/// let w = init.he_matrix(64, 32);
+/// assert_eq!((w.rows(), w.cols()), (64, 32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianInit {
+    rng: SplitMix64,
+    cached: Option<f64>,
+}
+
+impl GaussianInit {
+    /// Creates the initializer from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+            cached: None,
+        }
+    }
+
+    /// Next standard normal sample.
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        let u1 = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let th = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * th.sin());
+        r * th.cos()
+    }
+
+    /// Next uniform in `[0, 1)`.
+    pub fn next_uniform(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    /// He-normal matrix: N(0, 2/fan_in).
+    pub fn he_matrix(&mut self, fan_in: usize, fan_out: usize) -> Matrix {
+        let std = (2.0 / fan_in as f64).sqrt();
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        for v in m.data_mut() {
+            *v = (self.next_gaussian() * std) as f32;
+        }
+        m
+    }
+
+    /// Constant-filled matrix.
+    pub fn constant_matrix(rows: usize, cols: usize, value: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data_mut() {
+            *v = value;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_matrix_std_is_right() {
+        let mut init = GaussianInit::new(1);
+        let w = init.he_matrix(200, 100);
+        let n = (200 * 100) as f64;
+        let mean: f64 = w.data().iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let var: f64 = w
+            .data()
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let want = 2.0 / 200.0;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var - want).abs() < want * 0.1, "var {var} want {want}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = GaussianInit::new(9);
+        let mut b = GaussianInit::new(9);
+        assert_eq!(a.he_matrix(4, 4).data(), b.he_matrix(4, 4).data());
+    }
+
+    #[test]
+    fn constant_matrix_fills() {
+        let m = GaussianInit::constant_matrix(2, 3, 0.5);
+        assert!(m.data().iter().all(|&v| v == 0.5));
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense neural-network substrate: matrices, layers, losses, optimizers,
+//! and a plain feed-forward MLP with dropout.
+//!
+//! The paper's networks are fully-connected FNNs (e.g. 784-200-200-10 for
+//! MNIST); this crate provides the conventional-NN side of every
+//! experiment — the FNN baselines of Figures 16/17 and Tables 6/7 — and the
+//! building blocks (`Matrix`, activations, optimizers) that `vibnn-bnn`
+//! reuses for Bayes-by-Backprop.
+//!
+//! # Example
+//!
+//! ```
+//! use vibnn_nn::{Matrix, Mlp, MlpConfig};
+//! let cfg = MlpConfig::new(&[4, 8, 3]);
+//! let mut mlp = Mlp::new(cfg, 42);
+//! let x = Matrix::zeros(1, 4);
+//! let probs = mlp.predict_proba(&x);
+//! assert_eq!(probs.cols(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod dense;
+mod init;
+mod matrix;
+mod metrics;
+mod mlp;
+mod optimizer;
+
+pub use activation::{relu, relu_backward, softmax_rows};
+pub use dense::Dense;
+pub use init::GaussianInit;
+pub use matrix::Matrix;
+pub use metrics::{accuracy, confusion_matrix, cross_entropy_loss};
+pub use mlp::{Mlp, MlpConfig, TrainReport};
+pub use optimizer::{update_matrix, Adam, Optimizer, Sgd};

@@ -1,0 +1,392 @@
+//! A minimal row-major `f32` matrix with the operations backprop needs.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix of `f32`.
+///
+/// Deliberately small: exactly the operations a fully-connected network
+/// needs (matmul with optional transposes, broadcast row add, column sums,
+/// elementwise maps), implemented with cache-friendly loops.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_nn::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(0, 0)], 19.0);
+/// assert_eq!(c[(1, 1)], 50.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Standard matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j ordering: streams through `other` rows, cache friendly.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let dot: f32 = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+                out.data[i * other.rows + j] = dot;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Adds `row` to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(row) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise product (Hadamard), in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Extracts the sub-matrix consisting of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn rows_slice(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "invalid row range");
+        Matrix::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
+    /// Builds a matrix by selecting the given rows.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let eye = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0]]);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[10.0, 11.0, 12.0]]);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_col_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0]]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 3.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_picks() {
+        let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_slice_range() {
+        let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let s = a.rows_slice(1, 3);
+        assert_eq!(s.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_bad_shapes_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn hadamard() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        a.hadamard_assign(&b);
+        assert_eq!(a.data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Classification metrics and the cross-entropy loss.
+
+use crate::Matrix;
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `probs.rows() != labels.len()` or `probs` is empty.
+pub fn accuracy(probs: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(probs.rows(), labels.len(), "row/label count mismatch");
+    assert!(probs.rows() > 0, "empty prediction matrix");
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = probs.row(r);
+        let (argmax, _) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN probs"))
+            .expect("non-empty row");
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+/// `classes × classes` confusion matrix; entry `(i, j)` counts samples of
+/// true class `i` predicted as class `j`.
+///
+/// # Panics
+///
+/// Panics if a label is out of range.
+pub fn confusion_matrix(probs: &Matrix, labels: &[usize], classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(probs.rows(), labels.len(), "row/label count mismatch");
+    let mut cm = vec![vec![0u64; classes]; classes];
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        let row = probs.row(r);
+        let (pred, _) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN probs"))
+            .expect("non-empty row");
+        cm[label][pred] += 1;
+    }
+    cm
+}
+
+/// Mean cross-entropy of predicted probabilities against integer labels.
+///
+/// # Panics
+///
+/// Panics on row/label count mismatch or out-of-range labels.
+pub fn cross_entropy_loss(probs: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(probs.rows(), labels.len(), "row/label count mismatch");
+    let mut total = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < probs.cols(), "label {label} out of range");
+        let p = f64::from(probs[(r, label)]).max(1e-12);
+        total -= p.ln();
+    }
+    total / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let probs = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        assert!((accuracy(&probs, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_tallies() {
+        let probs = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.7, 0.3]]);
+        let cm = confusion_matrix(&probs, &[0, 0, 1], 2);
+        assert_eq!(cm[0][0], 1);
+        assert_eq!(cm[0][1], 1);
+        assert_eq!(cm[1][0], 1);
+        assert_eq!(cm[1][1], 0);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let probs = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert!(cross_entropy_loss(&probs, &[0]) < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_k() {
+        let probs = Matrix::from_rows(&[&[0.25, 0.25, 0.25, 0.25]]);
+        assert!((cross_entropy_loss(&probs, &[2]) - 4.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/label count mismatch")]
+    fn mismatched_lengths_panic() {
+        let probs = Matrix::zeros(2, 2);
+        let _ = accuracy(&probs, &[0]);
+    }
+}

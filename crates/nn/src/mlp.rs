@@ -1,0 +1,353 @@
+//! A plain feed-forward MLP with ReLU hidden layers, softmax output,
+//! optional dropout, and Adam training — the paper's FNN baseline.
+
+use crate::{
+    accuracy, cross_entropy_loss, relu, relu_backward, softmax_rows, Adam, Dense, GaussianInit,
+    Matrix, Optimizer,
+};
+
+/// Architecture and regularization configuration for [`Mlp`].
+///
+/// # Example
+///
+/// ```
+/// use vibnn_nn::MlpConfig;
+/// let cfg = MlpConfig::new(&[784, 200, 200, 10]).with_dropout(0.5);
+/// assert_eq!(cfg.layer_sizes(), &[784, 200, 200, 10]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    sizes: Vec<usize>,
+    dropout: f32,
+    lr: f32,
+}
+
+impl MlpConfig {
+    /// Creates a configuration from layer sizes (input, hidden…, output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes or any size is zero.
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        Self {
+            sizes: sizes.to_vec(),
+            dropout: 0.0,
+            lr: 1e-3,
+        }
+    }
+
+    /// The paper's MNIST architecture: 784-200-200-10.
+    pub fn paper_mnist() -> Self {
+        Self::new(&[784, 200, 200, 10])
+    }
+
+    /// Enables dropout on hidden activations with keep-probability
+    /// `1 - p` (the Table 6 baseline is "FNN + Dropout").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn with_dropout(mut self, p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0,1)");
+        self.dropout = p;
+        self
+    }
+
+    /// Sets the Adam learning rate (default 1e-3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+        self
+    }
+
+    /// Layer sizes.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Dropout probability.
+    pub fn dropout(&self) -> f32 {
+        self.dropout
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainReport {
+    /// Mean minibatch loss over the epoch.
+    pub loss: f64,
+    /// Training accuracy over the epoch's predictions.
+    pub accuracy: f64,
+}
+
+/// A feed-forward network: `Dense → ReLU (→ dropout) → … → Dense → softmax`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    cfg: MlpConfig,
+    layers: Vec<Dense>,
+    opt: Adam,
+    slots: Vec<(usize, usize)>, // (weight slot, bias slot) per layer
+    rng: GaussianInit,
+}
+
+impl Mlp {
+    /// Builds the network with He-initialized weights.
+    pub fn new(cfg: MlpConfig, seed: u64) -> Self {
+        let mut layers = Vec::new();
+        for (i, w) in cfg.sizes.windows(2).enumerate() {
+            layers.push(Dense::new(w[0], w[1], seed.wrapping_add(i as u64 * 7919)));
+        }
+        let mut opt = Adam::new(cfg.lr);
+        let slots = layers
+            .iter()
+            .map(|l| {
+                (
+                    opt.slot(l.in_dim(), l.out_dim()),
+                    opt.slot(1, l.out_dim()),
+                )
+            })
+            .collect();
+        Self {
+            cfg,
+            layers,
+            opt,
+            slots,
+            rng: GaussianInit::new(seed ^ 0xD00D),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MlpConfig {
+        &self.cfg
+    }
+
+    /// Borrow the layers (e.g. for quantization).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Class probabilities for a batch (inference mode: no dropout).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_inference(&h);
+            if i < last {
+                relu(&mut h);
+            }
+        }
+        softmax_rows(&mut h);
+        h
+    }
+
+    /// Predicted class labels for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let probs = self.predict_proba(x);
+        (0..probs.rows())
+            .map(|r| {
+                probs
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Test accuracy on a labelled set.
+    pub fn evaluate(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        accuracy(&self.predict_proba(x), labels)
+    }
+
+    /// One optimization step on a minibatch; returns the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
+        assert_eq!(x.rows(), labels.len(), "batch size mismatch");
+        let last = self.layers.len() - 1;
+        // Forward with caching; record post-ReLU activations and dropout
+        // masks for the backward pass.
+        let mut h = x.clone();
+        let mut post_relu: Vec<Matrix> = Vec::with_capacity(last);
+        let mut masks: Vec<Option<Matrix>> = Vec::with_capacity(last);
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i < last {
+                relu(&mut h);
+                post_relu.push(h.clone());
+                if self.cfg.dropout > 0.0 {
+                    let keep = 1.0 - self.cfg.dropout;
+                    let mut mask = Matrix::zeros(h.rows(), h.cols());
+                    for v in mask.data_mut() {
+                        *v = if (self.rng.next_uniform() as f32) < keep {
+                            1.0 / keep
+                        } else {
+                            0.0
+                        };
+                    }
+                    h.hadamard_assign(&mask);
+                    masks.push(Some(mask));
+                } else {
+                    masks.push(None);
+                }
+            }
+        }
+        let mut probs = h;
+        softmax_rows(&mut probs);
+        let loss = cross_entropy_loss(&probs, labels);
+
+        // Backward: dL/dlogits = (probs - onehot) / batch.
+        let batch = x.rows() as f32;
+        let mut grad = probs;
+        for (r, &label) in labels.iter().enumerate() {
+            grad[(r, label)] -= 1.0;
+        }
+        grad.scale(1.0 / batch);
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                if let Some(mask) = &masks[i] {
+                    grad.hadamard_assign(mask);
+                }
+                relu_backward(&mut grad, &post_relu[i]);
+            }
+            grad = self.layers[i].backward(&grad);
+        }
+        // Apply updates.
+        self.opt.tick();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (wslot, bslot) = self.slots[i];
+            let (w, gw, b, gb) = layer.params_mut();
+            let mut wbuf = w.data().to_vec();
+            self.opt.update(wslot, &mut wbuf, gw.data());
+            w.data_mut().copy_from_slice(&wbuf);
+            self.opt.update(bslot, b, gb);
+        }
+        loss
+    }
+
+    /// One full epoch over `(x, labels)` with the given batch size and a
+    /// deterministic shuffle; returns loss/accuracy statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or shapes are inconsistent.
+    pub fn train_epoch(&mut self, x: &Matrix, labels: &[usize], batch: usize) -> TrainReport {
+        assert!(batch > 0, "batch size must be positive");
+        assert_eq!(x.rows(), labels.len(), "dataset size mismatch");
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher-Yates with the internal deterministic RNG.
+        for i in (1..n).rev() {
+            let j = (self.rng.next_uniform() * (i + 1) as f64) as usize;
+            order.swap(i, j.min(i));
+        }
+        let mut total_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch) {
+            let bx = x.select_rows(chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            total_loss += self.train_batch(&bx, &by);
+            batches += 1;
+        }
+        TrainReport {
+            loss: total_loss / batches.max(1) as f64,
+            accuracy: self.evaluate(x, labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linearly separable toy problem: class = argmax of two features.
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = GaussianInit::new(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let a = rng.next_gaussian() as f32;
+            let b = rng.next_gaussian() as f32;
+            x[(r, 0)] = a;
+            x[(r, 1)] = b;
+            y.push(usize::from(b > a));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (x, y) = toy_data(512, 3);
+        let mut mlp = Mlp::new(MlpConfig::new(&[2, 16, 2]).with_lr(0.01), 7);
+        let before = mlp.evaluate(&x, &y);
+        for _ in 0..30 {
+            mlp.train_epoch(&x, &y, 64);
+        }
+        let after = mlp.evaluate(&x, &y);
+        assert!(after > 0.95, "accuracy {after} (was {before})");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = toy_data(256, 5);
+        let mut mlp = Mlp::new(MlpConfig::new(&[2, 8, 2]).with_lr(0.01), 9);
+        let first = mlp.train_epoch(&x, &y, 32).loss;
+        for _ in 0..10 {
+            mlp.train_epoch(&x, &y, 32);
+        }
+        let last = mlp.train_epoch(&x, &y, 32).loss;
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn dropout_training_still_learns() {
+        let (x, y) = toy_data(512, 11);
+        let mut mlp = Mlp::new(
+            MlpConfig::new(&[2, 32, 2]).with_dropout(0.3).with_lr(0.01),
+            13,
+        );
+        for _ in 0..40 {
+            mlp.train_epoch(&x, &y, 64);
+        }
+        assert!(mlp.evaluate(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn predict_matches_proba_argmax() {
+        let (x, y) = toy_data(32, 17);
+        let mlp = Mlp::new(MlpConfig::new(&[2, 4, 2]), 19);
+        let labels = mlp.predict(&x);
+        let probs = mlp.predict_proba(&x);
+        assert_eq!(labels.len(), y.len());
+        for (r, &l) in labels.iter().enumerate() {
+            let row = probs.row(r);
+            assert!(row[l] >= row[1 - l]);
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = toy_data(64, 23);
+        let mut a = Mlp::new(MlpConfig::new(&[2, 4, 2]), 29);
+        let mut b = Mlp::new(MlpConfig::new(&[2, 4, 2]), 29);
+        let ra = a.train_epoch(&x, &y, 16);
+        let rb = b.train_epoch(&x, &y, 16);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_layer_config_panics() {
+        let _ = MlpConfig::new(&[10]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use crate::Matrix;
+
+/// A gradient-descent update rule over (matrix, bias-vector) parameter
+/// pairs. Each [`Dense`](crate::Dense) or variational layer registers one
+/// slot per parameter tensor via `slot()` and applies updates through it.
+pub trait Optimizer {
+    /// Allocates optimizer state for a parameter tensor of the given shape
+    /// and returns its slot id.
+    fn slot(&mut self, rows: usize, cols: usize) -> usize;
+
+    /// Applies one update: `param -= step(grad)` for the slot.
+    fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]);
+
+    /// Advances the global step counter (call once per minibatch).
+    fn tick(&mut self) {}
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_nn::{Optimizer, Sgd};
+/// let mut opt = Sgd::new(0.1, 0.9);
+/// let s = opt.slot(1, 2);
+/// let mut p = [1.0f32, 1.0];
+/// opt.update(s, &mut p, &[1.0, 0.0]);
+/// assert!(p[0] < 1.0 && p[1] == 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or momentum is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn slot(&mut self, rows: usize, cols: usize) -> usize {
+        self.velocity.push(vec![0.0; rows * cols]);
+        self.velocity.len() - 1
+    }
+
+    fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        let v = &mut self.velocity[slot];
+        assert_eq!(v.len(), param.len(), "slot/param size mismatch");
+        assert_eq!(param.len(), grad.len(), "param/grad size mismatch");
+        for ((p, g), vel) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+            *vel = self.momentum * *vel + g;
+            *p -= self.lr * *vel;
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults β₁=0.9, β₂=0.999, ε=1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn slot(&mut self, rows: usize, cols: usize) -> usize {
+        self.m.push(vec![0.0; rows * cols]);
+        self.v.push(vec![0.0; rows * cols]);
+        self.m.len() - 1
+    }
+
+    fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad size mismatch");
+        let t = (self.t.max(1)) as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
+        for i in 0..param.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            param[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn tick(&mut self) {
+        self.t += 1;
+    }
+}
+
+/// Applies an optimizer update to a matrix parameter.
+pub fn update_matrix(opt: &mut dyn Optimizer, slot: usize, param: &mut Matrix, grad: &Matrix) {
+    let mut buf = param.data().to_vec();
+    opt.update(slot, &mut buf, grad.data());
+    param.data_mut().copy_from_slice(&buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x-3)² with each optimizer.
+    fn converges(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let s = opt.slot(1, 1);
+        let mut x = [0.0f32];
+        for _ in 0..iters {
+            opt.tick();
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.update(s, &mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = converges(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = converges(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = converges(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates_progress() {
+        let mut plain = Sgd::new(0.01, 0.0);
+        let mut heavy = Sgd::new(0.01, 0.9);
+        let xp = converges(&mut plain, 50);
+        let xh = converges(&mut heavy, 50);
+        assert!(
+            (xh - 3.0).abs() < (xp - 3.0).abs(),
+            "momentum {xh} vs plain {xp}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! A compact bit vector used to model LFSR and seed-memory state.
+
+use std::fmt;
+
+use crate::BitSource;
+
+/// A fixed-length vector of bits backed by 64-bit words.
+///
+/// Models register files and seed memories (SeMem) in the hardware
+/// structures. Indices are `usize` and zero-based.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_rng::BitVec;
+/// let mut bits = BitVec::zeros(255);
+/// bits.set(10, true);
+/// assert!(bits.get(10));
+/// assert_eq!(bits.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector of `len` bits drawn from `source`.
+    ///
+    /// Guarantees the result is not all-zero (an all-zero LFSR state is a
+    /// fixed point of the feedback function); if the draw happens to be
+    /// all-zero, the first bit is set.
+    pub fn random(len: usize, source: &mut impl BitSource) -> Self {
+        let mut v = Self::zeros(len);
+        for w in &mut v.words {
+            *w = source.next_u64();
+        }
+        v.mask_tail();
+        if v.count_ones() == 0 {
+            v.set(0, true);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `idx` and returns its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn toggle(&mut self, idx: usize) -> bool {
+        let v = !self.get(idx);
+        self.set(idx, v);
+        v
+    }
+
+    /// XORs the bit at `dst` with the bit at `src` (`dst ^= src`), returning
+    /// the new value of `dst`. This is the primitive RLF update operation.
+    #[inline]
+    pub fn xor_assign_bit(&mut self, dst: usize, src: usize) -> bool {
+        let v = self.get(dst) ^ self.get(src);
+        self.set(dst, v);
+        v
+    }
+
+    /// Number of set bits (the parallel-counter output).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Rotates the whole vector left by one position (bit `i` moves to
+    /// `i-1`; bit 0 wraps to the top). Models one shift of the circular
+    /// LFSR of Figure 3(a).
+    pub fn rotate_left_one(&mut self) {
+        if self.len <= 1 {
+            return;
+        }
+        let first = self.get(0);
+        for i in 0..self.len - 1 {
+            let next = self.get(i + 1);
+            self.set(i, next);
+        }
+        self.set(self.len - 1, first);
+    }
+
+    /// Returns the bits as a `Vec<bool>` (for test comparisons).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Returns a copy rotated left by `k` positions.
+    pub fn rotated_left(&self, k: usize) -> Self {
+        let mut out = Self::zeros(self.len);
+        if self.len == 0 {
+            return out;
+        }
+        let k = k % self.len;
+        for i in 0..self.len {
+            out.set(i, self.get((i + k) % self.len));
+        }
+        out
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut v = BitVec::zeros(8);
+        assert!(v.toggle(3));
+        assert!(!v.toggle(3));
+    }
+
+    #[test]
+    fn xor_assign_bit_semantics() {
+        let mut v = BitVec::zeros(8);
+        v.set(0, true);
+        assert!(v.xor_assign_bit(5, 0)); // 0 ^ 1 = 1
+        assert!(!v.xor_assign_bit(5, 0)); // 1 ^ 1 = 0
+    }
+
+    #[test]
+    fn random_never_all_zero() {
+        for seed in 0..50 {
+            let mut src = SplitMix64::new(seed);
+            let v = BitVec::random(255, &mut src);
+            assert!(v.count_ones() > 0);
+            assert_eq!(v.len(), 255);
+        }
+    }
+
+    #[test]
+    fn random_tail_is_masked() {
+        let mut src = SplitMix64::new(3);
+        let v = BitVec::random(65, &mut src);
+        // Any ones beyond bit 65 would inflate count_ones past len.
+        assert!(v.count_ones() <= 65);
+    }
+
+    #[test]
+    fn rotate_left_one_matches_manual() {
+        let mut src = SplitMix64::new(4);
+        let v = BitVec::random(10, &mut src);
+        let mut rotated = v.clone();
+        rotated.rotate_left_one();
+        for i in 0..10 {
+            assert_eq!(rotated.get(i), v.get((i + 1) % 10));
+        }
+    }
+
+    #[test]
+    fn rotated_left_by_len_is_identity() {
+        let mut src = SplitMix64::new(5);
+        let v = BitVec::random(17, &mut src);
+        assert_eq!(v.rotated_left(17), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVec::zeros(4);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v = BitVec::zeros(4);
+        assert!(!format!("{v:?}").is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Linear-feedback shift registers: Fibonacci, Galois, and the paper's
+//! circular (fixed-head) formulation of Figure 3(a).
+
+use crate::{BitSource, BitVec};
+
+/// Classic Fibonacci LFSR: the feedback bit is the XOR of tap cells and is
+/// shifted into the register.
+///
+/// Tap positions use the conventional polynomial-exponent form (1-based,
+/// including the register width itself as an implicit tap).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_rng::FibonacciLfsr;
+/// // x^8 + x^6 + x^5 + x^4 + 1
+/// let mut lfsr = FibonacciLfsr::new(8, &[8, 6, 5, 4], 0x5A);
+/// let bit = lfsr.step();
+/// assert!(bit || !bit); // produces a stream of bits
+/// ```
+#[derive(Debug, Clone)]
+pub struct FibonacciLfsr {
+    state: u64,
+    width: usize,
+    tap_mask: u64,
+}
+
+impl FibonacciLfsr {
+    /// Creates an LFSR of `width` bits (at most 64) with the given taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, if any tap is out of range,
+    /// or if `seed` is zero after masking to `width` bits (the all-zero
+    /// state is degenerate).
+    pub fn new(width: usize, taps: &[usize], seed: u64) -> Self {
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let state = seed & mask;
+        assert!(state != 0, "seed must be non-zero within the register width");
+        let mut tap_mask = 0u64;
+        for &t in taps {
+            assert!(t >= 1 && t <= width, "tap {t} out of range for width {width}");
+            // Tap exponent k corresponds to bit (width - k): the polynomial
+            // x^n term is the bit being shifted out (bit 0).
+            tap_mask |= 1 << (width - t);
+        }
+        Self { state, width, tap_mask }
+    }
+
+    /// Advances one cycle; returns the bit shifted out.
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        let feedback = (self.state & self.tap_mask).count_ones() & 1;
+        self.state >>= 1;
+        self.state |= u64::from(feedback) << (self.width - 1);
+        out
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl BitSource for FibonacciLfsr {
+    fn next_u64(&mut self) -> u64 {
+        let mut v = 0u64;
+        for i in 0..64 {
+            v |= u64::from(self.step()) << i;
+        }
+        v
+    }
+}
+
+/// Galois LFSR: the output bit conditionally XORs into the tap cells.
+///
+/// Produces the same maximal-length sequences as the Fibonacci form for the
+/// mirrored polynomial, one bit per cycle, with a single-gate critical path
+/// (the form typically preferred in FPGA implementations).
+#[derive(Debug, Clone)]
+pub struct GaloisLfsr {
+    state: u64,
+    width: usize,
+    tap_mask: u64,
+}
+
+impl GaloisLfsr {
+    /// Creates a Galois LFSR. Taps use polynomial-exponent positions
+    /// (1-based); the width itself must not be listed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero/oversized width, out-of-range taps, or a zero seed.
+    pub fn new(width: usize, taps: &[usize], seed: u64) -> Self {
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let state = seed & mask;
+        assert!(state != 0, "seed must be non-zero within the register width");
+        let mut tap_mask = 0u64;
+        for &t in taps {
+            assert!(t >= 1 && t < width, "tap {t} out of range for width {width}");
+            tap_mask |= 1 << (t - 1);
+        }
+        Self { state, width, tap_mask }
+    }
+
+    /// Advances one cycle; returns the bit shifted out.
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.tap_mask | (1 << (self.width - 1));
+        }
+        out
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl BitSource for GaloisLfsr {
+    fn next_u64(&mut self) -> u64 {
+        let mut v = 0u64;
+        for i in 0..64 {
+            v |= u64::from(self.step()) << i;
+        }
+        v
+    }
+}
+
+/// The paper's circular LFSR (Figure 3a): a width-`n` circular register with
+/// fixed head `R(1)`; each cycle the tap cells are replaced by
+/// `R(t+1) XOR R(1)`, everything else shifts toward the head, and the old
+/// head wraps to the top.
+///
+/// This is the *reference model* that [`crate::RlfLogic`] must match
+/// bit-for-bit (the RAM-based version keeps bits stationary and moves the
+/// head instead — see the equivalence tests in `rlf.rs`).
+#[derive(Debug, Clone)]
+pub struct CircularLfsr {
+    state: BitVec,
+    taps: Vec<usize>,
+}
+
+impl CircularLfsr {
+    /// Creates the register from an explicit state.
+    ///
+    /// `taps` follow the paper's convention: positions `t` in `1..width`
+    /// such that `R(t) <- R(t+1) XOR R(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all-zero, or taps are out of range.
+    pub fn new(state: BitVec, taps: &[usize]) -> Self {
+        assert!(state.count_ones() > 0, "all-zero LFSR state is degenerate");
+        let width = state.len();
+        for &t in taps {
+            assert!(t >= 1 && t < width, "tap {t} out of range for width {width}");
+        }
+        Self { state, taps: taps.to_vec() }
+    }
+
+    /// Creates the register with random non-zero contents.
+    pub fn random(width: usize, taps: &[usize], source: &mut impl BitSource) -> Self {
+        Self::new(BitVec::random(width, source), taps)
+    }
+
+    /// Advances one cycle; returns the population count of the new state.
+    ///
+    /// Semantics (paper Section 4.1.1, 0-based `state[i] = R(i+1)`):
+    /// `R_new(i) = R_old(i+1)` for non-taps, `R_new(t) = R_old(t+1) XOR R_old(1)`
+    /// for taps, and the old head wraps to `R_new(n)`.
+    pub fn step(&mut self) -> u32 {
+        let n = self.state.len();
+        let head = self.state.get(0);
+        let mut next = BitVec::zeros(n);
+        for i in 0..n - 1 {
+            next.set(i, self.state.get(i + 1));
+        }
+        next.set(n - 1, head);
+        if head {
+            for &t in &self.taps {
+                next.toggle(t - 1);
+            }
+        }
+        self.state = next;
+        self.state.count_ones()
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn fibonacci_8bit_is_maximal() {
+        let mut lfsr = FibonacciLfsr::new(8, &[8, 6, 5, 4], 1);
+        let start = lfsr.state();
+        let mut period = 0u32;
+        loop {
+            lfsr.step();
+            period += 1;
+            if lfsr.state() == start {
+                break;
+            }
+            assert!(period <= 255);
+        }
+        assert_eq!(period, 255);
+    }
+
+    #[test]
+    fn galois_8bit_is_maximal() {
+        // Mirrored taps of x^8+x^6+x^5+x^4+1 -> x^8+x^4+x^3+x^2+1.
+        let mut lfsr = GaloisLfsr::new(8, &[4, 3, 2], 1);
+        let start = lfsr.state();
+        let mut period = 0u32;
+        loop {
+            lfsr.step();
+            period += 1;
+            if lfsr.state() == start {
+                break;
+            }
+            assert!(period <= 255);
+        }
+        assert_eq!(period, 255);
+    }
+
+    #[test]
+    fn fibonacci_never_reaches_zero() {
+        let mut lfsr = FibonacciLfsr::new(12, &[12, 6, 4, 1], 0x5A5);
+        for _ in 0..10_000 {
+            lfsr.step();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn zero_seed_panics() {
+        let _ = FibonacciLfsr::new(8, &[8, 6, 5, 4], 0x100); // 0 after masking
+    }
+
+    #[test]
+    fn circular_paper_8bit_example_is_maximal() {
+        // Paper Figure 3(a): 8-bit, taps {4, 5, 6}.
+        let mut src = SplitMix64::new(1);
+        let mut lfsr = CircularLfsr::random(8, &[4, 5, 6], &mut src);
+        let start = lfsr.state().clone();
+        let mut period = 0u32;
+        loop {
+            lfsr.step();
+            period += 1;
+            if lfsr.state() == &start {
+                break;
+            }
+            assert!(period <= 255, "period exceeded 255");
+        }
+        assert_eq!(period, 255);
+    }
+
+    #[test]
+    fn circular_popcount_delta_bounded_by_tap_count() {
+        let mut src = SplitMix64::new(2);
+        let mut lfsr = CircularLfsr::random(255, &[250, 252, 253], &mut src);
+        let mut prev = lfsr.state().count_ones() as i64;
+        for _ in 0..2_000 {
+            let c = i64::from(lfsr.step());
+            assert!((c - prev).abs() <= 3, "delta exceeded tap count");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn bit_source_impl_yields_balanced_bits() {
+        let mut lfsr = FibonacciLfsr::new(32, &[32, 22, 2, 1], 0xDEAD_BEEF);
+        let ones: u32 = (0..1000).map(|_| lfsr.next_u64().count_ones()).sum();
+        let total = 64_000;
+        assert!((ones as f64 / f64::from(total) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn galois_and_fibonacci_streams_are_deterministic() {
+        let mut a = GaloisLfsr::new(16, &[5, 3, 2], 0xACE1);
+        let mut b = GaloisLfsr::new(16, &[5, 3, 2], 0xACE1);
+        for _ in 0..500 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+}

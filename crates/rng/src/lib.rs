@@ -1,0 +1,95 @@
+//! Uniform random-bit substrate for the VIBNN reproduction.
+//!
+//! This crate implements every uniform-randomness primitive the paper's
+//! Gaussian generators are built from:
+//!
+//! - [`SplitMix64`] / [`Xoshiro256`] — fast, seedable software PRNGs used for
+//!   seeding hardware structures and for software baselines.
+//! - [`FibonacciLfsr`] and [`GaloisLfsr`] — classic linear-feedback shift
+//!   registers over arbitrary widths, driven by the tap table in [`taps`].
+//! - [`CircularLfsr`] — the paper's shifting LFSR formulation (Figure 3a):
+//!   a circular register with a fixed head whose tap cells are XORed with the
+//!   head on every cycle.
+//! - [`RlfLogic`] — the paper's RAM-based Linear Feedback logic (Figure 3b),
+//!   which keeps the seed bits stationary and moves the head index instead,
+//!   including the *combined-update* optimization (equations 12a–12e) and an
+//!   incremental population-count output.
+//! - [`BankedRlf`] — the 3-block two-port-RAM banking scheme of Figure 6,
+//!   with per-cycle port-conflict checking.
+//! - [`ParallelCounter`] — adder-tree population counter with a hardware
+//!   cost model (number of full adders), used by the CLT-based GRNGs.
+//!
+//! # Example
+//!
+//! ```
+//! use vibnn_rng::{RlfLogic, RlfMode};
+//!
+//! let mut rlf = RlfLogic::from_seed_value(255, 0xDEADBEEF, RlfMode::Combined);
+//! let a = rlf.step(); // population count after one update
+//! let b = rlf.step();
+//! // Combined mode changes the count by at most 5 per cycle (paper §4.1.2).
+//! assert!((a as i64 - b as i64).abs() <= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod banked;
+mod bitvec;
+mod lfsr;
+mod parallel_counter;
+mod rlf;
+mod software;
+pub mod taps;
+
+pub use banked::{BankAccess, BankedRlf, PortViolation};
+pub use bitvec::BitVec;
+pub use lfsr::{CircularLfsr, FibonacciLfsr, GaloisLfsr};
+pub use parallel_counter::ParallelCounter;
+pub use rlf::{RlfLogic, RlfMode};
+pub use software::{SplitMix64, Xoshiro256};
+
+/// A source of uniformly distributed random bits.
+///
+/// All generators in this crate implement `BitSource`; downstream crates
+/// (notably the Gaussian generators in `vibnn-grng`) consume it.
+pub trait BitSource {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random bit.
+    fn next_bit(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Returns a float uniformly distributed in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+impl<T: BitSource + ?Sized> BitSource for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}

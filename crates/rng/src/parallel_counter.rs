@@ -1,0 +1,123 @@
+//! Parallel (population) counter with a full-adder cost model.
+//!
+//! The CLT-based GRNG needs the number of ones in an LFSR. In hardware this
+//! is a tree of full adders; the paper notes a 127-input parallel counter
+//! needs 120 full adders, which matches the classic identity
+//! `FA(n) = n - popcount_width(n)` where `popcount_width(n) = ceil(log2(n+1))`
+//! for the n-input counter built from full-adder compressors.
+
+/// An n-input parallel counter (combinational popcount) model.
+///
+/// Functionally it counts set bits; structurally it reports the hardware
+/// cost (full adders, output width) used by the resource model in
+/// `vibnn-hw`.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_rng::ParallelCounter;
+/// let pc = ParallelCounter::new(127);
+/// assert_eq!(pc.full_adders(), 120); // the paper's figure
+/// assert_eq!(pc.output_bits(), 7);
+/// let pc3 = ParallelCounter::new(3);
+/// assert_eq!(pc3.count(&[true, false, true]), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelCounter {
+    inputs: usize,
+}
+
+impl ParallelCounter {
+    /// Creates a counter for `inputs` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0`.
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs > 0, "parallel counter needs at least one input");
+        Self { inputs }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Width of the binary output, `ceil(log2(inputs + 1))`.
+    pub fn output_bits(&self) -> u32 {
+        usize::BITS - self.inputs.leading_zeros()
+    }
+
+    /// Number of full adders in the compressor tree:
+    /// `inputs - output_bits` (e.g. 127 inputs -> 120 FAs).
+    pub fn full_adders(&self) -> usize {
+        self.inputs - self.output_bits() as usize
+    }
+
+    /// Counts the set bits in `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the configured input count.
+    pub fn count(&self, bits: &[bool]) -> u32 {
+        assert_eq!(
+            bits.len(),
+            self.inputs,
+            "expected {} inputs, got {}",
+            self.inputs,
+            bits.len()
+        );
+        bits.iter().map(|&b| u32::from(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_127_input_pc_needs_120_full_adders() {
+        let pc = ParallelCounter::new(127);
+        assert_eq!(pc.full_adders(), 120);
+        assert_eq!(pc.output_bits(), 7);
+    }
+
+    #[test]
+    fn tap_sized_pc_is_tiny() {
+        // The RLF design only sums the 5 tap outputs.
+        let pc = ParallelCounter::new(5);
+        assert_eq!(pc.output_bits(), 3);
+        assert_eq!(pc.full_adders(), 2);
+    }
+
+    #[test]
+    fn output_bits_at_powers_of_two() {
+        assert_eq!(ParallelCounter::new(1).output_bits(), 1);
+        assert_eq!(ParallelCounter::new(3).output_bits(), 2);
+        assert_eq!(ParallelCounter::new(4).output_bits(), 3);
+        assert_eq!(ParallelCounter::new(255).output_bits(), 8);
+        assert_eq!(ParallelCounter::new(256).output_bits(), 9);
+    }
+
+    #[test]
+    fn count_matches_naive() {
+        let pc = ParallelCounter::new(10);
+        let bits = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
+        assert_eq!(pc.count(&bits), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 10 inputs")]
+    fn wrong_width_panics() {
+        let pc = ParallelCounter::new(10);
+        let _ = pc.count(&[true; 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_panics() {
+        let _ = ParallelCounter::new(0);
+    }
+}

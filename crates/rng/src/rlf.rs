@@ -1,0 +1,298 @@
+//! RAM-based Linear Feedback (RLF) logic — the paper's Figure 3(b)/4.
+//!
+//! Instead of shifting the register, the seed bits stay stationary in RAM
+//! and a self-incrementing *indexer* tracks the head: for every tap `t`,
+//! `x(h + t) <- x(h + t) XOR x(h)` (equation 10), then `h` advances.
+//!
+//! Two update modes are provided:
+//!
+//! - [`RlfMode::Simple`]: the direct 3-tap update (equations 11a–11c),
+//!   head step 1. The population count can change by at most 3 per cycle.
+//! - [`RlfMode::Combined`]: the paper's quality optimization (equations
+//!   12a–12e): two consecutive simple updates fused into one cycle,
+//!   5 taps + 2 head reads, head step 2, popcount delta up to 5.
+//!
+//! `RlfLogic` also maintains the running population count *incrementally*
+//! (the subtractor + result-register data flow of Figure 7b), so producing
+//! a Gaussian sample needs only the tap bits, not a full-width counter.
+
+use crate::{BitSource, BitVec, CircularLfsr};
+
+/// Update mode for [`RlfLogic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RlfMode {
+    /// One simple update per cycle (3 taps, head step 1; equations 11a–c).
+    Simple,
+    /// Two fused updates per cycle (5 taps, head step 2; equations 12a–e).
+    Combined,
+}
+
+/// The RAM-based linear feedback generator with incremental popcount.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_rng::{RlfLogic, RlfMode, SplitMix64};
+/// let mut src = SplitMix64::new(7);
+/// let mut rlf = RlfLogic::random(255, RlfMode::Combined, &mut src);
+/// let count = rlf.step();
+/// assert!(count <= 255);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlfLogic {
+    seed: BitVec,
+    head: usize,
+    taps: Vec<usize>,
+    mode: RlfMode,
+    count: u32,
+}
+
+impl RlfLogic {
+    /// Creates the RLF logic from an explicit seed vector, using the
+    /// tabulated taps for `seed.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width has no tabulated tap set
+    /// (see [`crate::taps::taps_for`]) or if the seed is all-zero.
+    pub fn new(seed: BitVec, mode: RlfMode) -> Self {
+        let width = seed.len();
+        let taps = crate::taps::taps_for(width)
+            .unwrap_or_else(|| panic!("no tabulated taps for width {width}"))
+            .to_vec();
+        Self::with_taps(seed, &taps, mode)
+    }
+
+    /// Creates the RLF logic with explicit taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed is all-zero or any tap is out of range.
+    pub fn with_taps(seed: BitVec, taps: &[usize], mode: RlfMode) -> Self {
+        assert!(seed.count_ones() > 0, "all-zero seed is degenerate");
+        let width = seed.len();
+        for &t in taps {
+            assert!(t >= 1 && t < width, "tap {t} out of range for width {width}");
+        }
+        let count = seed.count_ones();
+        Self {
+            seed,
+            head: 0,
+            taps: taps.to_vec(),
+            mode,
+            count,
+        }
+    }
+
+    /// Creates the RLF logic with a random non-zero seed.
+    pub fn random(width: usize, mode: RlfMode, source: &mut impl BitSource) -> Self {
+        Self::new(BitVec::random(width, source), mode)
+    }
+
+    /// Convenience constructor seeding from a 64-bit value.
+    pub fn from_seed_value(width: usize, seed: u64, mode: RlfMode) -> Self {
+        let mut src = crate::SplitMix64::new(seed);
+        Self::random(width, mode, &mut src)
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.seed.len()
+    }
+
+    /// Current head position.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// The update mode.
+    pub fn mode(&self) -> RlfMode {
+        self.mode
+    }
+
+    /// Current population count (the result-register value of Figure 7b).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Borrow the raw seed bits (stationary RAM contents).
+    pub fn seed_bits(&self) -> &BitVec {
+        &self.seed
+    }
+
+    /// Performs one *simple* update at the current head (equation 10) and
+    /// advances the head by one. Internal building block for both modes.
+    fn simple_update(&mut self) {
+        let n = self.seed.len();
+        let head_bit = self.seed.get(self.head);
+        if head_bit {
+            for i in 0..self.taps.len() {
+                let t = self.taps[i];
+                let idx = (self.head + t) % n;
+                let new = self.seed.toggle(idx);
+                if new {
+                    self.count += 1;
+                } else {
+                    self.count -= 1;
+                }
+            }
+        }
+        self.head = (self.head + 1) % n;
+    }
+
+    /// Advances one cycle; returns the updated population count, which is
+    /// the raw binomially distributed output `B(n, 1/2) ~ N(n/2, n/4)`.
+    pub fn step(&mut self) -> u32 {
+        match self.mode {
+            RlfMode::Simple => self.simple_update(),
+            RlfMode::Combined => {
+                // Equations 12a-12e are exactly two fused simple updates.
+                self.simple_update();
+                self.simple_update();
+            }
+        }
+        self.count
+    }
+
+    /// Returns the state as seen from the head (i.e. `R(i) = x(h + i - 1)`),
+    /// which must equal the corresponding [`CircularLfsr`] state.
+    pub fn state_from_head(&self) -> BitVec {
+        self.seed.rotated_left(self.head)
+    }
+
+    /// Builds the equivalent circular LFSR (same initial state and taps)
+    /// for cross-validation.
+    pub fn to_circular(&self) -> CircularLfsr {
+        CircularLfsr::new(self.state_from_head(), &self.taps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn random_rlf(seed: u64, mode: RlfMode) -> RlfLogic {
+        let mut src = SplitMix64::new(seed);
+        RlfLogic::random(255, mode, &mut src)
+    }
+
+    /// The RLF logic must be *exactly* equivalent to the shifting circular
+    /// LFSR of Figure 3(a) — the paper's central claim in Section 4.1.2.
+    #[test]
+    fn rlf_simple_equals_circular_lfsr() {
+        for seed in 0..5 {
+            let mut rlf = random_rlf(seed, RlfMode::Simple);
+            let mut reference = rlf.to_circular();
+            for step in 0..1000 {
+                let c_rlf = rlf.step();
+                let c_ref = reference.step();
+                assert_eq!(c_rlf, c_ref, "popcount diverged at step {step}");
+                assert_eq!(
+                    rlf.state_from_head(),
+                    *reference.state(),
+                    "state diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    /// One combined step equals two simple steps (equations 12 = 2 x 11).
+    #[test]
+    fn combined_step_equals_two_simple_steps() {
+        let mut src = SplitMix64::new(99);
+        let seed = BitVec::random(255, &mut src);
+        let mut combined = RlfLogic::new(seed.clone(), RlfMode::Combined);
+        let mut twice = RlfLogic::new(seed, RlfMode::Simple);
+        for step in 0..2000 {
+            let a = combined.step();
+            twice.step();
+            let b = twice.step();
+            assert_eq!(a, b, "diverged at step {step}");
+            assert_eq!(combined.seed_bits(), twice.seed_bits());
+            assert_eq!(combined.head(), twice.head());
+        }
+    }
+
+    #[test]
+    fn incremental_count_matches_full_popcount() {
+        let mut rlf = random_rlf(3, RlfMode::Combined);
+        for _ in 0..5000 {
+            rlf.step();
+            assert_eq!(rlf.count(), rlf.seed_bits().count_ones());
+        }
+    }
+
+    #[test]
+    fn simple_mode_delta_at_most_3() {
+        let mut rlf = random_rlf(4, RlfMode::Simple);
+        let mut prev = i64::from(rlf.count());
+        for _ in 0..5000 {
+            let c = i64::from(rlf.step());
+            assert!((c - prev).abs() <= 3);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn combined_mode_delta_at_most_5() {
+        let mut rlf = random_rlf(5, RlfMode::Combined);
+        let mut prev = i64::from(rlf.count());
+        let mut seen_gt3 = false;
+        for _ in 0..20_000 {
+            let c = i64::from(rlf.step());
+            let d = (c - prev).abs();
+            assert!(d <= 5, "delta {d} exceeds 5");
+            if d > 3 {
+                seen_gt3 = true;
+            }
+            prev = c;
+        }
+        // The whole point of the combined update: deltas beyond 3 do occur.
+        assert!(seen_gt3, "combined mode never exceeded delta 3");
+    }
+
+    #[test]
+    fn head_advances_by_mode_step() {
+        let mut simple = random_rlf(6, RlfMode::Simple);
+        let mut combined = random_rlf(6, RlfMode::Combined);
+        simple.step();
+        combined.step();
+        assert_eq!(simple.head(), 1);
+        assert_eq!(combined.head(), 2);
+    }
+
+    #[test]
+    fn head_wraps_around() {
+        let mut rlf = random_rlf(7, RlfMode::Combined);
+        for _ in 0..255 {
+            rlf.step();
+        }
+        // 255 steps x 2 = 510 = 2*255: head back at 0.
+        assert_eq!(rlf.head(), 0);
+    }
+
+    #[test]
+    fn mean_count_near_half_width() {
+        let mut rlf = random_rlf(8, RlfMode::Combined);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| u64::from(rlf.step())).sum();
+        let mean = sum as f64 / f64::from(n);
+        // B(255, 0.5): mean 127.5, std of the *sample mean* is tiny but the
+        // stream is autocorrelated, so allow a generous band.
+        assert!((mean - 127.5).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no tabulated taps")]
+    fn unknown_width_panics() {
+        let mut src = SplitMix64::new(1);
+        let _ = RlfLogic::random(100, RlfMode::Simple, &mut src);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero seed")]
+    fn zero_seed_panics() {
+        let _ = RlfLogic::new(BitVec::zeros(255), RlfMode::Simple);
+    }
+}

@@ -1,0 +1,156 @@
+//! Linear-feedback tap table (after Ward & Molteno / Xilinx XAPP 052).
+//!
+//! Taps are given in the paper's circular-LFSR convention (Section 4.1.1):
+//! for a width-`n` register with head `R(1)`, every cycle performs
+//! `R(t) <- R(t+1) XOR R(1)` for each tap `t` and then shifts. This is
+//! equivalent to the linear recurrence `s_j = s_{j-n} ^ s_{j-t1} ^ ...`,
+//! i.e. the characteristic polynomial `x^n + x^t1 + ... + 1` must be
+//! primitive for a maximal `2^n - 1` period.
+//!
+//! The paper's two featured widths are included exactly as published:
+//! width 8 with taps `{4, 5, 6}` and width 255 with taps `{250, 252, 253}`.
+
+/// A (width, taps) entry: `taps` are the circular-convention tap positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapEntry {
+    /// Register width in bits.
+    pub width: usize,
+    /// Tap positions (`1..width`), excluding the implicit `x^n` and `1`.
+    pub taps: &'static [usize],
+}
+
+/// Known maximal-length tap sets.
+///
+/// Widths up to 16 are verified exhaustively by tests in this module
+/// (period exactly `2^n - 1`); larger widths carry a bounded no-short-cycle
+/// sanity check.
+pub const TAP_TABLE: &[TapEntry] = &[
+    TapEntry { width: 3, taps: &[2] },
+    TapEntry { width: 4, taps: &[3] },
+    TapEntry { width: 5, taps: &[3] },
+    TapEntry { width: 6, taps: &[5] },
+    TapEntry { width: 7, taps: &[6] },
+    TapEntry { width: 8, taps: &[4, 5, 6] },
+    TapEntry { width: 9, taps: &[5] },
+    TapEntry { width: 10, taps: &[7] },
+    TapEntry { width: 11, taps: &[9] },
+    TapEntry { width: 12, taps: &[1, 4, 6] },
+    TapEntry { width: 13, taps: &[1, 3, 4] },
+    TapEntry { width: 14, taps: &[1, 3, 5] },
+    TapEntry { width: 15, taps: &[14] },
+    TapEntry { width: 16, taps: &[4, 13, 15] },
+    TapEntry { width: 17, taps: &[14] },
+    TapEntry { width: 18, taps: &[11] },
+    TapEntry { width: 19, taps: &[1, 2, 6] },
+    TapEntry { width: 20, taps: &[17] },
+    TapEntry { width: 21, taps: &[19] },
+    TapEntry { width: 22, taps: &[21] },
+    TapEntry { width: 23, taps: &[18] },
+    TapEntry { width: 24, taps: &[17, 22, 23] },
+    TapEntry { width: 25, taps: &[22] },
+    TapEntry { width: 26, taps: &[1, 2, 6] },
+    TapEntry { width: 27, taps: &[1, 2, 5] },
+    TapEntry { width: 28, taps: &[25] },
+    TapEntry { width: 29, taps: &[27] },
+    TapEntry { width: 30, taps: &[1, 4, 6] },
+    TapEntry { width: 31, taps: &[28] },
+    TapEntry { width: 32, taps: &[1, 2, 22] },
+    TapEntry { width: 33, taps: &[20] },
+    TapEntry { width: 36, taps: &[25] },
+    TapEntry { width: 40, taps: &[19, 21, 38] },
+    TapEntry { width: 48, taps: &[20, 21, 47] },
+    TapEntry { width: 63, taps: &[62] },
+    TapEntry { width: 64, taps: &[60, 61, 63] },
+    TapEntry { width: 96, taps: &[47, 49, 94] },
+    TapEntry { width: 127, taps: &[126] },
+    TapEntry { width: 128, taps: &[99, 101, 126] },
+    // The paper's 255-bit RLF-GRNG tap set (Section 4.1.2).
+    TapEntry { width: 255, taps: &[250, 252, 253] },
+    TapEntry { width: 256, taps: &[246, 251, 254] },
+];
+
+/// Looks up the tap set for `width`, if one is tabulated.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vibnn_rng::taps::taps_for(8), Some(&[4, 5, 6][..]));
+/// assert_eq!(vibnn_rng::taps::taps_for(7000), None);
+/// ```
+pub fn taps_for(width: usize) -> Option<&'static [usize]> {
+    TAP_TABLE
+        .iter()
+        .find(|e| e.width == width)
+        .map(|e| e.taps)
+}
+
+/// The paper's RLF-GRNG seed width: 255 bits for an 8-bit Gaussian output.
+pub const PAPER_RLF_WIDTH: usize = 255;
+
+/// The paper's RLF-GRNG taps for the 255-bit seed.
+pub const PAPER_RLF_TAPS: [usize; 3] = [250, 252, 253];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircularLfsr, SplitMix64};
+
+    #[test]
+    fn paper_entries_present() {
+        assert_eq!(taps_for(8), Some(&[4usize, 5, 6][..]));
+        assert_eq!(taps_for(PAPER_RLF_WIDTH), Some(&PAPER_RLF_TAPS[..]));
+    }
+
+    #[test]
+    fn taps_are_sorted_in_range_and_unique() {
+        for e in TAP_TABLE {
+            assert!(!e.taps.is_empty(), "width {}", e.width);
+            let mut prev = 0;
+            for &t in e.taps {
+                assert!(t > prev, "width {} taps not sorted/unique", e.width);
+                assert!(t < e.width, "width {} tap {} out of range", e.width, t);
+                prev = t;
+            }
+        }
+    }
+
+    /// Exhaustively verify maximal period for every tabulated width <= 16.
+    #[test]
+    fn small_widths_have_maximal_period() {
+        for e in TAP_TABLE.iter().filter(|e| e.width <= 16) {
+            let mut src = SplitMix64::new(0xABCD + e.width as u64);
+            let mut lfsr = CircularLfsr::random(e.width, e.taps, &mut src);
+            let start = lfsr.state().clone();
+            let max = (1u64 << e.width) - 1;
+            let mut period = 0u64;
+            loop {
+                lfsr.step();
+                period += 1;
+                if lfsr.state() == &start {
+                    break;
+                }
+                assert!(
+                    period <= max,
+                    "width {} exceeded maximal period",
+                    e.width
+                );
+            }
+            assert_eq!(period, max, "width {} period {period} != {max}", e.width);
+        }
+    }
+
+    /// Larger widths: no cycle shorter than a large bound.
+    #[test]
+    fn larger_widths_have_no_short_cycle() {
+        for &w in &[24usize, 32, 64, 127, 255] {
+            let taps = taps_for(w).unwrap();
+            let mut src = SplitMix64::new(w as u64);
+            let mut lfsr = CircularLfsr::random(w, taps, &mut src);
+            let start = lfsr.state().clone();
+            for step in 1..=20_000u32 {
+                lfsr.step();
+                assert!(lfsr.state() != &start, "width {w} cycled at step {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Sample autocorrelation — used to quantify the correlation drawbacks of
+//! Wallace-generated streams and single-lane RLF streams (paper §2.3, §4.2).
+
+/// Lag-`k` sample autocorrelation of `xs`.
+///
+/// Returns `r_k = Σ (x_i - m)(x_{i+k} - m) / Σ (x_i - m)²`.
+///
+/// # Panics
+///
+/// Panics if `k >= xs.len()` or `xs` has fewer than 2 elements.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_stats::autocorrelation;
+/// let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let r1 = autocorrelation(&xs, 1);
+/// assert!(r1 < -0.9); // alternating -> strongly negative lag-1
+/// ```
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    assert!(xs.len() >= 2, "need at least two samples");
+    assert!(k < xs.len(), "lag {k} out of range for {} samples", xs.len());
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - k)
+        .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+        .sum();
+    num / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = crate::test_normal_samples(1000, 41);
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_samples_have_near_zero_autocorr() {
+        let xs = crate::test_normal_samples(50_000, 43);
+        for k in [1, 2, 5, 10] {
+            let r = autocorrelation(&xs, k);
+            assert!(r.abs() < 0.02, "lag {k}: {r}");
+        }
+    }
+
+    #[test]
+    fn random_walk_has_high_autocorr() {
+        let mut acc = 0.0;
+        let xs: Vec<f64> = crate::test_normal_samples(10_000, 47)
+            .into_iter()
+            .map(|e| {
+                acc += e;
+                acc
+            })
+            .collect();
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+
+    #[test]
+    fn constant_sequence_returns_zero() {
+        assert_eq!(autocorrelation(&[2.0; 50], 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn excessive_lag_panics() {
+        let _ = autocorrelation(&[1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! χ² goodness-of-fit test against the standard normal using equiprobable
+//! bins.
+
+use crate::special::chi_square_cdf;
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareOutcome {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins - 1`).
+    pub dof: u32,
+    /// p-value.
+    pub p_value: f64,
+}
+
+impl ChiSquareOutcome {
+    /// Whether the sample passes (fails to reject) at significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// χ² GOF test of `samples` against N(0, 1) with `bins` equiprobable bins.
+///
+/// Bin edges are normal quantiles so each bin has expected count `n/bins`.
+///
+/// # Panics
+///
+/// Panics if `bins < 2` or the expected count per bin is below 5 (the
+/// classic validity rule).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_stats::chi_square_gof_normal;
+/// // Exact normal quantiles produce a tiny statistic.
+/// let n = 10_000;
+/// let xs: Vec<f64> = (0..n)
+///     .map(|i| vibnn_stats::normal::quantile((i as f64 + 0.5) / n as f64))
+///     .collect();
+/// let out = chi_square_gof_normal(&xs, 20);
+/// assert!(out.passes(0.05));
+/// ```
+pub fn chi_square_gof_normal(samples: &[f64], bins: usize) -> ChiSquareOutcome {
+    assert!(bins >= 2, "need at least two bins");
+    let n = samples.len();
+    let expected = n as f64 / bins as f64;
+    assert!(
+        expected >= 5.0,
+        "expected count per bin {expected} < 5; use fewer bins or more samples"
+    );
+    let edges: Vec<f64> = (1..bins)
+        .map(|i| crate::normal::quantile(i as f64 / bins as f64))
+        .collect();
+    let mut counts = vec![0u64; bins];
+    for &x in samples {
+        // Binary search for the bin.
+        let idx = edges.partition_point(|&e| e < x);
+        counts[idx] += 1;
+    }
+    let statistic: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = (bins - 1) as u32;
+    let p_value = 1.0 - chi_square_cdf(statistic, dof);
+    ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normals_pass() {
+        let xs = crate::test_normal_samples(50_000, 21);
+        let out = chi_square_gof_normal(&xs, 32);
+        assert!(out.passes(0.01), "p={} stat={}", out.p_value, out.statistic);
+        assert_eq!(out.dof, 31);
+    }
+
+    #[test]
+    fn uniforms_fail() {
+        let xs: Vec<f64> = (0..5000)
+            .map(|i| (f64::from(i) / 2500.0) - 1.0)
+            .collect();
+        assert!(!chi_square_gof_normal(&xs, 16).passes(0.05));
+    }
+
+    #[test]
+    fn biased_mean_fails() {
+        let xs: Vec<f64> = crate::test_normal_samples(50_000, 23)
+            .into_iter()
+            .map(|x| x + 0.1)
+            .collect();
+        assert!(!chi_square_gof_normal(&xs, 32).passes(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bins")]
+    fn one_bin_panics() {
+        let _ = chi_square_gof_normal(&[0.0; 100], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "< 5")]
+    fn sparse_bins_panic() {
+        let _ = chi_square_gof_normal(&[0.0; 20], 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixed-width histogram for distribution shape checks and figure output.
+
+/// A histogram over `[lo, hi)` with equal-width bins; values outside the
+/// range are counted in saturating edge bins.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_stats::Histogram;
+/// let mut h = Histogram::new(-4.0, 4.0, 8);
+/// h.add(0.1);
+/// h.add(10.0); // clamps into the last bin
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.counts()[4], 1);
+/// assert_eq!(h.counts()[7], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation (clamped to the edge bins).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let pos = (x - self.lo) / (self.hi - self.lo) * bins as f64;
+        let idx = (pos.floor().max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every value in `xs`.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin centers.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + w * (i as f64 + 0.5))
+            .collect()
+    }
+
+    /// Normalized densities (counts / (total * bin width)).
+    pub fn densities(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / (total * w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend(&[0.1, 0.3, 0.6, 0.9]);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let mut h = Histogram::new(-4.0, 4.0, 64);
+        h.extend(&crate::test_normal_samples(10_000, 31));
+        let w = 8.0 / 64.0;
+        let integral: f64 = h.densities().iter().map(|d| d * w).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_histogram_matches_pdf() {
+        let mut h = Histogram::new(-4.0, 4.0, 32);
+        h.extend(&crate::test_normal_samples(200_000, 33));
+        let centers = h.centers();
+        for (c, d) in centers.iter().zip(h.densities()) {
+            let expected = crate::normal::pdf(*c);
+            assert!(
+                (d - expected).abs() < 0.02,
+                "bin at {c}: density {d} vs pdf {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+}

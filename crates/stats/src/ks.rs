@@ -1,0 +1,114 @@
+//! One-sample Kolmogorov–Smirnov test.
+
+use crate::special::kolmogorov_q;
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// Supremum distance between empirical and theoretical CDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution).
+    pub p_value: f64,
+}
+
+impl KsOutcome {
+    /// Whether the sample passes (fails to reject) at significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// KS test of `samples` against an arbitrary continuous CDF.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_stats::ks_test;
+/// let xs: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+/// let out = ks_test(&xs, |x| x.clamp(0.0, 1.0)); // exactly uniform
+/// assert!(out.passes(0.05));
+/// ```
+pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsOutcome {
+    assert!(!samples.is_empty(), "KS test needs samples");
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    // Asymptotic p-value with the Stephens finite-n refinement.
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsOutcome {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// KS test against the standard normal N(0, 1).
+pub fn ks_test_normal(samples: &[f64]) -> KsOutcome {
+    ks_test(samples, crate::normal::cdf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normals_pass_against_normal() {
+        let xs = crate::test_normal_samples(20_000, 11);
+        let out = ks_test_normal(&xs);
+        assert!(out.passes(0.05), "p={}", out.p_value);
+        assert!(out.statistic < 0.02);
+    }
+
+    #[test]
+    fn uniforms_fail_against_normal() {
+        let xs: Vec<f64> = (0..2000).map(|i| (f64::from(i) / 1000.0) - 1.0).collect();
+        let out = ks_test_normal(&xs);
+        assert!(!out.passes(0.05));
+    }
+
+    #[test]
+    fn shifted_normals_fail() {
+        let xs: Vec<f64> = crate::test_normal_samples(5000, 13)
+            .into_iter()
+            .map(|x| x + 0.2)
+            .collect();
+        assert!(!ks_test_normal(&xs).passes(0.05));
+    }
+
+    #[test]
+    fn scaled_normals_fail() {
+        let xs: Vec<f64> = crate::test_normal_samples(20_000, 17)
+            .into_iter()
+            .map(|x| x * 1.1)
+            .collect();
+        assert!(!ks_test_normal(&xs).passes(0.05));
+    }
+
+    #[test]
+    fn statistic_is_small_for_exact_quantiles() {
+        // Plugging in exact normal quantiles gives the minimal possible D.
+        let n = 1000;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| crate::normal::quantile((i as f64 + 0.5) / n as f64))
+            .collect();
+        let out = ks_test_normal(&xs);
+        assert!(out.statistic <= 0.5 / n as f64 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_panics() {
+        let _ = ks_test_normal(&[]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Statistical machinery for evaluating Gaussian random number generators.
+//!
+//! This crate provides everything the paper's GRNG evaluation (Table 1 and
+//! Figure 15) needs:
+//!
+//! - [`normal`] — standard normal pdf/cdf/quantile (Beasley–Springer–Moro
+//!   and Acklam inverses), plus the special functions they need.
+//! - [`Moments`] — streaming mean/variance/skewness/kurtosis (Welford).
+//! - [`runs_test`] — the Wald–Wolfowitz runs test with the same semantics
+//!   as Matlab's `runstest` (used by the paper's randomness experiment).
+//! - [`ks_test_normal`] / [`ks_test`] — one-sample Kolmogorov–Smirnov.
+//! - [`chi_square_gof_normal`] — χ² goodness of fit with equiprobable bins.
+//! - [`anderson_darling_normal`] — Anderson–Darling A² against N(0,1).
+//! - [`autocorrelation`] — lag-k sample autocorrelation.
+//! - [`Histogram`] — fixed-width binning for distribution shape checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autocorr;
+mod chi_square;
+mod histogram;
+mod ks;
+mod moments;
+pub mod normal;
+mod runs;
+pub mod special;
+
+pub use autocorr::autocorrelation;
+pub use chi_square::{chi_square_gof_normal, ChiSquareOutcome};
+pub use histogram::Histogram;
+pub use ks::{ks_test, ks_test_normal, KsOutcome};
+pub use moments::Moments;
+pub use runs::{runs_test, RunsOutcome};
+
+/// Anderson–Darling A² statistic against the standard normal, with the
+/// small-sample correction `A*² = A²(1 + 0.75/n + 2.25/n²)`.
+///
+/// Returns the corrected statistic; values above ~1.09 reject normality at
+/// α = 0.01 for the fully-specified case.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN.
+pub fn anderson_darling_normal(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let n = xs.len() as f64;
+    let mut s = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = normal::cdf(x).clamp(1e-300, 1.0 - 1e-16);
+        let f_rev = normal::cdf(xs[xs.len() - 1 - i]).clamp(1e-300, 1.0 - 1e-16);
+        s += (2.0 * (i as f64) + 1.0) * (f.ln() + (1.0 - f_rev).ln());
+    }
+    let a2 = -n - s / n;
+    a2 * (1.0 + 0.75 / n + 2.25 / (n * n))
+}
+
+#[cfg(test)]
+pub(crate) fn test_normal_samples(n: usize, seed: u64) -> Vec<f64> {
+    // Box-Muller over a local SplitMix64 (kept inline so the stats crate
+    // stays dependency-free).
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    };
+    (0..n)
+        .map(|_| {
+            let u1: f64 = next().max(1e-12);
+            let u2: f64 = next();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anderson_darling_accepts_normal() {
+        let xs = test_normal_samples(5000, 42);
+        let a2 = anderson_darling_normal(&xs);
+        assert!(a2 < 2.5, "A*2 {a2} too large for genuine normal data");
+    }
+
+    #[test]
+    fn anderson_darling_rejects_uniform() {
+        let xs: Vec<f64> = (0..5000).map(|i| (i as f64 + 0.5) / 5000.0).collect();
+        let a2 = anderson_darling_normal(&xs);
+        assert!(a2 > 10.0, "A*2 {a2} should reject uniforms");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn anderson_darling_empty_panics() {
+        let _ = anderson_darling_normal(&[]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Streaming sample moments (Welford / Terriberry update).
+
+/// Accumulates mean, variance, skewness and excess kurtosis in one pass.
+///
+/// Used by the Table 1 reproduction to measure a GRNG's µ/σ "stability
+/// errors" — the absolute deviation of the generated distribution's mean
+/// and standard deviation from the target N(0, 1).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_stats::Moments;
+/// let mut m = Moments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-12);
+/// assert!((m.variance() - 5.0 / 3.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an accumulator from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &x in xs {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Returns 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n-1` denominator). 0 if fewer than two
+    /// observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness (g1). 0 if fewer than three observations.
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.m2 == 0.0 {
+            0.0
+        } else {
+            let n = self.n as f64;
+            (n.sqrt() * self.m3) / self.m2.powf(1.5)
+        }
+    }
+
+    /// Excess kurtosis (g2). 0 if fewer than four observations.
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n < 4 || self.m2 == 0.0 {
+            0.0
+        } else {
+            let n = self.n as f64;
+            n * self.m4 / (self.m2 * self.m2) - 3.0
+        }
+    }
+
+    /// The paper's Table 1 metrics: `(|mean - 0|, |std - 1|)` against the
+    /// standard normal.
+    pub fn stability_errors(&self) -> (f64, f64) {
+        (self.mean().abs(), (self.std_dev() - 1.0).abs())
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta.powi(4) * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta * delta * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 10.0).collect();
+        let m = Moments::from_slice(&xs);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((m.mean() - mean).abs() < 1e-10);
+        assert!((m.variance() - var).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normal_samples_have_expected_moments() {
+        let xs = crate::test_normal_samples(200_000, 7);
+        let m = Moments::from_slice(&xs);
+        assert!(m.mean().abs() < 0.01, "mean {}", m.mean());
+        assert!((m.std_dev() - 1.0).abs() < 0.01, "std {}", m.std_dev());
+        assert!(m.skewness().abs() < 0.05, "skew {}", m.skewness());
+        assert!(m.excess_kurtosis().abs() < 0.1, "kurt {}", m.excess_kurtosis());
+    }
+
+    #[test]
+    fn stability_errors_shape() {
+        let m = Moments::from_slice(&[-1.0, 1.0]);
+        let (mu_err, sigma_err) = m.stability_errors();
+        assert!((mu_err - 0.0).abs() < 1e-12);
+        // std of {-1, 1} with n-1 denom is sqrt(2).
+        assert!((sigma_err - (2.0f64.sqrt() - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 3.0).collect();
+        let (a, b) = xs.split_at(123);
+        let mut ma = Moments::from_slice(a);
+        let mb = Moments::from_slice(b);
+        ma.merge(&mb);
+        let full = Moments::from_slice(&xs);
+        assert!((ma.mean() - full.mean()).abs() < 1e-10);
+        assert!((ma.variance() - full.variance()).abs() < 1e-8);
+        assert!((ma.skewness() - full.skewness()).abs() < 1e-6);
+        assert!((ma.excess_kurtosis() - full.excess_kurtosis()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = Moments::from_slice(&[1.0, 2.0]);
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_variance() {
+        let m = Moments::from_slice(&[5.0; 100]);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!(m.variance().abs() < 1e-12);
+        assert_eq!(m.skewness(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Wald–Wolfowitz runs test, matching Matlab's `runstest` semantics.
+//!
+//! The paper's Figure 15 generates 100,000 numbers per trial, applies
+//! `runstest`, repeats 1000 times, and reports the pass rate. `runstest`
+//! dichotomizes the sequence around its median (dropping exact ties),
+//! counts runs, and compares against the normal approximation of the run
+//! count distribution.
+
+/// Result of a runs test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunsOutcome {
+    /// Number of observed runs.
+    pub runs: u64,
+    /// Observations above the median (after dropping ties).
+    pub n_above: u64,
+    /// Observations below the median.
+    pub n_below: u64,
+    /// Z statistic (with continuity correction).
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p_value: f64,
+}
+
+impl RunsOutcome {
+    /// Whether the sequence passes (fails to reject randomness) at
+    /// significance `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Runs the Wald–Wolfowitz runs test around the sample median.
+///
+/// Values exactly equal to the median are discarded, as in Matlab's
+/// `runstest(x)`. Uses the normal approximation with a ±0.5 continuity
+/// correction.
+///
+/// # Panics
+///
+/// Panics if fewer than 10 non-tied observations remain (the normal
+/// approximation would be meaningless).
+///
+/// # Example
+///
+/// ```
+/// use vibnn_stats::runs_test;
+/// // A strictly alternating sequence has the maximum number of runs and
+/// // decisively fails the test.
+/// let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let out = runs_test(&xs);
+/// assert!(!out.passes(0.05));
+/// ```
+pub fn runs_test(samples: &[f64]) -> RunsOutcome {
+    let median = sample_median(samples);
+    let signs: Vec<bool> = samples
+        .iter()
+        .filter(|&&x| x != median)
+        .map(|&x| x > median)
+        .collect();
+    assert!(
+        signs.len() >= 10,
+        "runs test needs at least 10 non-tied observations, got {}",
+        signs.len()
+    );
+    let n_above = signs.iter().filter(|&&s| s).count() as u64;
+    let n_below = signs.len() as u64 - n_above;
+    let mut runs = 1u64;
+    for w in signs.windows(2) {
+        if w[0] != w[1] {
+            runs += 1;
+        }
+    }
+    let n1 = n_above as f64;
+    let n2 = n_below as f64;
+    let n = n1 + n2;
+    let expected = 2.0 * n1 * n2 / n + 1.0;
+    let variance = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n) / (n * n * (n - 1.0));
+    let sd = variance.max(1e-300).sqrt();
+    // Continuity correction toward the mean.
+    let diff = runs as f64 - expected;
+    let corrected = if diff.abs() <= 0.5 {
+        0.0
+    } else if diff > 0.0 {
+        diff - 0.5
+    } else {
+        diff + 0.5
+    };
+    let z = corrected / sd;
+    let p_value = 2.0 * (1.0 - crate::normal::cdf(z.abs()));
+    RunsOutcome {
+        runs,
+        n_above,
+        n_below,
+        z,
+        p_value,
+    }
+}
+
+fn sample_median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty sample");
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_normals_pass() {
+        let xs = crate::test_normal_samples(10_000, 3);
+        let out = runs_test(&xs);
+        assert!(out.passes(0.05), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn pass_rate_near_one_minus_alpha() {
+        // Under H0 the test should pass ~95% of trials at alpha = 0.05.
+        let trials = 200u32;
+        let mut passed = 0u32;
+        for t in 0..trials {
+            let xs = crate::test_normal_samples(2000, 1000 + u64::from(t));
+            if runs_test(&xs).passes(0.05) {
+                passed += 1;
+            }
+        }
+        let rate = f64::from(passed) / f64::from(trials);
+        assert!(rate > 0.88 && rate <= 1.0, "pass rate {rate}");
+    }
+
+    #[test]
+    fn alternating_sequence_fails() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(!runs_test(&xs).passes(0.05));
+    }
+
+    #[test]
+    fn monotone_sequence_fails() {
+        // A ramp has exactly 2 runs around its median: far too few.
+        let xs: Vec<f64> = (0..500).map(f64::from).collect();
+        let out = runs_test(&xs);
+        assert_eq!(out.runs, 2);
+        assert!(!out.passes(0.05));
+    }
+
+    #[test]
+    fn strongly_autocorrelated_walk_fails() {
+        // Random-walk-like sequences (the failure mode of a single RLF
+        // lane) should be detected.
+        let mut x = 0.0;
+        let base = crate::test_normal_samples(5000, 9);
+        let xs: Vec<f64> = base
+            .iter()
+            .map(|&e| {
+                x = 0.995 * x + 0.1 * e;
+                x
+            })
+            .collect();
+        assert!(!runs_test(&xs).passes(0.05));
+    }
+
+    #[test]
+    fn ties_are_dropped() {
+        // Half the values sit exactly at the median value; they must be
+        // discarded rather than counted as a side.
+        let mut xs = vec![0.0; 50];
+        xs.extend(crate::test_normal_samples(100, 5));
+        let out = runs_test(&xs);
+        assert_eq!(out.n_above + out.n_below, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn too_few_samples_panic() {
+        let _ = runs_test(&[1.0, -1.0, 2.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! GRNG quality tour: stability and randomness of every generator in the
+//! crate (the live version of paper Table 1 / Figure 15).
+//!
+//! Run with: `cargo run --release --example grng_quality`
+
+use vibnn::grng::{
+    BnnWallaceGrng, BoxMullerGrng, CdfInversionGrng, CltGrng, GaussianSource, ParallelRlfGrng,
+    RlfGrng, SoftwareWallace, WallaceNss, ZigguratGrng,
+};
+use vibnn::stats::{anderson_darling_normal, autocorrelation, ks_test_normal, runs_test, Moments};
+
+fn report(name: &str, src: &mut dyn GaussianSource) {
+    let xs = src.take_vec(100_000);
+    let m = Moments::from_slice(&xs);
+    let (mu_err, sigma_err) = m.stability_errors();
+    let runs = runs_test(&xs);
+    let ks = ks_test_normal(&xs);
+    let ad = anderson_darling_normal(&xs);
+    let r1 = autocorrelation(&xs, 1);
+    println!(
+        "{name:<28} mu_err {mu_err:.4}  sigma_err {sigma_err:.4}  lag1 {r1:+.3}  runs {}  KS {}  A2 {ad:8.2}",
+        if runs.passes(0.05) { "pass" } else { "FAIL" },
+        if ks.passes(0.05) { "pass" } else { "FAIL" },
+    );
+}
+
+fn main() {
+    println!("100k samples per design; target N(0, 1)\n");
+    report("Box-Muller (reference)", &mut BoxMullerGrng::new(1));
+    report("Ziggurat", &mut ZigguratGrng::new(2));
+    report("CDF inversion (BSM)", &mut CdfInversionGrng::new(3));
+    report("CLT (LFSR+PC, decim 8)", &mut CltGrng::new(255, 8, 4));
+    report("RLF-GRNG single lane", &mut RlfGrng::from_seed(5));
+    report("RLF-GRNG 64 lanes", &mut ParallelRlfGrng::new(64, 6));
+    report("Software Wallace 256", &mut SoftwareWallace::new(256, 1, 7));
+    report("Software Wallace 4096", &mut SoftwareWallace::new(4096, 1, 8));
+    report("Wallace-NSS 256", &mut WallaceNss::new(256, 9));
+    report("BNNWallace 8x256", &mut BnnWallaceGrng::new(8, 256, 10));
+    println!("\nNote the single-lane RLF: perfect marginal stability, terrible");
+    println!("serial correlation — the motivation for lane parallelism and the");
+    println!("eps-source ablation discussed in EXPERIMENTS.md.");
+}

@@ -1,0 +1,252 @@
+//! High-level API: train → quantize → deploy → infer.
+
+use vibnn_bnn::{Bnn, BnnParams};
+use vibnn_grng::{GaussianSource, GrngKind};
+use vibnn_hw::{AcceleratorConfig, CycleAccelerator, QuantizedBnn, ResourceModel, Schedule};
+use vibnn_nn::Matrix;
+
+/// Builder for a deployed [`Vibnn`] accelerator instance.
+///
+/// # Example
+///
+/// ```
+/// use vibnn::VibnnBuilder;
+/// use vibnn::bnn::{Bnn, BnnConfig};
+/// use vibnn::nn::Matrix;
+///
+/// let bnn = Bnn::new(BnnConfig::new(&[8, 16, 2]), 1);
+/// let calib = Matrix::zeros(4, 8);
+/// let accel = VibnnBuilder::new(bnn.params())
+///     .bit_len(8)
+///     .calibration(calib)
+///     .build();
+/// assert_eq!(accel.classes(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VibnnBuilder {
+    params: BnnParams,
+    bit_len: u32,
+    config: AcceleratorConfig,
+    calibration: Option<Matrix>,
+    mc_samples: usize,
+}
+
+impl VibnnBuilder {
+    /// Starts from trained variational parameters.
+    pub fn new(params: BnnParams) -> Self {
+        Self {
+            params,
+            bit_len: 8,
+            config: AcceleratorConfig::paper(),
+            calibration: None,
+            mc_samples: 8,
+        }
+    }
+
+    /// Sets the datapath bit length (default 8, per Figure 18).
+    pub fn bit_len(mut self, bits: u32) -> Self {
+        self.bit_len = bits;
+        self
+    }
+
+    /// Selects the GRNG design (default RLF).
+    pub fn grng(mut self, kind: GrngKind) -> Self {
+        self.config.grng = kind;
+        self
+    }
+
+    /// Overrides the full accelerator configuration.
+    pub fn config(mut self, config: AcceleratorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Provides calibration inputs for activation-range selection.
+    pub fn calibration(mut self, x: Matrix) -> Self {
+        self.calibration = Some(x);
+        self
+    }
+
+    /// Sets Monte Carlo samples per prediction (default 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn mc_samples(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one Monte Carlo sample");
+        self.mc_samples = n;
+        self
+    }
+
+    /// Quantizes the network and constructs the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no calibration inputs were provided or the configuration
+    /// is invalid.
+    pub fn build(self) -> Vibnn {
+        let calib = self
+            .calibration
+            .expect("calibration inputs required: call .calibration(x)");
+        let qbnn = QuantizedBnn::from_params(&self.params, self.bit_len, &calib);
+        let mut config = self.config;
+        config.mc_samples = self.mc_samples;
+        config.validate().expect("invalid accelerator configuration");
+        let sim = CycleAccelerator::new(config.clone(), qbnn.clone());
+        Vibnn {
+            qbnn,
+            sim,
+            config,
+            mc_samples: self.mc_samples,
+        }
+    }
+}
+
+/// A deployed VIBNN accelerator: quantized network + cycle simulator +
+/// performance models.
+#[derive(Debug, Clone)]
+pub struct Vibnn {
+    qbnn: QuantizedBnn,
+    sim: CycleAccelerator,
+    config: AcceleratorConfig,
+    mc_samples: usize,
+}
+
+impl Vibnn {
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        *self.qbnn.layer_sizes().last().expect("layer sizes")
+    }
+
+    /// The deployed quantized network (fast functional datapath).
+    pub fn network(&self) -> &QuantizedBnn {
+        &self.qbnn
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Batch prediction on the functional fixed-point datapath
+    /// (bit-identical to the cycle simulator, but vectorized).
+    pub fn predict_proba(&self, x: &Matrix, eps: &mut impl GaussianSource) -> Matrix {
+        self.qbnn.predict_proba_mc(x, self.mc_samples, eps)
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn evaluate(&self, x: &Matrix, y: &[usize], eps: &mut impl GaussianSource) -> f64 {
+        self.qbnn.evaluate_mc(x, y, self.mc_samples, eps)
+    }
+
+    /// Cycle-accurate single-image inference (slower; counts cycles and
+    /// memory traffic in [`CycleAccelerator::stats`]).
+    pub fn infer_cycle_accurate(
+        &mut self,
+        input: &[f32],
+        eps: &mut impl GaussianSource,
+    ) -> Vec<f32> {
+        self.sim.infer(input, eps)
+    }
+
+    /// The cycle simulator.
+    pub fn simulator(&mut self) -> &mut CycleAccelerator {
+        &mut self.sim
+    }
+
+    /// Modelled throughput in images/s.
+    pub fn images_per_second(&self) -> f64 {
+        Schedule::new(&self.config, &self.qbnn.layer_sizes()).images_per_second()
+    }
+
+    /// Modelled power in watts.
+    pub fn power_w(&self) -> f64 {
+        let sizes = self.qbnn.layer_sizes();
+        let max_width = *sizes.iter().max().expect("sizes");
+        vibnn_hw::power::system_power_w(&self.config, self.qbnn.total_weights(), max_width)
+    }
+
+    /// Modelled energy efficiency in images/J.
+    pub fn images_per_joule(&self) -> f64 {
+        self.images_per_second() / self.power_w()
+    }
+
+    /// Modelled FPGA resource usage.
+    pub fn resources(&self) -> vibnn_hw::SystemResources {
+        let sizes = self.qbnn.layer_sizes();
+        let max_width = *sizes.iter().max().expect("sizes");
+        ResourceModel.system(&self.config, self.qbnn.total_weights(), max_width)
+    }
+}
+
+/// Convenience: train a BNN and deploy it in one call (used by examples).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn train_and_deploy(
+    mut bnn: Bnn,
+    train_x: &Matrix,
+    train_y: &[usize],
+    epochs: usize,
+    batch: usize,
+) -> (Bnn, Vibnn) {
+    for _ in 0..epochs {
+        bnn.train_epoch(train_x, train_y, batch);
+    }
+    let calib = train_x.rows_slice(0, train_x.rows().min(128));
+    let accel = VibnnBuilder::new(bnn.params())
+        .calibration(calib)
+        .build();
+    (bnn, accel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_bnn::BnnConfig;
+    use vibnn_grng::BoxMullerGrng;
+
+    #[test]
+    fn builder_end_to_end() {
+        let bnn = Bnn::new(BnnConfig::new(&[8, 16, 3]), 1);
+        let calib = Matrix::zeros(4, 8);
+        let accel = VibnnBuilder::new(bnn.params())
+            .bit_len(8)
+            .mc_samples(4)
+            .calibration(calib.clone())
+            .build();
+        assert_eq!(accel.classes(), 3);
+        let mut eps = BoxMullerGrng::new(2);
+        let probs = accel.predict_proba(&calib, &mut eps);
+        assert_eq!((probs.rows(), probs.cols()), (4, 3));
+        assert!(accel.images_per_second() > 0.0);
+        assert!(accel.power_w() > 0.0);
+        assert!(accel.images_per_joule() > 0.0);
+        assert!(accel.resources().fits_device());
+    }
+
+    #[test]
+    fn cycle_accurate_matches_functional_probabilities() {
+        let bnn = Bnn::new(BnnConfig::new(&[6, 8, 2]), 3);
+        let calib = Matrix::zeros(2, 6);
+        let mut accel = VibnnBuilder::new(bnn.params())
+            .mc_samples(2)
+            .calibration(calib.clone())
+            .build();
+        let mut eps_a = BoxMullerGrng::new(5);
+        let mut eps_b = BoxMullerGrng::new(5);
+        let functional = accel.predict_proba(&calib.rows_slice(0, 1), &mut eps_a);
+        let ticked = accel.infer_cycle_accurate(calib.row(0), &mut eps_b);
+        for (c, &p) in functional.row(0).iter().enumerate() {
+            assert!((ticked[c] - p).abs() < 1e-5, "class {c}: {} vs {p}", ticked[c]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration inputs required")]
+    fn missing_calibration_panics() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 2]), 1);
+        let _ = VibnnBuilder::new(bnn.params()).build();
+    }
+}

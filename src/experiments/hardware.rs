@@ -1,0 +1,230 @@
+//! Tables 2–5: GRNG hardware comparison, qualitative summary, full-system
+//! utilization, and the throughput/energy comparison.
+
+use vibnn_grng::GrngKind;
+use vibnn_hw::{
+    baselines, power, timing, AcceleratorConfig, ResourceModel, Schedule,
+};
+
+/// The paper's MNIST network.
+pub const MNIST_LAYERS: [usize; 4] = [784, 200, 200, 10];
+
+fn mnist_weights() -> usize {
+    MNIST_LAYERS.windows(2).map(|w| w[0] * w[1]).sum()
+}
+
+/// One column of Table 2: hardware figures for a 64-lane GRNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// GRNG design.
+    pub design: String,
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// Registers.
+    pub registers: u64,
+    /// Block memory bits.
+    pub block_bits: u64,
+    /// M10K RAM blocks.
+    pub ram_blocks: u64,
+    /// Power in mW at the design's Fmax.
+    pub power_mw: f64,
+    /// Maximum clock frequency (MHz).
+    pub fmax_mhz: f64,
+}
+
+/// Reproduces Table 2: both GRNGs at 64 parallel lanes.
+pub fn table2() -> Vec<Table2Row> {
+    [GrngKind::Rlf, GrngKind::BnnWallace]
+        .into_iter()
+        .map(|kind| {
+            let r = ResourceModel.grng(kind, 64);
+            let f = timing::grng_fmax_mhz(kind);
+            Table2Row {
+                design: kind.to_string(),
+                alms: r.alms,
+                registers: r.registers,
+                block_bits: r.block_bits,
+                ram_blocks: r.ram_blocks,
+                power_mw: power::grng_power_w(kind, 64, f) * 1000.0,
+                fmax_mhz: f,
+            }
+        })
+        .collect()
+}
+
+/// Reproduces Table 3: the qualitative comparison, *derived from the
+/// measured Table 2 data* rather than hard-coded.
+pub fn table3() -> String {
+    let rows = table2();
+    let (rlf, wal) = (&rows[0], &rows[1]);
+    let mut s = String::new();
+    s.push_str("RLF-GRNG advantages:\n");
+    if rlf.block_bits < wal.block_bits {
+        s.push_str("  - low memory usage\n");
+    }
+    if rlf.fmax_mhz > wal.fmax_mhz {
+        s.push_str("  - high frequency\n");
+    }
+    if rlf.power_mw / rlf.fmax_mhz < wal.power_mw / wal.fmax_mhz {
+        s.push_str("  - high power efficiency (per MHz)\n");
+    }
+    s.push_str("RLF-GRNG disadvantages:\n");
+    s.push_str("  - low scalability: RAM width is exponential in the output bit length\n");
+    s.push_str("BNNWallace-GRNG advantages:\n");
+    s.push_str("  - adjustable distribution and high scalability (pool-based)\n");
+    if wal.alms < rlf.alms && wal.registers < rlf.registers {
+        s.push_str("  - low ALM and register usage\n");
+    }
+    s.push_str("BNNWallace-GRNG disadvantages:\n");
+    if wal.fmax_mhz < rlf.fmax_mhz {
+        s.push_str("  - high latency (lower Fmax)\n");
+    }
+    s
+}
+
+/// One column of Table 4: full-network FPGA utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Network variant.
+    pub design: String,
+    /// ALMs used (and device fraction).
+    pub alms: u64,
+    /// ALM utilization fraction.
+    pub alm_frac: f64,
+    /// DSP blocks used.
+    pub dsps: u64,
+    /// Registers.
+    pub registers: u64,
+    /// Block memory bits.
+    pub block_bits: u64,
+    /// Block-bit utilization fraction.
+    pub block_frac: f64,
+}
+
+/// Reproduces Table 4: both full accelerator variants on the paper's
+/// MNIST network.
+pub fn table4() -> Vec<Table4Row> {
+    [
+        ("RLF-based Network", AcceleratorConfig::paper()),
+        ("BNNWallace-based Network", AcceleratorConfig::paper_wallace()),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        let r = ResourceModel.system(&cfg, mnist_weights(), 784);
+        Table4Row {
+            design: name.to_owned(),
+            alms: r.alms,
+            alm_frac: r.alm_utilization(),
+            dsps: r.dsps,
+            registers: r.registers,
+            block_bits: r.block_bits,
+            block_frac: r.block_bit_utilization(),
+        }
+    })
+    .collect()
+}
+
+/// One row of Table 5: throughput and energy efficiency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Platform.
+    pub configuration: String,
+    /// Images per second.
+    pub throughput: f64,
+    /// Images per joule.
+    pub energy_eff: f64,
+}
+
+/// Reproduces Table 5: CPU and GPU anchors plus both simulated FPGA
+/// variants (MNIST network, single MC sample per image, common clock).
+pub fn table5() -> Vec<Table5Row> {
+    let mut rows = vec![
+        {
+            let p = baselines::paper_cpu();
+            Table5Row {
+                configuration: p.name,
+                throughput: p.images_per_second,
+                energy_eff: p.images_per_joule,
+            }
+        },
+        {
+            let p = baselines::paper_gpu();
+            Table5Row {
+                configuration: p.name,
+                throughput: p.images_per_second,
+                energy_eff: p.images_per_joule,
+            }
+        },
+    ];
+    for (name, cfg) in [
+        ("RLF-based FPGA Implementation", AcceleratorConfig::paper()),
+        (
+            "BNNWallace-based FPGA Implementation",
+            AcceleratorConfig::paper_wallace(),
+        ),
+    ] {
+        let sched = Schedule::new(&cfg, &MNIST_LAYERS);
+        let tput = sched.images_per_second();
+        let p = power::system_power_w(&cfg, mnist_weights(), 784);
+        rows.push(Table5Row {
+            configuration: name.to_owned(),
+            throughput: tput,
+            energy_eff: tput / p,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let rows = table2();
+        let (rlf, wal) = (&rows[0], &rows[1]);
+        assert!(rlf.block_bits < wal.block_bits);
+        assert!(wal.alms < rlf.alms);
+        assert!(rlf.fmax_mhz > wal.fmax_mhz);
+    }
+
+    #[test]
+    fn table3_mentions_the_key_tradeoffs() {
+        let t = table3();
+        assert!(t.contains("low memory usage"));
+        assert!(t.contains("high frequency"));
+        assert!(t.contains("low ALM and register usage"));
+    }
+
+    #[test]
+    fn table4_fits_device_with_full_dsps() {
+        for row in table4() {
+            assert_eq!(row.dsps, 342);
+            assert!(row.alm_frac < 1.0 && row.alm_frac > 0.5, "{row:?}");
+            assert!(row.block_frac < 0.6, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table5_fpga_dominates_and_rlf_is_most_efficient() {
+        let rows = table5();
+        let by = |name: &str| {
+            rows.iter()
+                .find(|r| r.configuration.contains(name))
+                .expect("row")
+        };
+        let cpu = by("i7");
+        let gpu = by("GTX");
+        let rlf = by("RLF");
+        let wal = by("BNNWallace");
+        // Who wins, by roughly what factor (paper: 283x GPU, 458x CPU on
+        // energy; ~10-30x on throughput).
+        assert!(rlf.throughput > 8.0 * gpu.throughput);
+        assert!(rlf.throughput > 20.0 * cpu.throughput);
+        assert!(rlf.energy_eff > 100.0 * gpu.energy_eff);
+        assert!(rlf.energy_eff > 200.0 * cpu.energy_eff);
+        // Both FPGA variants share the clock/throughput; RLF wins energy.
+        assert!((rlf.throughput - wal.throughput).abs() < 1e-6);
+        assert!(rlf.energy_eff > wal.energy_eff);
+    }
+}

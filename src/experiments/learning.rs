@@ -1,0 +1,310 @@
+//! Figures 16–18 and Tables 6–7: the learning-side experiments.
+
+use vibnn_bnn::{Bnn, BnnConfig};
+use vibnn_datasets::{all_disease_datasets, mnist_like_with, train_fractions, Dataset, MnistLikeSpec};
+use vibnn_grng::{BnnWallaceGrng, BoxMullerGrng};
+use vibnn_hw::QuantizedBnn;
+use vibnn_nn::{Mlp, MlpConfig};
+
+/// Sizing knobs shared by the learning experiments, so integration tests
+/// can run scaled-down versions of the paper-scale defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnScale {
+    /// MNIST-like training set size.
+    pub mnist_train: usize,
+    /// MNIST-like test set size.
+    pub mnist_test: usize,
+    /// Training epochs per model.
+    pub epochs: usize,
+    /// Monte Carlo samples for BNN/hardware inference.
+    pub mc_samples: usize,
+    /// Hidden layer width (the paper uses 200).
+    pub hidden: usize,
+}
+
+impl LearnScale {
+    /// Paper-scale defaults (training set scaled from 60k to 8k for CPU
+    /// tractability; documented in DESIGN.md).
+    pub fn paper() -> Self {
+        Self {
+            mnist_train: 8_000,
+            mnist_test: 2_000,
+            epochs: 12,
+            mc_samples: 8,
+            hidden: 200,
+        }
+    }
+
+    /// Small configuration for smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            mnist_train: 600,
+            mnist_test: 200,
+            epochs: 6,
+            mc_samples: 2,
+            hidden: 32,
+        }
+    }
+}
+
+fn mnist(scale: LearnScale, seed: u64) -> Dataset {
+    mnist_like_with(
+        MnistLikeSpec {
+            train_size: scale.mnist_train,
+            test_size: scale.mnist_test,
+            ..MnistLikeSpec::default()
+        },
+        seed,
+    )
+}
+
+fn train_fnn(ds: &Dataset, scale: LearnScale, dropout: f32, seed: u64) -> Mlp {
+    let arch = [ds.features(), scale.hidden, scale.hidden, ds.classes];
+    let mut cfg = MlpConfig::new(&arch);
+    if dropout > 0.0 {
+        cfg = cfg.with_dropout(dropout);
+    }
+    let mut mlp = Mlp::new(cfg, seed);
+    let batch = 64.min(ds.train_len()).max(1);
+    for _ in 0..scale.epochs {
+        mlp.train_epoch(&ds.train_x, &ds.train_y, batch);
+    }
+    mlp
+}
+
+fn train_bnn(ds: &Dataset, scale: LearnScale, seed: u64) -> Bnn {
+    let arch = [ds.features(), scale.hidden, scale.hidden, ds.classes];
+    let batch = 64.min(ds.train_len()).max(1);
+    let batches = ds.train_len().div_ceil(batch).max(1);
+    let cfg = BnnConfig::new(&arch)
+        .with_lr(2e-3)
+        .with_kl_weight((1.0 / batches as f32).min(5e-4))
+        .with_sigma_init(0.02)
+        .with_prior_std(0.1);
+    let mut bnn = Bnn::new(cfg, seed);
+    for _ in 0..scale.epochs {
+        bnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+    }
+    bnn
+}
+
+fn bnn_test_accuracy(bnn: &Bnn, ds: &Dataset, mc: usize, seed: u64) -> f64 {
+    let mut eps = BoxMullerGrng::new(seed);
+    bnn.evaluate_mc(&ds.test_x, &ds.test_y, mc, &mut eps)
+}
+
+fn hardware_accuracy(bnn: &Bnn, ds: &Dataset, bits: u32, mc: usize, seed: u64) -> f64 {
+    let calib = ds.train_x.rows_slice(0, ds.train_len().min(128));
+    let q = QuantizedBnn::from_params(&bnn.params(), bits, &calib);
+    // The hardware's unit Gaussians come from the BNNWallace-GRNG (the
+    // paper's 8-unit, 256-number-pool configuration). The RLF-GRNG, while
+    // superior on marginal stability/resources (Tables 1/2), produces a
+    // popcount random walk whose *within-sample* correlation collapses
+    // deployment accuracy — see the eps-source ablation bench and
+    // EXPERIMENTS.md for the measured data behind this choice.
+    let mut eps = BnnWallaceGrng::new(8, 256, seed);
+    q.evaluate_mc(&ds.test_x, &ds.test_y, mc, &mut eps)
+}
+
+/// One point of Figure 16: test accuracy at a training-set fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig16Point {
+    /// Fraction denominator (training set is `1/denominator`).
+    pub denominator: usize,
+    /// Training samples actually used.
+    pub train_samples: usize,
+    /// FNN test accuracy.
+    pub fnn_accuracy: f64,
+    /// BNN test accuracy (MC inference).
+    pub bnn_accuracy: f64,
+}
+
+/// Reproduces Figure 16: FNN vs BNN as the training set shrinks from the
+/// full set to 1/256 of it.
+pub fn fig16(scale: LearnScale, seed: u64) -> Vec<Fig16Point> {
+    let ds = mnist(scale, seed);
+    train_fractions()
+        .into_iter()
+        .map(|denom| {
+            let sub = ds.with_train_fraction(denom, seed ^ denom as u64);
+            // Small subsets are cheap: train to convergence by scaling the
+            // epoch count with the fraction (the paper trains each point
+            // fully rather than for a fixed epoch budget).
+            let mut frac_scale = scale;
+            frac_scale.epochs = (scale.epochs * denom.min(16)).min(80);
+            let fnn = train_fnn(&sub, frac_scale, 0.0, seed ^ 0xF);
+            let bnn = train_bnn(&sub, frac_scale, seed ^ 0xB);
+            Fig16Point {
+                denominator: denom,
+                train_samples: sub.train_len(),
+                fnn_accuracy: fnn.evaluate(&sub.test_x, &sub.test_y),
+                bnn_accuracy: bnn_test_accuracy(&bnn, &sub, scale.mc_samples, seed),
+            }
+        })
+        .collect()
+}
+
+/// One point of Figure 17: per-epoch accuracy during small-data training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig17Point {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// FNN test accuracy after this epoch.
+    pub fnn_accuracy: f64,
+    /// BNN test accuracy after this epoch.
+    pub bnn_accuracy: f64,
+}
+
+/// Reproduces Figure 17: convergence of FNN vs BNN when trained on 1/64
+/// of the data.
+pub fn fig17(scale: LearnScale, seed: u64) -> Vec<Fig17Point> {
+    let ds = mnist(scale, seed).with_train_fraction(64, seed ^ 64);
+    let arch = [ds.features(), scale.hidden, scale.hidden, ds.classes];
+    let mut fnn = Mlp::new(MlpConfig::new(&arch), seed ^ 0xF);
+    let batch = 32.min(ds.train_len()).max(1);
+    let batches = ds.train_len().div_ceil(batch).max(1);
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&arch)
+            .with_lr(2e-3)
+            .with_kl_weight((1.0 / batches as f32).min(5e-4))
+            .with_sigma_init(0.02)
+            .with_prior_std(0.1),
+        seed ^ 0xB,
+    );
+    (1..=scale.epochs.max(6))
+        .map(|epoch| {
+            fnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+            bnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+            Fig17Point {
+                epoch,
+                fnn_accuracy: fnn.evaluate(&ds.test_x, &ds.test_y),
+                bnn_accuracy: bnn_test_accuracy(&bnn, &ds, scale.mc_samples, seed + epoch as u64),
+            }
+        })
+        .collect()
+}
+
+/// One point of Figure 18: hardware test accuracy at a bit length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig18Point {
+    /// Datapath bit length.
+    pub bits: u32,
+    /// Hardware (quantized) test accuracy.
+    pub accuracy: f64,
+}
+
+/// Bit lengths swept in Figure 18.
+pub const FIG18_BITS: [u32; 9] = [3, 4, 5, 6, 7, 8, 10, 12, 16];
+
+/// Reproduces Figure 18: test accuracy vs datapath bit length. Returns
+/// the per-bit points plus the float (software) BNN accuracy for the
+/// threshold line.
+pub fn fig18(scale: LearnScale, seed: u64) -> (Vec<Fig18Point>, f64) {
+    let ds = mnist(scale, seed);
+    let bnn = train_bnn(&ds, scale, seed ^ 0xB);
+    let float_acc = bnn_test_accuracy(&bnn, &ds, scale.mc_samples, seed);
+    let points = FIG18_BITS
+        .into_iter()
+        .map(|bits| Fig18Point {
+            bits,
+            accuracy: hardware_accuracy(&bnn, &ds, bits, scale.mc_samples, seed + u64::from(bits)),
+        })
+        .collect();
+    (points, float_acc)
+}
+
+/// One row of Table 6: MNIST accuracy for a model class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Row {
+    /// Model label.
+    pub model: String,
+    /// Test accuracy.
+    pub accuracy: f64,
+}
+
+/// Reproduces Table 6: FNN+dropout (software), BNN (software), VIBNN
+/// (8-bit hardware with the RLF-GRNG).
+pub fn table6(scale: LearnScale, seed: u64) -> Vec<Table6Row> {
+    let ds = mnist(scale, seed);
+    let fnn = train_fnn(&ds, scale, 0.3, seed ^ 0xF);
+    let bnn = train_bnn(&ds, scale, seed ^ 0xB);
+    vec![
+        Table6Row {
+            model: "FNN+Dropout (Software)".to_owned(),
+            accuracy: fnn.evaluate(&ds.test_x, &ds.test_y),
+        },
+        Table6Row {
+            model: "BNN (Software)".to_owned(),
+            accuracy: bnn_test_accuracy(&bnn, &ds, scale.mc_samples, seed),
+        },
+        Table6Row {
+            model: "VIBNN (Hardware)".to_owned(),
+            accuracy: hardware_accuracy(&bnn, &ds, 8, scale.mc_samples, seed),
+        },
+    ]
+}
+
+/// One row of Table 7: accuracy on a disease dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// FNN (software) accuracy.
+    pub fnn: f64,
+    /// BNN (software) accuracy.
+    pub bnn: f64,
+    /// VIBNN (hardware) accuracy.
+    pub vibnn: f64,
+}
+
+/// Reproduces Table 7: FNN / BNN / VIBNN across the nine disease
+/// datasets.
+pub fn table7(scale: LearnScale, seed: u64) -> Vec<Table7Row> {
+    all_disease_datasets(seed)
+        .into_iter()
+        .map(|ds| {
+            let fnn = train_fnn(&ds, scale, 0.0, seed ^ 0xF);
+            let bnn = train_bnn(&ds, scale, seed ^ 0xB);
+            Table7Row {
+                dataset: ds.name.clone(),
+                fnn: fnn.evaluate(&ds.test_x, &ds.test_y),
+                bnn: bnn_test_accuracy(&bnn, &ds, scale.mc_samples, seed),
+                vibnn: hardware_accuracy(&bnn, &ds, 8, scale.mc_samples, seed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_smoke_produces_all_fractions() {
+        let pts = fig16(LearnScale::smoke(), 3);
+        assert_eq!(pts.len(), train_fractions().len());
+        for w in pts.windows(2) {
+            assert!(w[0].train_samples <= w[1].train_samples);
+        }
+        // On the full training set both models should beat chance (10%).
+        let full = pts.last().unwrap();
+        assert!(full.fnn_accuracy > 0.3, "fnn {}", full.fnn_accuracy);
+        assert!(full.bnn_accuracy > 0.3, "bnn {}", full.bnn_accuracy);
+    }
+
+    #[test]
+    fn table6_smoke_hardware_close_to_software() {
+        let rows = table6(LearnScale::smoke(), 5);
+        assert_eq!(rows.len(), 3);
+        let bnn = rows[1].accuracy;
+        let hw = rows[2].accuracy;
+        // At smoke scale the barely-trained posterior is very wide, which
+        // amplifies eps-structure sensitivity; the paper-scale run (table6
+        // binary / integration tests) shows tight parity (see
+        // EXPERIMENTS.md). Here we only gate against collapse.
+        assert!(
+            hw > bnn - 0.3,
+            "hardware {hw} collapsed relative to software {bnn}"
+        );
+    }
+}

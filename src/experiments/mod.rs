@@ -1,0 +1,20 @@
+//! Experiment drivers that regenerate every table and figure in the
+//! paper's evaluation (Section 6). Each function returns structured rows;
+//! the `vibnn-bench` binaries render them next to the paper's published
+//! values, and `EXPERIMENTS.md` records the comparison.
+//!
+//! All drivers take explicit size parameters so the integration tests can
+//! run scaled-down versions; the bench binaries use paper-scale defaults.
+
+mod grng_eval;
+mod hardware;
+mod learning;
+
+pub use grng_eval::{
+    fig15, table1, Fig15Row, Table1Row, FIG15_POOL_SIZES, PAPER_TABLE1,
+};
+pub use hardware::{table2, table3, table4, table5, Table2Row, Table4Row, Table5Row};
+pub use learning::{
+    fig16, fig17, fig18, table6, table7, Fig16Point, Fig17Point, Fig18Point, LearnScale,
+    Table6Row, Table7Row,
+};

@@ -1,0 +1,37 @@
+//! # VIBNN — Hardware Acceleration of Bayesian Neural Networks
+//!
+//! A full-system reproduction of *VIBNN* (Cai, Ren, et al., ASPLOS 2018):
+//! an FPGA accelerator for variational inference on Bayesian neural
+//! networks, rebuilt as a cycle-level simulator plus a complete software
+//! stack (GRNGs, BNN training, fixed-point datapath, datasets, and the
+//! paper's experiment suite).
+//!
+//! The subsystem crates are re-exported here:
+//!
+//! - [`rng`] — LFSRs, RAM-based linear feedback, parallel counters.
+//! - [`grng`] — the paper's RLF-GRNG and BNNWallace-GRNG plus reference
+//!   Gaussian generators.
+//! - [`stats`] — runs/KS/χ²/AD tests, moments (Table 1, Figure 15).
+//! - [`nn`] / [`bnn`] — plain MLPs and Bayes-by-Backprop BNNs.
+//! - [`fixed`] — Qm.n fixed-point arithmetic (the 8-bit datapath).
+//! - [`datasets`] — deterministic synthetic stand-ins for MNIST and the
+//!   disease-diagnosis datasets.
+//! - [`hw`] — the cycle-level accelerator simulator and FPGA resource,
+//!   power, and timing models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+pub mod experiments;
+
+pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
+
+pub use vibnn_bnn as bnn;
+pub use vibnn_datasets as datasets;
+pub use vibnn_fixed as fixed;
+pub use vibnn_grng as grng;
+pub use vibnn_hw as hw;
+pub use vibnn_nn as nn;
+pub use vibnn_rng as rng;
+pub use vibnn_stats as stats;

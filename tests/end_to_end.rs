@@ -1,0 +1,70 @@
+//! Cross-crate integration: train -> quantize -> deploy -> verify the full
+//! pipeline on a realistic (synthetic) dataset.
+
+use vibnn::bnn::{Bnn, BnnConfig};
+use vibnn::datasets::parkinson_original;
+use vibnn::grng::{BnnWallaceGrng, BoxMullerGrng};
+use vibnn::VibnnBuilder;
+
+#[test]
+fn train_quantize_deploy_parkinson() {
+    let ds = parkinson_original(1);
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&[ds.features(), 32, 32, ds.classes]).with_lr(2e-3),
+        2,
+    );
+    for _ in 0..12 {
+        bnn.train_epoch(&ds.train_x, &ds.train_y, 32);
+    }
+    let sw = bnn.evaluate_mean(&ds.test_x, &ds.test_y);
+    assert!(sw > 0.7, "software accuracy {sw}");
+
+    let accel = VibnnBuilder::new(bnn.params())
+        .bit_len(8)
+        .mc_samples(8)
+        .calibration(ds.train_x.rows_slice(0, 64))
+        .build();
+    let mut eps = BnnWallaceGrng::new(8, 256, 3);
+    let hw = accel.evaluate(&ds.test_x, &ds.test_y, &mut eps);
+    assert!(
+        hw > sw - 0.1,
+        "hardware accuracy {hw} degraded too far from software {sw}"
+    );
+}
+
+#[test]
+fn cycle_accurate_equals_functional_on_trained_network() {
+    let ds = parkinson_original(5);
+    let mut bnn = Bnn::new(BnnConfig::new(&[ds.features(), 16, 2]), 6);
+    for _ in 0..4 {
+        bnn.train_epoch(&ds.train_x, &ds.train_y, 32);
+    }
+    let mut accel = VibnnBuilder::new(bnn.params())
+        .mc_samples(3)
+        .calibration(ds.train_x.rows_slice(0, 32))
+        .build();
+    for r in 0..5 {
+        let mut eps_a = BoxMullerGrng::new(100 + r as u64);
+        let mut eps_b = BoxMullerGrng::new(100 + r as u64);
+        let f = accel.predict_proba(&ds.test_x.rows_slice(r, r + 1), &mut eps_a);
+        let t = accel.infer_cycle_accurate(ds.test_x.row(r), &mut eps_b);
+        for (c, &p) in f.row(0).iter().enumerate() {
+            assert!((t[c] - p).abs() < 1e-5, "row {r} class {c}: {} vs {p}", t[c]);
+        }
+    }
+}
+
+#[test]
+fn accelerator_models_stay_consistent_across_grngs() {
+    let ds = parkinson_original(9);
+    let bnn = Bnn::new(BnnConfig::new(&[ds.features(), 16, 2]), 10);
+    for kind in [vibnn::grng::GrngKind::Rlf, vibnn::grng::GrngKind::BnnWallace] {
+        let accel = VibnnBuilder::new(bnn.params())
+            .grng(kind)
+            .calibration(ds.train_x.rows_slice(0, 16))
+            .build();
+        assert!(accel.images_per_second() > 0.0);
+        assert!(accel.power_w() > vibnn::hw::power::P_STATIC_W);
+        assert!(accel.resources().fits_device());
+    }
+}

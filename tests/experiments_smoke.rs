@@ -1,0 +1,60 @@
+//! Scaled-down smoke runs of every experiment driver (the binaries run the
+//! full-scale versions).
+
+use vibnn::experiments::{
+    fig15, fig16, fig17, fig18, table1, table2, table3, table4, table5, table6, table7,
+    LearnScale,
+};
+
+#[test]
+fn grng_tables_smoke() {
+    let t1 = table1(30_000, 1);
+    assert_eq!(t1.len(), 6);
+    assert!(t1.iter().all(|r| r.mu_error.is_finite() && r.sigma_error >= 0.0));
+    let f15 = fig15(2, 20_000, 2);
+    assert_eq!(f15.len(), 7);
+    assert!(f15.iter().all(|r| (0.0..=1.0).contains(&r.pass_rate)));
+}
+
+#[test]
+fn hardware_tables_smoke() {
+    assert_eq!(table2().len(), 2);
+    assert!(table3().contains("RLF"));
+    let t4 = table4();
+    assert_eq!(t4.len(), 2);
+    assert!(t4.iter().all(|r| r.alm_frac > 0.0 && r.alm_frac < 1.0));
+    let t5 = table5();
+    assert_eq!(t5.len(), 4);
+    // FPGA rows dominate the CPU anchor.
+    assert!(t5[2].throughput > t5[0].throughput);
+}
+
+#[test]
+fn learning_experiments_smoke() {
+    let scale = LearnScale::smoke();
+    let f16 = fig16(scale, 3);
+    assert_eq!(f16.len(), 9);
+    let f17 = fig17(scale, 4);
+    assert!(f17.len() >= 6);
+    let (f18, float_acc) = fig18(scale, 5);
+    assert_eq!(f18.len(), 9);
+    assert!(float_acc > 0.2);
+    // Accuracy at 16 bits should be at least as good as at 3 bits.
+    let acc3 = f18.iter().find(|p| p.bits == 3).unwrap().accuracy;
+    let acc16 = f18.iter().find(|p| p.bits == 16).unwrap().accuracy;
+    assert!(acc16 >= acc3 - 0.05, "3-bit {acc3} vs 16-bit {acc16}");
+    let t6 = table6(scale, 6);
+    assert_eq!(t6.len(), 3);
+}
+
+#[test]
+#[ignore = "several minutes; run explicitly with --ignored"]
+fn table7_all_datasets() {
+    let mut scale = LearnScale::smoke();
+    scale.hidden = 32;
+    let rows = table7(scale, 7);
+    assert_eq!(rows.len(), 9);
+    for r in &rows {
+        assert!(r.fnn > 0.3 && r.bnn > 0.3 && r.vibnn > 0.2, "{r:?}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Statistical quality gates across the GRNG family (Table 1 / Figure 15
+//! invariants at test scale).
+
+use vibnn::grng::{
+    BnnWallaceGrng, BoxMullerGrng, CdfInversionGrng, GaussianSource, ParallelRlfGrng,
+    SoftwareWallace, WallaceNss, ZigguratGrng,
+};
+use vibnn::stats::{ks_test_normal, runs_test, Moments};
+
+fn stability(src: &mut dyn GaussianSource, n: usize) -> (f64, f64) {
+    Moments::from_slice(&src.take_vec(n)).stability_errors()
+}
+
+#[test]
+fn every_generator_is_marginally_stable() {
+    let sources: Vec<(&str, Box<dyn GaussianSource>)> = vec![
+        ("box-muller", Box::new(BoxMullerGrng::new(1))),
+        ("ziggurat", Box::new(ZigguratGrng::new(2))),
+        ("inversion", Box::new(CdfInversionGrng::new(3))),
+        ("rlf-64", Box::new(ParallelRlfGrng::new(64, 4))),
+        ("sw-wallace-4096", Box::new(SoftwareWallace::new(4096, 1, 5))),
+        ("bnnwallace", Box::new(BnnWallaceGrng::new(8, 256, 6))),
+        ("wallace-nss", Box::new(WallaceNss::new(256, 7))),
+    ];
+    for (name, mut src) in sources {
+        let (mu, sigma) = stability(&mut src, 100_000);
+        assert!(mu < 0.08, "{name}: mu error {mu}");
+        // NSS's closed quads give it the worst sigma stability (paper
+        // Table 1: 0.466); everything else should be well under 0.1.
+        let bound = if name == "wallace-nss" { 0.5 } else { 0.1 };
+        assert!(sigma < bound, "{name}: sigma error {sigma}");
+    }
+}
+
+#[test]
+fn reference_generators_pass_distribution_tests() {
+    for (name, mut src) in [
+        ("box-muller", Box::new(BoxMullerGrng::new(11)) as Box<dyn GaussianSource>),
+        ("ziggurat", Box::new(ZigguratGrng::new(12))),
+        ("inversion", Box::new(CdfInversionGrng::new(13))),
+    ] {
+        let xs = src.take_vec(50_000);
+        assert!(ks_test_normal(&xs).passes(0.01), "{name} KS failed");
+        assert!(runs_test(&xs).passes(0.01), "{name} runs failed");
+    }
+}
+
+#[test]
+fn nss_fails_where_bnnwallace_passes() {
+    let mut nss = WallaceNss::new(256, 21);
+    assert!(!runs_test(&nss.take_vec(100_000)).passes(0.05));
+    let mut bw = BnnWallaceGrng::new(8, 256, 22);
+    let _ = bw.take_vec(20_000); // warm-up mixing
+    assert!(runs_test(&bw.take_vec(100_000)).passes(0.05));
+}
+
+#[test]
+fn stability_improves_with_software_pool_size() {
+    let err = |pool: usize| {
+        let mut g = SoftwareWallace::new(pool, 1, 31);
+        stability(&mut g, 200_000).1
+    };
+    let e256 = err(256);
+    let e4096 = err(4096);
+    assert!(e4096 <= e256 + 0.01, "pool 256 {e256} vs 4096 {e4096}");
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use vibnn::fixed::{choose_format, MacAccumulator, QFormat};
+use vibnn::grng::WallaceUnit;
+use vibnn::hw::{AcceleratorConfig, Schedule};
+use vibnn::rng::{BitVec, CircularLfsr, RlfLogic, RlfMode, SplitMix64};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The RAM-based linear feedback logic is bit-exact to the shifting
+    /// circular LFSR for any non-zero seed (paper Section 4.1.2's claim).
+    #[test]
+    fn rlf_equals_circular_lfsr(seed in 1u64.., steps in 1usize..300) {
+        let mut src = SplitMix64::new(seed);
+        let bits = BitVec::random(255, &mut src);
+        let mut rlf = RlfLogic::new(bits, RlfMode::Simple);
+        let mut reference = rlf.to_circular();
+        for _ in 0..steps {
+            prop_assert_eq!(rlf.step(), reference.step());
+        }
+        prop_assert_eq!(rlf.state_from_head(), reference.state().clone());
+    }
+
+    /// One combined RLF step is exactly two simple steps (eq. 12 = 2x eq. 11).
+    #[test]
+    fn combined_equals_two_simple(seed in 1u64.., steps in 1usize..200) {
+        let mut src = SplitMix64::new(seed);
+        let bits = BitVec::random(255, &mut src);
+        let mut combined = RlfLogic::new(bits.clone(), RlfMode::Combined);
+        let mut twice = RlfLogic::new(bits, RlfMode::Simple);
+        for _ in 0..steps {
+            let a = combined.step();
+            twice.step();
+            let b = twice.step();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The circular LFSR never reaches the all-zero state and its popcount
+    /// changes by at most the tap count per step.
+    #[test]
+    fn lfsr_never_zero_and_bounded_delta(seed in 1u64.., steps in 1usize..500) {
+        let mut src = SplitMix64::new(seed);
+        let mut lfsr = CircularLfsr::random(255, &[250, 252, 253], &mut src);
+        let mut prev = lfsr.state().count_ones() as i64;
+        for _ in 0..steps {
+            let c = i64::from(lfsr.step());
+            prop_assert!(c > 0, "reached all-zero state");
+            prop_assert!((c - prev).abs() <= 3);
+            prev = c;
+        }
+    }
+
+    /// The Wallace 4x4 transform preserves the sum of squares exactly
+    /// (H/2 is orthogonal), for any finite quad.
+    #[test]
+    fn wallace_transform_preserves_energy(
+        a in -100.0f64..100.0, b in -100.0f64..100.0,
+        c in -100.0f64..100.0, d in -100.0f64..100.0,
+        loops in 1u32..16,
+    ) {
+        let x = [a, b, c, d];
+        let y = WallaceUnit::transform_loops(x, loops);
+        let before: f64 = x.iter().map(|v| v * v).sum();
+        let after: f64 = y.iter().map(|v| v * v).sum();
+        prop_assert!((before - after).abs() <= 1e-9 * before.max(1.0));
+    }
+
+    /// Quantize/dequantize round-trips within half an LSB for in-range
+    /// values, and saturates (not wraps) out-of-range values.
+    #[test]
+    fn fixed_point_roundtrip_and_saturation(
+        total in 3u32..=16,
+        x in -1000.0f64..1000.0,
+    ) {
+        let fmt = QFormat::new(total, total / 2);
+        let raw = fmt.quantize(x);
+        prop_assert!(raw >= fmt.min_raw() && raw <= fmt.max_raw());
+        let back = fmt.dequantize(raw);
+        if x.abs() < fmt.max_value() {
+            prop_assert!((back - x).abs() <= fmt.lsb() / 2.0 + 1e-12);
+        } else {
+            // Saturation: sign preserved, magnitude clamped to the rail.
+            prop_assert!(back.signum() == x.signum());
+        }
+    }
+
+    /// MAC accumulation is exact: matches i128 arithmetic for any operand
+    /// sequence.
+    #[test]
+    fn mac_accumulator_is_exact(pairs in prop::collection::vec((-128i32..=127, -128i32..=127), 1..64)) {
+        let mut acc = MacAccumulator::new();
+        let mut expect: i128 = 0;
+        for &(a, b) in &pairs {
+            acc.mac(a, b);
+            expect += i128::from(a) * i128::from(b);
+        }
+        prop_assert_eq!(i128::from(acc.raw()), expect);
+        prop_assert_eq!(acc.ops() as usize, pairs.len());
+    }
+
+    /// choose_format always covers the requested range with the maximum
+    /// fraction width that does so.
+    #[test]
+    fn choose_format_covers_and_is_tight(total in 3u32..=16, max in 0.01f64..100.0) {
+        let fmt = choose_format(total, max);
+        let representable = f64::from((1i64 << (total - 1)) as i32 - 1);
+        if max <= representable {
+            prop_assert!(fmt.max_value() >= max);
+            // One more fraction bit would no longer cover the range.
+            if fmt.frac_bits() + 1 < total {
+                let tighter = QFormat::new(total, fmt.frac_bits() + 1);
+                prop_assert!(tighter.max_value() < max);
+            }
+        } else {
+            // Out-of-gamut ranges fall back to the widest integer format.
+            prop_assert_eq!(fmt.frac_bits(), 0);
+        }
+    }
+
+    /// Schedule cycles are monotone in layer width and exactly linear in
+    /// MC samples, for any valid geometry.
+    #[test]
+    fn schedule_monotonicity(
+        t in 1usize..8,
+        n_pow in 1u32..4,
+        width in 8usize..256,
+        mc in 1usize..8,
+    ) {
+        let n = 1usize << n_pow; // 2,4,8
+        let cfg = AcceleratorConfig {
+            pe_sets: t,
+            pes_per_set: n,
+            pe_inputs: n,
+            max_word_size: 8192,
+            mc_samples: mc,
+            ..AcceleratorConfig::paper()
+        };
+        let base = Schedule::new(&cfg, &[width, width, 4]);
+        let wider = Schedule::new(&cfg, &[width * 2, width, 4]);
+        prop_assert!(wider.cycles_per_sample() >= base.cycles_per_sample());
+        prop_assert_eq!(base.cycles_per_image(), base.cycles_per_sample() * mc as u64);
+        prop_assert!(base.utilization() > 0.0 && base.utilization() <= 1.0);
+    }
+
+    /// Stratified fractions keep per-class representation for any
+    /// fraction.
+    #[test]
+    fn stratified_fraction_keeps_classes(frac in 0.01f64..1.0, seed in 0u64..1000) {
+        use vibnn::nn::Matrix;
+        let n = 80;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::new();
+        for r in 0..n {
+            x[(r, 0)] = r as f32;
+            y.push(r % 4);
+        }
+        let (sx, sy) = vibnn::datasets::stratified_fraction(&x, &y, frac, 4, seed);
+        prop_assert_eq!(sx.rows(), sy.len());
+        let mut seen = [false; 4];
+        for &l in &sy { seen[l] = true; }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
