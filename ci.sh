@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate for the VIBNN reproduction. Later PRs must keep every step
+# green; the first two lines are the repository's tier-1 verify.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run
+
+echo "==> cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "CI green."

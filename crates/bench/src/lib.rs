@@ -7,6 +7,9 @@
 //! Scaling: binaries honour the `VIBNN_SCALE` environment variable —
 //! `full` (paper-scale trials; slow), `default`, or `quick`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Run scale for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunScale {

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by this
+//! workspace's benches (`Criterion`, `BenchmarkGroup`, `Bencher`,
+//! [`Throughput`], [`criterion_group!`], [`criterion_main!`]). Unlike a
+//! mock, it really runs the benchmark closures on a short fixed budget
+//! and reports a median ns/iter (plus derived throughput), so relative
+//! comparisons between benches remain meaningful. It performs no
+//! statistical analysis, plotting, or baseline persistence.
+//!
+//! See `vendor/README.md` for why this exists (no network access at
+//! build time) and how to swap the real crate back in.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many "items" one iteration of a benchmark processes, used to
+/// derive a rate from the measured time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (samples, images, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording wall-clock time per call.
+    ///
+    /// The budget is intentionally small (a fraction of the configured
+    /// measurement time, capped) so the whole suite stays fast.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget (capped) elapses.
+        let warm_budget = self.warm_up_time.min(Duration::from_millis(100));
+        let start = Instant::now();
+        while start.elapsed() < warm_budget {
+            black_box(f());
+        }
+        // Measurement: up to `sample_size` samples within the budget.
+        let budget = self.measurement_time.min(Duration::from_millis(250));
+        let start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn median_secs(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(250),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement budget per benchmark (capped internally).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark (capped internally).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, None, name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_one(&cfg, Some(&self.name), name, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (report nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    group: Option<&str>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: cfg.sample_size,
+        measurement_time: cfg.measurement_time,
+        warm_up_time: cfg.warm_up_time,
+    };
+    f(&mut b);
+    let secs = b.median_secs();
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>10.3} Melem/s", n as f64 / secs / 1e6),
+        Some(Throughput::Bytes(n)) => format!("  {:>10.3} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        None => String::new(),
+    };
+    println!("bench {label:<48} {:>12.0} ns/iter{rate}", secs * 1e9);
+}
+
+/// Mirror of criterion's `criterion_group!`: bundles target functions
+/// under a named runner with a shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`: emits `fn main` running the
+/// given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

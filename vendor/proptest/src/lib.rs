@@ -1,0 +1,345 @@
+//! Offline stand-in for the `proptest` property-testing harness.
+//!
+//! Implements the subset of the proptest 1.x API used by this
+//! workspace's tests: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, [`ProptestConfig`], and strategies for integer
+//! and float ranges, tuples, and `prop::collection::vec`.
+//!
+//! Each generated test samples its inputs from a deterministic
+//! SplitMix64 stream and runs the body `config.cases` times. A failing
+//! case panics immediately with the sampled inputs' debug
+//! representation; unlike real proptest there is **no shrinking** — the
+//! reported counterexample is the raw sampled one.
+//!
+//! See `vendor/README.md` for why this exists (no network access at
+//! build time) and how to swap the real crate back in.
+
+#![warn(missing_docs)]
+
+/// Per-test configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic random source backing the generated tests.
+
+    /// SplitMix64 stream used to sample strategy values.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Fixed-seed RNG so failures reproduce across runs. The seed
+        /// can be overridden with the `PROPTEST_SEED` env var (decimal).
+        pub fn deterministic() -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5DEECE66D_u64);
+            TestRng(seed)
+        }
+
+        /// Next 64 uniform random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform i128 in `[lo, hi]` (inclusive); `hi - lo` must fit u64.
+        pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            if span == 0 {
+                // Full u64-sized span: every draw is in range.
+                lo + self.next_u64() as i128
+            } else {
+                lo + (self.next_u64() as u128 % span) as i128
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (sampling only, no shrinking).
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe for sampling values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(self.start as i128, <$t>::MAX as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    // Scale in f64 so narrow-type rounding can't produce
+                    // exactly `end` (the range is half-open).
+                    let v = (self.start as f64
+                        + rng.next_f64() * (self.end as f64 - self.start as f64))
+                        as $t;
+                    if v >= self.end {
+                        self.start
+                    } else {
+                        v
+                    }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    (*self.start() as f64
+                        + rng.next_f64() * (*self.end() as f64 - *self.start() as f64))
+                        as $t
+                }
+            }
+        )*};
+    }
+    float_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values drawn from an element
+    /// strategy, with length in a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy with length drawn from `len` (half-open).
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Mirror of the `prop` module alias from the real prelude.
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property; panics with the current case's
+/// inputs on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Prints the failing case's inputs when dropped during a panic
+/// unwind; silent otherwise. Lets the generated tests report inputs
+/// without wrapping the body in a closure (which would break
+/// `prop_assume!`'s `continue` and move-out of sampled values).
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct FailureReporter {
+    /// `stringify!`d test name.
+    pub test: &'static str,
+    /// Pre-formatted `name = value` list for the current case.
+    pub inputs: String,
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest failure in `{}` with {}", self.test, self.inputs);
+        }
+    }
+}
+
+/// Skip the current case when its sampled inputs don't satisfy a
+/// precondition (maps to `continue` on the case loop; the body runs
+/// inline in that loop, not in a closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Mirror of proptest's `proptest!` macro: each `fn name(arg in
+/// strategy, ...) { body }` item becomes a `#[test]` running the body
+/// over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )+
+                // Formatted up front because the body may move the
+                // sampled values; the reporter only prints on unwind.
+                let __reporter = $crate::FailureReporter {
+                    test: stringify!($name),
+                    inputs: format!(
+                        concat!("case {}: ", $(stringify!($arg), " = {:?}, ",)+),
+                        case $(, &$arg)+
+                    ),
+                };
+                { $body }
+                drop(__reporter);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// Half-open ranges never yield their upper bound, even for f32
+        /// where f64→f32 rounding could otherwise land on it.
+        #[test]
+        fn float_range_is_half_open(x in 0.0f32..1.0f32, y in -3.0f64..3.0) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((-3.0..3.0).contains(&y));
+        }
+
+        /// prop_assume! rejects cases without failing the test, from
+        /// inside the unwind-catching case loop.
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        /// Collection and tuple strategies respect their bounds.
+        #[test]
+        fn vec_strategy_len_in_range(v in prop::collection::vec((0i32..10, 5u8..6), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!((0..10).contains(&a));
+                prop_assert_eq!(b, 5);
+            }
+        }
+    }
+}
