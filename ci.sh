@@ -16,4 +16,16 @@ cargo bench --no-run
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace (deny warnings)"
+    cargo clippy --workspace -- -D warnings
+else
+    echo "==> NOTICE: clippy unavailable (offline toolchain); skipping lint step"
+fi
+
+echo "==> VIBNN_SCALE=quick smoke run (table1 + machine-readable GRNG bench)"
+VIBNN_SCALE=quick cargo run --release -p vibnn_bench --bin table1
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
+    cargo run --release -p vibnn_bench --bin bench_grng
+
 echo "CI green."

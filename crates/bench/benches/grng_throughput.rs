@@ -1,9 +1,24 @@
 //! GRNG sample-rate microbenchmarks (the software analogue of Table 2's
 //! per-design performance comparison, plus the taxonomy baselines).
+//!
+//! Every design is measured twice over the same 4096-sample batch:
+//!
+//! - `scalar`: one `next_gaussian()` virtual call per sample — the
+//!   pre-block-engine consumption pattern;
+//! - `block`: one `fill()` call for the whole batch — the block kernels
+//!   (popcount lanes, whole Wallace transform rounds, batched Box–Muller).
+//!
+//! Expect ≥ 2× block speedup where the per-sample kernel is cheap enough
+//! for call overhead to dominate (BNNWallace measures ~3×: whole
+//! transform rounds per `fill`). The RLF design sits near 1.1× by
+//! construction — its scalar path is already block-amortized by the
+//! interleaver buffer, so only dispatch overhead separates the two.
+//! `vibnn_bench`'s `bench_grng` binary records the same comparison
+//! machine-readably in `BENCH_grng.json`.
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vibnn_grng::{
-    BnnWallaceGrng, BoxMullerGrng, CdfInversionGrng, CltGrng, GaussianSource, ParallelRlfGrng,
-    SoftwareWallace, WallaceNss, ZigguratGrng,
+    BnnWallaceGrng, BoxMullerGrng, Buffered, CdfInversionGrng, CltGrng, GaussianSource,
+    ParallelRlfGrng, SoftwareWallace, WallaceNss, ZigguratGrng,
 };
 
 const BATCH: usize = 4096;
@@ -11,7 +26,16 @@ const BATCH: usize = 4096;
 fn bench_source(c: &mut Criterion, name: &str, mut src: Box<dyn GaussianSource>) {
     let mut group = c.benchmark_group("grng");
     group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function(name, |b| {
+    group.bench_function(&format!("{name}/scalar"), |b| {
+        let mut buf = vec![0.0; BATCH];
+        b.iter(|| {
+            for slot in &mut buf {
+                *slot = src.next_gaussian();
+            }
+            std::hint::black_box(buf[BATCH - 1])
+        })
+    });
+    group.bench_function(&format!("{name}/block"), |b| {
         let mut buf = vec![0.0; BATCH];
         b.iter(|| {
             src.fill(&mut buf);
@@ -30,6 +54,13 @@ fn benches(c: &mut Criterion) {
     bench_source(c, "box_muller", Box::new(BoxMullerGrng::new(6)));
     bench_source(c, "ziggurat", Box::new(ZigguratGrng::new(7)));
     bench_source(c, "cdf_inversion", Box::new(CdfInversionGrng::new(8)));
+    // The adapter's amortized scalar path, for comparison with the raw
+    // scalar rows above.
+    bench_source(
+        c,
+        "rlf_64_lanes_buffered",
+        Box::new(Buffered::new(ParallelRlfGrng::new(64, 9))),
+    );
 }
 
 criterion_group! {

@@ -1,6 +1,8 @@
-//! NN kernel microbenchmarks: matrix multiply and BNN training step.
+//! NN kernel microbenchmarks: blocked matrix multiplies, BNN training
+//! step, and serial vs parallel Monte Carlo inference.
 use criterion::{criterion_group, criterion_main, Criterion};
 use vibnn_bnn::{Bnn, BnnConfig};
+use vibnn_grng::BoxMullerGrng;
 use vibnn_nn::Matrix;
 
 fn benches(c: &mut Criterion) {
@@ -10,12 +12,44 @@ fn benches(c: &mut Criterion) {
         bch.iter(|| std::hint::black_box(a.matmul(&b)))
     });
 
+    // Paper-scale first layer: 64-image batch × 784 features × 200 units,
+    // crossing both tile boundaries of the blocked kernels.
+    let xa = Matrix::from_vec(64, 784, (0..64 * 784).map(|i| (i % 11) as f32 * 0.05).collect());
+    let wb = Matrix::from_vec(784, 200, (0..784 * 200).map(|i| (i % 17) as f32 * 0.02).collect());
+    c.bench_function("matmul_64x784x200", |bch| {
+        bch.iter(|| std::hint::black_box(xa.matmul(&wb)))
+    });
+    let g = Matrix::from_vec(64, 200, vec![0.01; 64 * 200]);
+    c.bench_function("matmul_t_64x200_784x200", |bch| {
+        // dL/dx shape: grad(64×200) · W(784×200)ᵀ → 64×784.
+        bch.iter(|| std::hint::black_box(g.matmul_t(&wb)))
+    });
+
     let x = Matrix::from_vec(32, 784, vec![0.5; 32 * 784]);
     let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
     c.bench_function("bnn_train_batch_784_200_200_10", |bch| {
         let mut bnn = Bnn::new(BnnConfig::paper_mnist(), 1);
         bch.iter(|| std::hint::black_box(bnn.train_batch(&x, &y)))
     });
+
+    // Monte Carlo ensemble: one continuous stream (serial) vs forked
+    // substreams on 1 and 4 workers. On a multi-core host the 4-thread row
+    // should approach a 4× speedup; outputs are identical across the
+    // parallel rows regardless of core count.
+    let bnn = Bnn::new(BnnConfig::new(&[64, 128, 128, 10]), 3);
+    let mx = Matrix::from_vec(16, 64, (0..16 * 64).map(|i| (i % 9) as f32 * 0.1).collect());
+    c.bench_function("bnn_mc16_serial", |bch| {
+        let mut eps = BoxMullerGrng::new(5);
+        bch.iter(|| std::hint::black_box(bnn.predict_proba_mc(&mx, 16, &mut eps)))
+    });
+    for threads in [1usize, 2, 4] {
+        c.bench_function(&format!("bnn_mc16_parallel_{threads}t"), |bch| {
+            let eps = BoxMullerGrng::new(5);
+            bch.iter(|| {
+                std::hint::black_box(bnn.predict_proba_mc_parallel(&mx, 16, &eps, threads))
+            })
+        });
+    }
 }
 
 criterion_group! {

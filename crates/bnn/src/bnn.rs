@@ -1,13 +1,13 @@
 //! The full Bayesian MLP: stacked [`VarDense`] layers trained by
 //! Bayes-by-Backprop, with Monte Carlo inference (paper equations 4–6).
 
-use vibnn_grng::{BoxMullerGrng, GaussianSource};
+use vibnn_grng::{BoxMullerGrng, GaussianSource, StreamFork};
 use vibnn_nn::{
     accuracy, cross_entropy_loss, relu, relu_backward, softmax_rows, Adam, GaussianInit, Matrix,
     Optimizer,
 };
 
-use crate::{BnnParams, GaussianPrior, VarDense};
+use crate::{parallel_mc_reduce, BnnParams, EpsScratch, GaussianPrior, VarDense};
 
 /// Configuration for [`Bnn`].
 ///
@@ -179,10 +179,32 @@ impl Bnn {
         }
     }
 
+    /// One sampled forward pass ending in softmax, on reusable buffers.
+    fn sample_probs(
+        &self,
+        x: &Matrix,
+        eps_src: &mut impl GaussianSource,
+        scratch: &mut EpsScratch,
+    ) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_sample_inference_with(&h, eps_src, scratch);
+            if i < last {
+                relu(&mut h);
+            }
+        }
+        softmax_rows(&mut h);
+        h
+    }
+
     /// Monte Carlo predictive probabilities: averages the softmax output
     /// over `samples` weight draws whose unit Gaussians come from
     /// `eps_src` (paper equation 6). This is the seam where the hardware
-    /// GRNGs plug in.
+    /// GRNGs plug in. All ε tensors are drawn through the block API; one
+    /// continuous stream feeds every sample in order.
+    ///
+    /// For multi-core inference see [`Self::predict_proba_mc_parallel`].
     ///
     /// # Panics
     ///
@@ -195,20 +217,42 @@ impl Bnn {
     ) -> Matrix {
         assert!(samples > 0, "need at least one Monte Carlo sample");
         let mut acc = Matrix::zeros(x.rows(), *self.cfg.sizes.last().expect("sizes"));
-        let last = self.layers.len() - 1;
+        let mut scratch = EpsScratch::new();
         for _ in 0..samples {
-            let mut h = x.clone();
-            for (i, layer) in self.layers.iter().enumerate() {
-                h = layer.forward_sample_inference(&h, eps_src);
-                if i < last {
-                    relu(&mut h);
-                }
-            }
-            softmax_rows(&mut h);
+            let h = self.sample_probs(x, eps_src, &mut scratch);
             acc.axpy(1.0, &h);
         }
         acc.scale(1.0 / samples as f32);
         acc
+    }
+
+    /// Monte Carlo predictive probabilities with the sample ensemble
+    /// spread across `threads` `std::thread::scope` workers.
+    ///
+    /// Sample `s` always draws its ε from `eps_src.fork(s)`, and the
+    /// per-sample softmax outputs are reduced in ascending sample order
+    /// after all workers join — so the result is **bit-identical for every
+    /// thread count** (and to `threads == 1`). Pass `threads == 0` to use
+    /// the [`crate::vibnn_threads`] knob (`VIBNN_THREADS`).
+    ///
+    /// Note the ε-stream *assignment* differs from
+    /// [`Self::predict_proba_mc`], which feeds one continuous stream
+    /// through all samples; the two paths are statistically equivalent but
+    /// not numerically interchangeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn predict_proba_mc_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        samples: usize,
+        eps_src: &S,
+        threads: usize,
+    ) -> Matrix {
+        parallel_mc_reduce(samples, threads, eps_src, |src, scratch: &mut EpsScratch| {
+            self.sample_probs(x, src, scratch)
+        })
     }
 
     /// Deterministic predictive probabilities using the posterior means.
@@ -234,6 +278,22 @@ impl Bnn {
         eps_src: &mut impl GaussianSource,
     ) -> f64 {
         accuracy(&self.predict_proba_mc(x, samples, eps_src), labels)
+    }
+
+    /// Accuracy under parallel MC inference (see
+    /// [`Self::predict_proba_mc_parallel`] for the threading contract).
+    pub fn evaluate_mc_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        samples: usize,
+        eps_src: &S,
+        threads: usize,
+    ) -> f64 {
+        accuracy(
+            &self.predict_proba_mc_parallel(x, samples, eps_src, threads),
+            labels,
+        )
     }
 
     /// Accuracy under mean-weight inference.
@@ -457,5 +517,40 @@ mod tests {
         let bnn = Bnn::new(BnnConfig::new(&[2, 2]), 1);
         let mut eps = BoxMullerGrng::new(1);
         let _ = bnn.predict_proba_mc(&Matrix::zeros(1, 2), 0, &mut eps);
+    }
+
+    #[test]
+    fn parallel_mc_is_bit_identical_across_thread_counts() {
+        let bnn = Bnn::new(BnnConfig::new(&[3, 8, 2]).with_sigma_init(0.3), 25);
+        let x = Matrix::from_rows(&[&[0.3, -0.7, 1.1], &[0.0, 0.4, -0.2]]);
+        let eps = BoxMullerGrng::new(31);
+        let reference = bnn.predict_proba_mc_parallel(&x, 7, &eps, 1);
+        for threads in [2usize, 3, 4, 16] {
+            let got = bnn.predict_proba_mc_parallel(&x, 7, &eps, threads);
+            assert_eq!(
+                got.data(),
+                reference.data(),
+                "{threads} threads diverged from 1 thread"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_mc_reasonably_agrees_with_serial_mc() {
+        // Different ε assignment (forked substreams vs one continuous
+        // stream), same statistics: class probabilities of a trained model
+        // should land close.
+        let (x, y) = toy_data(128, 33);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 8, 2]).with_lr(0.02), 35);
+        for _ in 0..20 {
+            bnn.train_epoch(&x, &y, 32);
+        }
+        let mut serial_eps = BoxMullerGrng::new(41);
+        let serial = bnn.evaluate_mc(&x, &y, 16, &mut serial_eps);
+        let parallel = bnn.evaluate_mc_parallel(&x, &y, 16, &BoxMullerGrng::new(41), 4);
+        assert!(
+            (serial - parallel).abs() < 0.1,
+            "serial {serial} vs parallel {parallel}"
+        );
     }
 }

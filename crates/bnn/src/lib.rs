@@ -28,12 +28,16 @@
 #![warn(missing_docs)]
 
 mod bnn;
+mod mc;
 mod prior;
+mod threads;
 mod var_dense;
 
 pub use bnn::{Bnn, BnnConfig, BnnTrainReport};
+pub use mc::parallel_mc_reduce;
 pub use prior::{GaussianPrior, ScaleMixturePrior};
-pub use var_dense::{softplus, softplus_derivative, VarDense};
+pub use threads::vibnn_threads;
+pub use var_dense::{softplus, softplus_derivative, EpsScratch, VarDense};
 
 /// A frozen snapshot of a trained BNN's variational parameters, expressed
 /// as per-layer `(µ, σ)` matrices — the exact artifact that gets migrated

@@ -1,0 +1,104 @@
+//! The parallel Monte Carlo harness: fork-per-sample scheduling with an
+//! order-deterministic reduction.
+//!
+//! Both the float BNN (`Bnn::predict_proba_mc_parallel`) and the
+//! fixed-point datapath (`vibnn_hw`'s parallel inference) run their MC
+//! ensembles through [`parallel_mc_reduce`], so the bit-identity contract
+//! — thread count never changes the result — lives in exactly one place.
+
+use vibnn_grng::StreamFork;
+use vibnn_nn::Matrix;
+
+use crate::vibnn_threads;
+
+/// Runs `samples` Monte Carlo draws of `sample_fn` across `threads`
+/// `std::thread::scope` workers and averages the resulting matrices.
+///
+/// The contract that makes results **bit-identical for every thread
+/// count**:
+///
+/// - sample `s` always draws its ε from `eps_src.fork(s)`, never from a
+///   shared stream, so its value is independent of scheduling;
+/// - the per-sample outputs are accumulated in ascending sample order
+///   after all workers join, so the float reduction order is fixed.
+///
+/// `threads == 0` resolves through [`vibnn_threads`] (the `VIBNN_THREADS`
+/// environment knob). Each worker gets one `W::default()` as reusable
+/// per-worker state (scratch buffers; use `()` if none is needed).
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn parallel_mc_reduce<S, W, F>(
+    samples: usize,
+    threads: usize,
+    eps_src: &S,
+    sample_fn: F,
+) -> Matrix
+where
+    S: StreamFork + Sync,
+    W: Default,
+    F: Fn(&mut S, &mut W) -> Matrix + Sync,
+{
+    assert!(samples > 0, "need at least one Monte Carlo sample");
+    let threads = if threads == 0 { vibnn_threads() } else { threads }
+        .min(samples)
+        .max(1);
+    let mut per_sample: Vec<Option<Matrix>> = (0..samples).map(|_| None).collect();
+    let chunk = samples.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slots) in per_sample.chunks_mut(chunk).enumerate() {
+            let base = t * chunk;
+            let sample_fn = &sample_fn;
+            scope.spawn(move || {
+                let mut worker_state = W::default();
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let mut src = eps_src.fork((base + off) as u64);
+                    *slot = Some(sample_fn(&mut src, &mut worker_state));
+                }
+            });
+        }
+    });
+    // Deterministic reduction: ascending sample order, independent of how
+    // the chunks were scheduled.
+    let mut draws = per_sample
+        .into_iter()
+        .map(|m| m.expect("worker filled every slot"));
+    let mut acc = draws.next().expect("samples > 0");
+    for m in draws {
+        acc.axpy(1.0, &m);
+    }
+    acc.scale(1.0 / samples as f32);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_grng::{BoxMullerGrng, GaussianSource};
+
+    #[test]
+    fn reduction_is_schedule_independent() {
+        let eps = BoxMullerGrng::new(7);
+        let run = |threads| {
+            parallel_mc_reduce(10, threads, &eps, |src: &mut BoxMullerGrng, _: &mut ()| {
+                let mut m = Matrix::zeros(2, 3);
+                src.fill_f32(m.data_mut());
+                m
+            })
+        };
+        let one = run(1);
+        for threads in [2usize, 3, 7, 32] {
+            assert_eq!(run(threads).data(), one.data(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Monte Carlo sample")]
+    fn zero_samples_panics() {
+        let eps = BoxMullerGrng::new(1);
+        let _ = parallel_mc_reduce(0, 1, &eps, |_: &mut BoxMullerGrng, _: &mut ()| {
+            Matrix::zeros(1, 1)
+        });
+    }
+}

@@ -1,0 +1,40 @@
+//! The `VIBNN_THREADS` worker-count knob.
+
+/// Returns the Monte Carlo worker count configured for this process.
+///
+/// Reads the `VIBNN_THREADS` environment variable; any positive integer
+/// wins. Unset, empty, or unparsable values fall back to the machine's
+/// available parallelism (or 1 if that cannot be determined).
+///
+/// Thread count never affects results: the parallel inference paths fork
+/// one substream per Monte Carlo sample and reduce in sample order, so
+/// `VIBNN_THREADS=1` and `VIBNN_THREADS=64` produce bit-identical outputs.
+///
+/// # Example
+///
+/// ```
+/// let n = vibnn_bnn::vibnn_threads();
+/// assert!(n >= 1);
+/// ```
+pub fn vibnn_threads() -> usize {
+    match std::env::var("VIBNN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_one_worker() {
+        // Whatever the environment says, the answer is usable.
+        assert!(vibnn_threads() >= 1);
+    }
+}

@@ -19,6 +19,40 @@ pub fn softplus_derivative(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Reusable ε-sampling buffers for repeated sampled-inference passes.
+///
+/// One Monte Carlo forward pass per layer needs a sampled
+/// `in_dim × out_dim` weight matrix (drawn from an ε block of the same
+/// shape) and a sampled bias row. Allocating those per sample dominated
+/// the original hot loop; a single `EpsScratch`, threaded through
+/// [`VarDense::forward_sample_inference_with`], grows to the largest layer
+/// once and is reused for every subsequent sample.
+#[derive(Debug, Clone)]
+pub struct EpsScratch {
+    /// Sampled bias row `bµ + softplus(bρ) ◦ ε`.
+    bias: Vec<f32>,
+    /// Sampled weight matrix `µ + softplus(ρ) ◦ ε`. Doubles as the ε
+    /// landing buffer: the draws are written here and transformed in
+    /// place.
+    weights: Matrix,
+}
+
+impl EpsScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            bias: Vec::new(),
+            weights: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for EpsScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A dense layer whose weights and biases are Gaussian posteriors
 /// `N(µ, softplus(ρ)²)`, trained with the reparameterization trick
 /// `w = µ + σ ◦ ε`.
@@ -95,17 +129,16 @@ impl VarDense {
     }
 
     /// Draws one weight sample `w = µ + σ ◦ ε` and runs `y = x·w + b`,
-    /// caching everything needed for `backward`.
+    /// caching everything needed for `backward`. The ε tensors are drawn
+    /// through the block API ([`GaussianSource::fill_f32`]): one block for
+    /// the weights, one for the biases — the same stream order the scalar
+    /// path consumed.
     pub fn forward_sample(&mut self, x: &Matrix, eps_src: &mut impl GaussianSource) -> Matrix {
         let (i, o) = (self.in_dim(), self.out_dim());
         let mut eps = Matrix::zeros(i, o);
-        for v in eps.data_mut() {
-            *v = eps_src.next_gaussian() as f32;
-        }
+        eps_src.fill_f32(eps.data_mut());
         let mut bias_eps = vec![0.0f32; o];
-        for v in &mut bias_eps {
-            *v = eps_src.next_gaussian() as f32;
-        }
+        eps_src.fill_f32(&mut bias_eps);
         let w = self.sampled_weights(&eps);
         let b: Vec<f32> = self
             .bias_mu
@@ -123,25 +156,57 @@ impl VarDense {
     }
 
     /// Inference-only sampled forward (no caching).
+    ///
+    /// Allocates fresh buffers each call; the Monte Carlo hot loop should
+    /// prefer [`Self::forward_sample_inference_with`] and reuse one
+    /// [`EpsScratch`] across samples.
     pub fn forward_sample_inference(
         &self,
         x: &Matrix,
         eps_src: &mut impl GaussianSource,
     ) -> Matrix {
+        self.forward_sample_inference_with(x, eps_src, &mut EpsScratch::new())
+    }
+
+    /// Inference-only sampled forward on reusable buffers: ε is drawn in
+    /// two blocks (weights, then biases — the scalar path's stream order),
+    /// and the sampled weight/bias tensors live in `scratch`, so a warm
+    /// scratch makes the per-sample cost allocation-free outside the
+    /// matmul.
+    pub fn forward_sample_inference_with(
+        &self,
+        x: &Matrix,
+        eps_src: &mut impl GaussianSource,
+        scratch: &mut EpsScratch,
+    ) -> Matrix {
         let (i, o) = (self.in_dim(), self.out_dim());
-        let mut eps = Matrix::zeros(i, o);
-        for v in eps.data_mut() {
-            *v = eps_src.next_gaussian() as f32;
+        // ε lands directly in the weight scratch and is transformed in
+        // place to w = µ + softplus(ρ) ◦ ε — one buffer, one pass
+        // (capacity-preserving resize: no allocation once the scratch has
+        // visited the largest layer).
+        scratch.weights.resize(i, o);
+        eps_src.fill_f32(scratch.weights.data_mut());
+        for ((w, &m), &r) in scratch
+            .weights
+            .data_mut()
+            .iter_mut()
+            .zip(self.mu.data())
+            .zip(self.rho.data())
+        {
+            *w = m + softplus(r) * *w;
         }
-        let w = self.sampled_weights(&eps);
-        let b: Vec<f32> = self
-            .bias_mu
-            .iter()
+        scratch.bias.resize(o, 0.0);
+        eps_src.fill_f32(&mut scratch.bias);
+        for ((b, &m), &r) in scratch
+            .bias
+            .iter_mut()
+            .zip(&self.bias_mu)
             .zip(&self.bias_rho)
-            .map(|(&m, &r)| m + softplus(r) * eps_src.next_gaussian() as f32)
-            .collect();
-        let mut y = x.matmul(&w);
-        y.add_row_broadcast(&b);
+        {
+            *b = m + softplus(r) * *b;
+        }
+        let mut y = x.matmul(&scratch.weights);
+        y.add_row_broadcast(&scratch.bias);
         y
     }
 
@@ -307,8 +372,8 @@ mod tests {
         let mean_out = layer.forward_mean(&x);
         let mut eps = BoxMullerGrng::new(5);
         let n = 2000;
-        let mut acc = vec![0.0f64; 2];
-        let mut sq = vec![0.0f64; 2];
+        let mut acc = [0.0f64; 2];
+        let mut sq = [0.0f64; 2];
         for _ in 0..n {
             let y = layer.forward_sample(&x, &mut eps);
             for c in 0..2 {

@@ -1,0 +1,149 @@
+//! Block-to-scalar adapter: serves scalar reads out of prefetched blocks.
+
+use crate::{GaussianSource, StreamFork};
+
+/// Default number of samples prefetched per refill.
+pub const DEFAULT_BUFFER_LEN: usize = 1024;
+
+/// Adapts a block-oriented generator to cheap scalar consumption.
+///
+/// Scalar callers that genuinely need one number at a time (rejection
+/// loops, interactive probes) would otherwise pay the per-call dispatch
+/// cost on every draw. `Buffered` pulls `block_len` samples at a time
+/// through the inner generator's optimized [`GaussianSource::fill`] kernel
+/// and hands them out one by one, so the amortized scalar cost approaches
+/// the block cost. Buffering is transparent: the emitted stream is exactly
+/// the inner generator's stream, and [`GaussianSource::fill`] calls on the
+/// adapter drain the buffer before bypassing it for the bulk of the slice.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_grng::{Buffered, GaussianSource, ParallelRlfGrng};
+/// let mut direct = ParallelRlfGrng::new(16, 9);
+/// let mut buffered = Buffered::new(ParallelRlfGrng::new(16, 9));
+/// for _ in 0..5000 {
+///     assert_eq!(direct.next_gaussian(), buffered.next_gaussian());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Buffered<G> {
+    inner: G,
+    buf: Vec<f64>,
+    pos: usize,
+    block_len: usize,
+}
+
+impl<G: GaussianSource> Buffered<G> {
+    /// Wraps `inner` with the default block length.
+    pub fn new(inner: G) -> Self {
+        Self::with_block_len(inner, DEFAULT_BUFFER_LEN)
+    }
+
+    /// Wraps `inner`, prefetching `block_len` samples per refill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len == 0`.
+    pub fn with_block_len(inner: G, block_len: usize) -> Self {
+        assert!(block_len > 0, "block length must be positive");
+        Self {
+            inner,
+            buf: Vec::new(),
+            pos: 0,
+            block_len,
+        }
+    }
+
+    /// Samples prefetched per refill.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Samples currently buffered and not yet emitted.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Borrow the wrapped generator.
+    ///
+    /// Drawing from it directly would skip any samples still buffered; use
+    /// [`Self::into_inner`] to reclaim it for direct consumption.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// Unwraps the adapter, discarding any buffered samples.
+    pub fn into_inner(self) -> G {
+        self.inner
+    }
+}
+
+impl<G: GaussianSource> GaussianSource for Buffered<G> {
+    fn next_gaussian(&mut self) -> f64 {
+        if self.pos >= self.buf.len() {
+            self.buf.resize(self.block_len, 0.0);
+            self.inner.fill(&mut self.buf);
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        // Drain what was already prefetched, then stream the remainder
+        // straight from the inner block kernel.
+        let take = (self.buf.len() - self.pos).min(out.len());
+        out[..take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+        self.pos += take;
+        self.inner.fill(&mut out[take..]);
+    }
+}
+
+impl<G: StreamFork> StreamFork for Buffered<G> {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::with_block_len(self.inner.fork(stream_id), self.block_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoxMullerGrng;
+
+    #[test]
+    fn scalar_stream_matches_inner() {
+        let mut direct = BoxMullerGrng::new(3);
+        let mut buffered = Buffered::with_block_len(BoxMullerGrng::new(3), 7);
+        for _ in 0..100 {
+            assert_eq!(direct.next_gaussian(), buffered.next_gaussian());
+        }
+    }
+
+    #[test]
+    fn mixed_scalar_and_block_reads_stay_in_sync() {
+        let mut direct = BoxMullerGrng::new(5);
+        let mut buffered = Buffered::with_block_len(BoxMullerGrng::new(5), 16);
+        let a = buffered.next_gaussian();
+        assert_eq!(a, direct.next_gaussian());
+        let block = buffered.take_vec(50);
+        assert_eq!(block, direct.take_vec(50));
+        assert_eq!(buffered.next_gaussian(), direct.next_gaussian());
+    }
+
+    #[test]
+    fn fork_forwards_to_inner() {
+        use crate::StreamFork;
+        let buffered = Buffered::new(BoxMullerGrng::new(9));
+        let mut a = buffered.fork(4);
+        let mut b = BoxMullerGrng::new(9).fork(4);
+        assert_eq!(a.take_vec(32), b.take_vec(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "block length must be positive")]
+    fn zero_block_panics() {
+        let _ = Buffered::with_block_len(BoxMullerGrng::new(1), 0);
+    }
+}

@@ -8,7 +8,7 @@
 
 use vibnn_rng::{BitSource, CircularLfsr, ParallelCounter, SplitMix64};
 
-use crate::GaussianSource;
+use crate::{substream_seed, GaussianSource, StreamFork};
 
 /// LFSR + parallel-counter CLT generator.
 ///
@@ -30,6 +30,7 @@ pub struct CltGrng {
     decimation: u32,
     mean: f64,
     std: f64,
+    seed: u64,
 }
 
 impl CltGrng {
@@ -55,6 +56,7 @@ impl CltGrng {
             decimation,
             mean: n / 2.0,
             std: (n / 4.0).sqrt(),
+            seed,
         }
     }
 
@@ -79,12 +81,23 @@ impl GaussianSource for CltGrng {
     }
 }
 
+impl StreamFork for CltGrng {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::new(
+            self.lfsr.width(),
+            self.decimation,
+            substream_seed(self.seed, stream_id),
+        )
+    }
+}
+
 /// Sum-of-uniforms CLT generator (the textbook variant: sum of `k` uniform
 /// variates, standardized). Included for the taxonomy's completeness.
 #[derive(Debug, Clone)]
 pub struct UniformSumGrng {
     uniform: vibnn_rng::Xoshiro256,
     k: u32,
+    seed: u64,
 }
 
 impl UniformSumGrng {
@@ -98,7 +111,14 @@ impl UniformSumGrng {
         Self {
             uniform: vibnn_rng::Xoshiro256::new(seed),
             k,
+            seed,
         }
+    }
+}
+
+impl StreamFork for UniformSumGrng {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::new(self.k, substream_seed(self.seed, stream_id))
     }
 }
 

@@ -2,7 +2,7 @@
 
 use vibnn_rng::{BitSource, Xoshiro256};
 
-use crate::GaussianSource;
+use crate::{substream_seed, GaussianSource, StreamFork};
 
 /// Generates Gaussians by inverting the normal CDF with the
 /// Beasley–Springer–Moro rational approximation — the classic
@@ -18,6 +18,7 @@ use crate::GaussianSource;
 #[derive(Debug, Clone)]
 pub struct CdfInversionGrng {
     uniform: Xoshiro256,
+    seed: u64,
 }
 
 impl CdfInversionGrng {
@@ -25,7 +26,14 @@ impl CdfInversionGrng {
     pub fn new(seed: u64) -> Self {
         Self {
             uniform: Xoshiro256::new(seed),
+            seed,
         }
+    }
+}
+
+impl StreamFork for CdfInversionGrng {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::new(substream_seed(self.seed, stream_id))
     }
 }
 

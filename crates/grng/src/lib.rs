@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffered;
 mod clt;
 mod inversion;
 mod rlf;
@@ -45,6 +46,7 @@ mod transform;
 pub mod wallace;
 mod ziggurat;
 
+pub use buffered::Buffered;
 pub use clt::{CltGrng, UniformSumGrng};
 pub use inversion::CdfInversionGrng;
 pub use rlf::{ParallelRlfGrng, RlfGrng};
@@ -53,14 +55,47 @@ pub use wallace::{BnnWallaceGrng, SoftwareWallace, WallaceNss, WallaceUnit};
 pub use ziggurat::ZigguratGrng;
 
 /// A stream of (approximately) standard normal random numbers.
+///
+/// **Block generation is the primitive.** [`fill`](Self::fill) is the
+/// hot-path entry point: every generator in this crate overrides it (or
+/// inherits a default that amortizes dispatch over the whole slice) with a
+/// kernel that emits whole blocks — RLF lanes stepped cycle-by-cycle into
+/// the output, Wallace transform rounds written as whole pool slices,
+/// batched Box–Muller pairs. Implementations are required to produce
+/// **exactly** the same stream as repeated
+/// [`next_gaussian`](Self::next_gaussian) calls, in any interleaving of
+/// scalar and block reads — the block-determinism integration suite
+/// enforces this for every generator. Scalar callers keep working, and
+/// [`Buffered`] adapts any block kernel back to a cheap scalar interface.
 pub trait GaussianSource {
     /// Returns the next sample, targeting N(0, 1).
     fn next_gaussian(&mut self) -> f64;
 
-    /// Fills `out` with samples.
+    /// Fills `out` with the next `out.len()` samples of the stream.
+    ///
+    /// The default loops [`next_gaussian`](Self::next_gaussian); because
+    /// the loop is monomorphized per implementor, even the default turns
+    /// one virtual dispatch per *block* into statically dispatched scalar
+    /// calls when invoked through `dyn GaussianSource`.
     fn fill(&mut self, out: &mut [f64]) {
         for slot in out {
             *slot = self.next_gaussian();
+        }
+    }
+
+    /// Fills an `f32` slice with the next samples (each `as f32`).
+    ///
+    /// Chunks through a small stack buffer so the optimized
+    /// [`fill`](Self::fill) kernel is used without any heap allocation —
+    /// the entry point for the BNN layers, whose ε tensors are `f32`.
+    fn fill_f32(&mut self, out: &mut [f32]) {
+        let mut chunk = [0.0f64; 256];
+        for piece in out.chunks_mut(chunk.len()) {
+            let c = &mut chunk[..piece.len()];
+            self.fill(c);
+            for (slot, &v) in piece.iter_mut().zip(c.iter()) {
+                *slot = v as f32;
+            }
         }
     }
 
@@ -76,12 +111,60 @@ impl<T: GaussianSource + ?Sized> GaussianSource for &mut T {
     fn next_gaussian(&mut self) -> f64 {
         (**self).next_gaussian()
     }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        (**self).fill(out);
+    }
+
+    fn fill_f32(&mut self, out: &mut [f32]) {
+        (**self).fill_f32(out);
+    }
 }
 
 impl GaussianSource for Box<dyn GaussianSource> {
     fn next_gaussian(&mut self) -> f64 {
         (**self).next_gaussian()
     }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        (**self).fill(out);
+    }
+
+    fn fill_f32(&mut self, out: &mut [f32]) {
+        (**self).fill_f32(out);
+    }
+}
+
+/// Derives the seed of substream `stream_id` from a base seed.
+///
+/// A SplitMix64 avalanche over `(seed, stream_id)`; used by every
+/// [`StreamFork`] implementation so fork semantics are uniform across
+/// generator families. For a fixed `seed` the map is a composition of
+/// bijections of `stream_id` (odd-constant multiply, add, xor with a
+/// constant, and the SplitMix64 finalizer — each invertible mod 2⁶⁴), so
+/// `substream_seed(s, a) == substream_seed(s, b)` only when `a == b`, and
+/// the result is decorrelated from `s` itself.
+pub fn substream_seed(seed: u64, stream_id: u64) -> u64 {
+    use vibnn_rng::{BitSource, SplitMix64};
+    let mut mixer =
+        SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream_id.wrapping_add(1)));
+    mixer.next_u64()
+}
+
+/// A Gaussian stream that can be split into independent substreams.
+///
+/// `fork(stream_id)` derives a *statistically independent, reproducible*
+/// generator of the same design: the substream depends only on the parent's
+/// construction parameters and `stream_id`, never on how much of the parent
+/// stream has been consumed. This is the seam the parallel Monte Carlo
+/// ensemble builds on — sample `s` always draws from `fork(s)`, so results
+/// are bit-identical regardless of how samples are scheduled across
+/// threads.
+pub trait StreamFork: GaussianSource {
+    /// Returns the substream with the given id.
+    fn fork(&self, stream_id: u64) -> Self
+    where
+        Self: Sized;
 }
 
 /// Which GRNG design to instantiate — used by the accelerator configuration

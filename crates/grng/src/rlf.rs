@@ -15,7 +15,7 @@
 
 use vibnn_rng::{BitSource, RlfLogic, RlfMode, SplitMix64};
 
-use crate::GaussianSource;
+use crate::{substream_seed, GaussianSource, StreamFork};
 
 /// Width of the paper's RLF seed (255 bits for an 8-bit output).
 pub const RLF_WIDTH: usize = 255;
@@ -38,14 +38,27 @@ fn normalize(count: u32) -> f64 {
 #[derive(Debug, Clone)]
 pub struct RlfGrng {
     logic: RlfLogic,
+    /// Base for substream derivation, captured from the construction-time
+    /// seed bits so [`StreamFork::fork`] never depends on how much of the
+    /// stream has been consumed.
+    fork_base: u64,
+}
+
+/// Folds a seed-bit image into a 64-bit fork base.
+fn fold_seed_bits(logic: &RlfLogic) -> u64 {
+    let mut acc = 0xA076_1D64_78BD_642Fu64;
+    for &w in logic.seed_bits().words() {
+        acc = (acc ^ w).wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(23);
+    }
+    acc
 }
 
 impl RlfGrng {
     /// Creates a lane with a random non-zero seed drawn from `source`.
     pub fn new(source: &mut impl BitSource) -> Self {
-        Self {
-            logic: RlfLogic::random(RLF_WIDTH, RlfMode::Combined, source),
-        }
+        let logic = RlfLogic::random(RLF_WIDTH, RlfMode::Combined, source);
+        let fork_base = fold_seed_bits(&logic);
+        Self { logic, fork_base }
     }
 
     /// Creates a lane from a 64-bit seed value.
@@ -59,9 +72,9 @@ impl RlfGrng {
     /// bench.
     pub fn simple_mode(seed: u64) -> Self {
         let mut src = SplitMix64::new(seed);
-        Self {
-            logic: RlfLogic::random(RLF_WIDTH, RlfMode::Simple, &mut src),
-        }
+        let logic = RlfLogic::random(RLF_WIDTH, RlfMode::Simple, &mut src);
+        let fork_base = fold_seed_bits(&logic);
+        Self { logic, fork_base }
     }
 
     /// Raw binomial output (the 8-bit hardware value before normalization).
@@ -78,6 +91,23 @@ impl RlfGrng {
 impl GaussianSource for RlfGrng {
     fn next_gaussian(&mut self) -> f64 {
         normalize(self.next_count())
+    }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        // One lane is a pure popcount walk: the block kernel is the scalar
+        // loop with the step/normalize pipeline kept in registers.
+        for slot in out {
+            *slot = normalize(self.logic.step());
+        }
+    }
+}
+
+impl StreamFork for RlfGrng {
+    fn fork(&self, stream_id: u64) -> Self {
+        let mut src = SplitMix64::new(substream_seed(self.fork_base, stream_id));
+        let logic = RlfLogic::random(RLF_WIDTH, self.logic.mode(), &mut src);
+        let fork_base = fold_seed_bits(&logic);
+        Self { logic, fork_base }
     }
 }
 
@@ -112,6 +142,10 @@ pub struct ParallelRlfGrng {
     buffer: Vec<f64>,
     buffer_pos: usize,
     cycles: u64,
+    /// Reused raw-cycle scratch for the interleaver (depth × lanes).
+    scratch: Vec<f64>,
+    /// Construction seed, the base for substream derivation.
+    seed: u64,
 }
 
 /// Default interleaver depth (cycles buffered before permuted emission).
@@ -158,6 +192,8 @@ impl ParallelRlfGrng {
             buffer: Vec::new(),
             buffer_pos: 0,
             cycles: 0,
+            scratch: Vec::new(),
+            seed,
         }
     }
 
@@ -171,25 +207,87 @@ impl ParallelRlfGrng {
         Self::with_interleaver(lanes, 1, seed)
     }
 
-    fn refill_buffer(&mut self) {
+    /// One multiplexed hardware cycle written straight into `out`
+    /// (`out.len() == lanes`); the allocation-free core of both the
+    /// scalar and the block paths.
+    fn cycle_into(&mut self, out: &mut [f64]) {
+        let m = self.lanes.len();
+        debug_assert_eq!(out.len(), m);
+        // Output multiplexers: each group of 4 lanes drives 4 outputs in a
+        // rotating order shared across groups (select signals are shared,
+        // Figure 8). Writing lane g+j to slot g+((j-phase) mod k) is the
+        // inverse of reading slot g+i from lane g+((i+phase) mod k).
+        let mut g = 0;
+        while g < m {
+            let k = 4.min(m - g);
+            let ph = self.phase % k;
+            for (j, lane) in self.lanes[g..g + k].iter_mut().enumerate() {
+                out[g + (j + k - ph) % k] = normalize(lane.step());
+            }
+            g += 4;
+        }
+        self.phase = (self.phase + 1) % 4;
+        self.cycles += 1;
+    }
+
+    /// Generates one full interleaver block (`depth × lanes` samples)
+    /// directly into `dst`, reusing the internal scratch buffer.
+    ///
+    /// The lanes are walked **lane-major**: each lane steps `depth` times
+    /// in a row, so its 255-bit seed RAM and tap table stay cache-resident
+    /// for the whole block instead of being revisited once per cycle.
+    /// Because lanes are independent and the multiplexer position of lane
+    /// `j` at cycle `c` is a pure function of `(j, c, phase)`, the scatter
+    /// below reproduces the cycle-major emission order bit-for-bit.
+    fn block_into(&mut self, dst: &mut [f64]) {
         let m = self.lanes.len();
         let depth = self.shuffle_depth;
-        let mut block = Vec::with_capacity(m * depth);
-        for _ in 0..depth {
-            block.extend(self.next_cycle());
+        debug_assert_eq!(dst.len(), m * depth);
+        if depth <= 1 {
+            self.cycle_into(dst);
+            return;
         }
-        if depth > 1 {
-            // Odd-multiplier permutation: bijective on [0, n) for odd k,
-            // scattering nearby source indices across the whole block.
-            let n = block.len();
-            let k = (n / 2 + 1) | 1;
-            let mut out = vec![0.0; n];
-            for (p, slot) in out.iter_mut().enumerate() {
-                *slot = block[(p * k) % n];
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(m * depth, 0.0);
+        let p0 = self.phase;
+        let mut g = 0;
+        while g < m {
+            let k = 4.min(m - g);
+            for (j, lane) in self.lanes[g..g + k].iter_mut().enumerate() {
+                for c in 0..depth {
+                    let ph = (p0 + c) % 4 % k;
+                    scratch[c * m + g + (j + k - ph) % k] = normalize(lane.step());
+                }
             }
-            block = out;
+            g += 4;
         }
-        self.buffer = block;
+        self.phase = (p0 + depth) % 4;
+        self.cycles += depth as u64;
+        // Odd-multiplier permutation: bijective on [0, n) for odd k,
+        // scattering nearby source indices across the whole block. The
+        // source index walks in increments of k (mod n), so the loop needs
+        // no multiply or divide.
+        let n = scratch.len();
+        let k = (n / 2 + 1) | 1;
+        let mut src = 0usize;
+        for slot in dst.iter_mut() {
+            *slot = scratch[src];
+            src += k;
+            // k < n for every real geometry, but degenerate two-sample
+            // blocks can overshoot twice; the loop keeps it exact.
+            while src >= n {
+                src -= n;
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    fn refill_buffer(&mut self) {
+        let n = self.lanes.len() * self.shuffle_depth;
+        let mut buffer = std::mem::take(&mut self.buffer);
+        buffer.resize(n, 0.0);
+        self.block_into(&mut buffer);
+        self.buffer = buffer;
         self.buffer_pos = 0;
     }
 
@@ -207,26 +305,8 @@ impl ParallelRlfGrng {
     /// indexer; returns one normalized output per lane, in multiplexed
     /// order (groups of four, rotation advancing every cycle).
     pub fn next_cycle(&mut self) -> Vec<f64> {
-        let m = self.lanes.len();
-        let mut raw = Vec::with_capacity(m);
-        for lane in &mut self.lanes {
-            raw.push(normalize(lane.step()));
-        }
-        // Output multiplexers: each group of 4 lanes drives 4 outputs in a
-        // rotating order shared across groups (select signals are shared,
-        // Figure 8).
-        let mut out = Vec::with_capacity(m);
-        let mut g = 0;
-        while g < m {
-            let group = &raw[g..(g + 4).min(m)];
-            let k = group.len();
-            for i in 0..k {
-                out.push(group[(i + self.phase) % k]);
-            }
-            g += 4;
-        }
-        self.phase = (self.phase + 1) % 4;
-        self.cycles += 1;
+        let mut out = vec![0.0; self.lanes.len()];
+        self.cycle_into(&mut out);
         out
     }
 }
@@ -239,6 +319,37 @@ impl GaussianSource for ParallelRlfGrng {
         let v = self.buffer[self.buffer_pos];
         self.buffer_pos += 1;
         v
+    }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        // Drain whatever the scalar path already buffered.
+        let take = (self.buffer.len() - self.buffer_pos).min(out.len());
+        out[..take].copy_from_slice(&self.buffer[self.buffer_pos..self.buffer_pos + take]);
+        self.buffer_pos += take;
+        let mut written = take;
+        // Whole interleaver blocks bypass the buffer entirely.
+        let block = self.lanes.len() * self.shuffle_depth;
+        while out.len() - written >= block {
+            self.block_into(&mut out[written..written + block]);
+            written += block;
+        }
+        // Tail shorter than a block: fill the buffer, hand out a prefix.
+        if written < out.len() {
+            self.refill_buffer();
+            let n = out.len() - written;
+            out[written..].copy_from_slice(&self.buffer[..n]);
+            self.buffer_pos = n;
+        }
+    }
+}
+
+impl StreamFork for ParallelRlfGrng {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::with_interleaver(
+            self.lanes.len(),
+            self.shuffle_depth,
+            substream_seed(self.seed, stream_id),
+        )
     }
 }
 
@@ -352,6 +463,47 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_panics() {
         let _ = ParallelRlfGrng::new(0, 1);
+    }
+
+    #[test]
+    fn block_fill_matches_scalar_stream() {
+        // Sizes straddle the interleaver block (64 lanes × 64 depth would
+        // be slow here; use a small config so several blocks are crossed).
+        let mut scalar = ParallelRlfGrng::with_interleaver(8, 4, 13);
+        let mut block = ParallelRlfGrng::with_interleaver(8, 4, 13);
+        for n in [1usize, 31, 32, 33, 100, 5] {
+            let via_block = block.take_vec(n);
+            let via_scalar: Vec<f64> = (0..n).map(|_| scalar.next_gaussian()).collect();
+            assert_eq!(via_block, via_scalar, "fill({n}) diverged");
+        }
+    }
+
+    #[test]
+    fn block_fill_matches_scalar_without_interleaver() {
+        let mut scalar = ParallelRlfGrng::without_interleaver(6, 17);
+        let mut block = ParallelRlfGrng::without_interleaver(6, 17);
+        assert_eq!(block.take_vec(97), scalar.take_vec(97));
+    }
+
+    #[test]
+    fn fork_substreams_are_reproducible_and_independent() {
+        let parent = ParallelRlfGrng::new(8, 19);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(1);
+        let mut c = parent.fork(2);
+        let xs = a.take_vec(128);
+        assert_eq!(xs, b.take_vec(128));
+        assert_ne!(xs, c.take_vec(128));
+        // Forking preserves the lane/interleaver geometry.
+        assert_eq!(a.lanes(), 8);
+    }
+
+    #[test]
+    fn single_lane_fork_preserves_mode() {
+        let simple = RlfGrng::simple_mode(23);
+        assert_eq!(simple.fork(0).logic().mode(), RlfMode::Simple);
+        let combined = RlfGrng::from_seed(23);
+        assert_eq!(combined.fork(0).logic().mode(), RlfMode::Combined);
     }
 
     impl ParallelRlfGrng {

@@ -39,6 +39,34 @@ pub fn initial_pool(size: usize, seed: u64) -> Vec<f64> {
     bm.take_vec(size)
 }
 
+/// Shared block-fill driver for the quad-buffered Wallace generators
+/// ([`WallaceNss`], [`SoftwareWallace`]): drain the partially consumed
+/// quad in `out_buf`, emit whole quads from `next_quad` straight into
+/// `out`, and buffer the tail quad for the scalar path. Keeping the
+/// drain/whole-block/tail bookkeeping — the part whose off-by-ones would
+/// silently break the block = scalar contract — in one audited place.
+pub(super) fn fill_from_quads(
+    out: &mut [f64],
+    out_buf: &mut [f64; 4],
+    out_pos: &mut usize,
+    mut next_quad: impl FnMut() -> [f64; 4],
+) {
+    let take = (4 - *out_pos).min(out.len());
+    out[..take].copy_from_slice(&out_buf[*out_pos..*out_pos + take]);
+    *out_pos += take;
+    let mut rest = &mut out[take..];
+    while rest.len() >= 4 {
+        rest[..4].copy_from_slice(&next_quad());
+        rest = &mut rest[4..];
+    }
+    if !rest.is_empty() {
+        *out_buf = next_quad();
+        let n = rest.len();
+        rest.copy_from_slice(&out_buf[..n]);
+        *out_pos = n;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,6 @@
 //! Wallace-NSS: the hardware strawman with No Sharing/Shifting.
 
-use crate::{GaussianSource, WallaceUnit};
+use crate::{substream_seed, GaussianSource, StreamFork, WallaceUnit};
 
 /// Hardware Wallace with sequential addressing, in-place write-back, no
 /// sharing-and-shifting, and no multi-loop transformations (the paper's
@@ -25,6 +25,7 @@ pub struct WallaceNss {
     addr: usize,
     out_buf: [f64; 4],
     out_pos: usize,
+    seed: u64,
 }
 
 impl WallaceNss {
@@ -41,6 +42,7 @@ impl WallaceNss {
             addr: 0,
             out_buf: [0.0; 4],
             out_pos: 4,
+            seed,
         }
     }
 
@@ -49,30 +51,43 @@ impl WallaceNss {
         self.pool.len()
     }
 
-    fn generate_quad(&mut self) {
-        let a = self.addr;
-        let quad = [
-            self.pool[a],
-            self.pool[a + 1],
-            self.pool[a + 2],
-            self.pool[a + 3],
-        ];
+    /// Transforms the quad at the current address in place and returns it.
+    fn next_quad(pool: &mut [f64], addr: &mut usize) -> [f64; 4] {
+        let a = *addr;
+        let quad = [pool[a], pool[a + 1], pool[a + 2], pool[a + 3]];
         let out = WallaceUnit::transform(quad);
-        self.pool[a..a + 4].copy_from_slice(&out);
-        self.addr = (self.addr + 4) % self.pool.len();
-        self.out_buf = out;
-        self.out_pos = 0;
+        pool[a..a + 4].copy_from_slice(&out);
+        *addr = (a + 4) % pool.len();
+        out
     }
 }
 
 impl GaussianSource for WallaceNss {
     fn next_gaussian(&mut self) -> f64 {
         if self.out_pos >= 4 {
-            self.generate_quad();
+            self.out_buf = Self::next_quad(&mut self.pool, &mut self.addr);
+            self.out_pos = 0;
         }
         let v = self.out_buf[self.out_pos];
         self.out_pos += 1;
         v
+    }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        let Self {
+            pool,
+            addr,
+            out_buf,
+            out_pos,
+            ..
+        } = self;
+        super::fill_from_quads(out, out_buf, out_pos, || Self::next_quad(pool, addr));
+    }
+}
+
+impl StreamFork for WallaceNss {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::new(self.pool.len(), substream_seed(self.seed, stream_id))
     }
 }
 

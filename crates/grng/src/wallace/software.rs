@@ -2,7 +2,7 @@
 
 use vibnn_rng::{BitSource, SplitMix64};
 
-use crate::{GaussianSource, WallaceUnit};
+use crate::{substream_seed, GaussianSource, StreamFork, WallaceUnit};
 
 /// The classic software Wallace generator (paper Table 1 rows 1–3).
 ///
@@ -28,6 +28,7 @@ pub struct SoftwareWallace {
     loops: u32,
     out_buf: [f64; 4],
     out_pos: usize,
+    seed: u64,
 }
 
 impl SoftwareWallace {
@@ -48,6 +49,7 @@ impl SoftwareWallace {
             loops,
             out_buf: [0.0; 4],
             out_pos: 4,
+            seed,
         }
     }
 
@@ -61,12 +63,12 @@ impl SoftwareWallace {
         &self.pool
     }
 
-    fn pick_distinct_indices(&mut self) -> [usize; 4] {
-        let n = self.pool.len() as u64;
+    fn pick_distinct_indices(pool_len: usize, addr_rng: &mut SplitMix64) -> [usize; 4] {
+        let n = pool_len as u64;
         let mut idx = [0usize; 4];
         let mut filled = 0;
         while filled < 4 {
-            let cand = self.addr_rng.next_bounded(n) as usize;
+            let cand = addr_rng.next_bounded(n) as usize;
             if !idx[..filled].contains(&cand) {
                 idx[filled] = cand;
                 filled += 1;
@@ -75,31 +77,51 @@ impl SoftwareWallace {
         idx
     }
 
-    fn generate_quad(&mut self) {
-        let idx = self.pick_distinct_indices();
-        let quad = [
-            self.pool[idx[0]],
-            self.pool[idx[1]],
-            self.pool[idx[2]],
-            self.pool[idx[3]],
-        ];
-        let out = WallaceUnit::transform_loops(quad, self.loops);
+    /// Transforms one randomly addressed quad in place and returns it.
+    fn next_quad(pool: &mut [f64], addr_rng: &mut SplitMix64, loops: u32) -> [f64; 4] {
+        let idx = Self::pick_distinct_indices(pool.len(), addr_rng);
+        let quad = [pool[idx[0]], pool[idx[1]], pool[idx[2]], pool[idx[3]]];
+        let out = WallaceUnit::transform_loops(quad, loops);
         for (k, &i) in idx.iter().enumerate() {
-            self.pool[i] = out[k];
+            pool[i] = out[k];
         }
-        self.out_buf = out;
-        self.out_pos = 0;
+        out
     }
 }
 
 impl GaussianSource for SoftwareWallace {
     fn next_gaussian(&mut self) -> f64 {
         if self.out_pos >= 4 {
-            self.generate_quad();
+            self.out_buf = Self::next_quad(&mut self.pool, &mut self.addr_rng, self.loops);
+            self.out_pos = 0;
         }
         let v = self.out_buf[self.out_pos];
         self.out_pos += 1;
         v
+    }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        let Self {
+            pool,
+            addr_rng,
+            loops,
+            out_buf,
+            out_pos,
+            ..
+        } = self;
+        super::fill_from_quads(out, out_buf, out_pos, || {
+            Self::next_quad(pool, addr_rng, *loops)
+        });
+    }
+}
+
+impl StreamFork for SoftwareWallace {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::new(
+            self.pool.len(),
+            self.loops,
+            substream_seed(self.seed, stream_id),
+        )
     }
 }
 

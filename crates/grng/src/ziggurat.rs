@@ -2,7 +2,7 @@
 
 use vibnn_rng::{BitSource, Xoshiro256};
 
-use crate::GaussianSource;
+use crate::{substream_seed, GaussianSource, StreamFork};
 
 const LAYERS: usize = 128;
 /// x-coordinate of the base layer for 128 layers.
@@ -27,6 +27,7 @@ pub struct ZigguratGrng {
     uniform: Xoshiro256,
     x: [f64; LAYERS + 1],
     y: [f64; LAYERS],
+    seed: u64,
 }
 
 fn pdf_unscaled(x: f64) -> f64 {
@@ -58,6 +59,7 @@ impl ZigguratGrng {
             uniform: Xoshiro256::new(seed),
             x,
             y,
+            seed,
         }
     }
 
@@ -72,6 +74,12 @@ impl ZigguratGrng {
                 return R + x;
             }
         }
+    }
+}
+
+impl StreamFork for ZigguratGrng {
+    fn fork(&self, stream_id: u64) -> Self {
+        Self::new(substream_seed(self.seed, stream_id))
     }
 }
 

@@ -14,9 +14,9 @@
 //!    averaging (equation 6) happen at full precision on the host, as they
 //!    would on the CPU collecting accelerator outputs.
 
-use vibnn_bnn::BnnParams;
+use vibnn_bnn::{parallel_mc_reduce, BnnParams};
 use vibnn_fixed::{choose_format, MacAccumulator, QFormat};
-use vibnn_grng::GaussianSource;
+use vibnn_grng::{GaussianSource, StreamFork};
 use vibnn_nn::{softmax_rows, Matrix};
 
 /// Fixed-point formats for every signal class in the datapath.
@@ -203,31 +203,55 @@ impl QuantizedBnn {
     /// — the weight generator's output for one Monte Carlo sample.
     /// Returned per layer as row-major `in_dim × out_dim` tables, plus
     /// biases.
+    ///
+    /// ε is drawn through the block API: one [`GaussianSource::fill`] per
+    /// weight table and one per bias row (the same stream order as
+    /// per-scalar draws), so hardware-style generators run their batched
+    /// kernels instead of being called once per weight.
     pub fn sample_weights(
         &self,
         eps_src: &mut impl GaussianSource,
     ) -> Vec<(Vec<i32>, Vec<i32>)> {
+        self.sample_weights_with(eps_src, &mut Vec::new())
+    }
+
+    /// [`Self::sample_weights`] drawing into a caller-owned ε scratch
+    /// buffer, so repeated sampling (the Monte Carlo hot loop) allocates
+    /// the scratch once per worker instead of once per sample.
+    pub fn sample_weights_with(
+        &self,
+        eps_src: &mut impl GaussianSource,
+        eps: &mut Vec<f64>,
+    ) -> Vec<(Vec<i32>, Vec<i32>)> {
         let spec = &self.spec;
         let prod_frac = spec.sigma_fmt.frac_bits() + spec.eps_fmt.frac_bits();
+        let max_len = self
+            .layers
+            .iter()
+            .map(|l| l.mu.len())
+            .max()
+            .unwrap_or(0);
+        eps.resize(max_len, 0.0);
+        let sample_into = |dst: &mut Vec<i32>, mu: &[i32], sigma: &[i32], eps: &[f64]| {
+            for ((&mu, &sg), &e) in mu.iter().zip(sigma).zip(eps) {
+                let e = spec.eps_fmt.quantize(e);
+                let noise = spec
+                    .weight_fmt
+                    .requantize(i64::from(sg) * i64::from(e), prod_frac);
+                dst.push(spec.weight_fmt.saturate(i64::from(mu) + i64::from(noise)));
+            }
+        };
         self.layers
             .iter()
             .map(|layer| {
-                let mut w = Vec::with_capacity(layer.mu.len());
-                for (&mu, &sg) in layer.mu.iter().zip(&layer.sigma) {
-                    let e = spec.eps_fmt.quantize(eps_src.next_gaussian());
-                    let noise = spec
-                        .weight_fmt
-                        .requantize(i64::from(sg) * i64::from(e), prod_frac);
-                    w.push(spec.weight_fmt.saturate(i64::from(mu) + i64::from(noise)));
-                }
-                let mut b = Vec::with_capacity(layer.bias_mu.len());
-                for (&mu, &sg) in layer.bias_mu.iter().zip(&layer.bias_sigma) {
-                    let e = spec.eps_fmt.quantize(eps_src.next_gaussian());
-                    let noise = spec
-                        .weight_fmt
-                        .requantize(i64::from(sg) * i64::from(e), prod_frac);
-                    b.push(spec.weight_fmt.saturate(i64::from(mu) + i64::from(noise)));
-                }
+                let n = layer.mu.len();
+                eps_src.fill(&mut eps[..n]);
+                let mut w = Vec::with_capacity(n);
+                sample_into(&mut w, &layer.mu, &layer.sigma, &eps[..n]);
+                let nb = layer.bias_mu.len();
+                eps_src.fill(&mut eps[..nb]);
+                let mut b = Vec::with_capacity(nb);
+                sample_into(&mut b, &layer.bias_mu, &layer.bias_sigma, &eps[..nb]);
                 (w, b)
             })
             .collect()
@@ -314,6 +338,33 @@ impl QuantizedBnn {
         acc
     }
 
+    /// Monte Carlo predictive probabilities with the sample ensemble
+    /// spread across `threads` `std::thread::scope` workers.
+    ///
+    /// Mirrors `vibnn_bnn::Bnn::predict_proba_mc_parallel`: sample `s`
+    /// draws its ε from `eps_src.fork(s)` and the per-sample softmax
+    /// outputs are reduced in ascending sample order, so the result is
+    /// bit-identical for every thread count. `threads == 0` uses the
+    /// `VIBNN_THREADS` knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn predict_proba_mc_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        samples: usize,
+        eps_src: &S,
+        threads: usize,
+    ) -> Matrix {
+        parallel_mc_reduce(samples, threads, eps_src, |src, eps_scratch: &mut Vec<f64>| {
+            let weights = self.sample_weights_with(src, eps_scratch);
+            let mut probs = self.forward_with_weights(x, &weights);
+            softmax_rows(&mut probs);
+            probs
+        })
+    }
+
     /// Accuracy under hardware MC inference.
     pub fn evaluate_mc(
         &self,
@@ -323,6 +374,22 @@ impl QuantizedBnn {
         eps_src: &mut impl GaussianSource,
     ) -> f64 {
         vibnn_nn::accuracy(&self.predict_proba_mc(x, samples, eps_src), labels)
+    }
+
+    /// Accuracy under parallel hardware MC inference (see
+    /// [`Self::predict_proba_mc_parallel`]).
+    pub fn evaluate_mc_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        labels: &[usize],
+        samples: usize,
+        eps_src: &S,
+        threads: usize,
+    ) -> f64 {
+        vibnn_nn::accuracy(
+            &self.predict_proba_mc_parallel(x, samples, eps_src, threads),
+            labels,
+        )
     }
 }
 

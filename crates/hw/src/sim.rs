@@ -89,6 +89,31 @@ impl CycleAccelerator {
         self.run_ticked(input, &weights)
     }
 
+    /// Batch mode: runs every row of `inputs` through all configured MC
+    /// samples and returns one row of averaged class probabilities per
+    /// image. Cycle and memory-traffic counters accumulate across the
+    /// whole batch, and the weight generator consumes its ε stream through
+    /// the block API (one [`GaussianSource::fill`] per weight table), just
+    /// as the hardware's batched generators would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has zero rows or the feature width mismatches.
+    pub fn infer_batch(
+        &mut self,
+        inputs: &vibnn_nn::Matrix,
+        eps_src: &mut impl GaussianSource,
+    ) -> vibnn_nn::Matrix {
+        assert!(inputs.rows() > 0, "need at least one image");
+        let classes = *self.qbnn.layer_sizes().last().expect("sizes");
+        let mut out = vibnn_nn::Matrix::zeros(inputs.rows(), classes);
+        for r in 0..inputs.rows() {
+            let probs = self.infer(inputs.row(r), eps_src);
+            out.row_mut(r).copy_from_slice(&probs);
+        }
+        out
+    }
+
     /// Runs one image through all configured MC samples and returns the
     /// averaged class probabilities.
     pub fn infer(&mut self, input: &[f32], eps_src: &mut impl GaussianSource) -> Vec<f32> {
@@ -299,6 +324,36 @@ mod tests {
             .map(|l| l.rounds * l.iterations)
             .sum();
         assert_eq!(sim.stats().ifmem_reads, expected);
+    }
+
+    #[test]
+    fn batch_inference_matches_per_image_runs() {
+        let (mut sim, _, calib) = deployed(8);
+        let mut batch_sim = sim.clone();
+        let mut eps_a = BoxMullerGrng::new(19);
+        let mut eps_b = BoxMullerGrng::new(19);
+        let batch = batch_sim.infer_batch(&calib, &mut eps_a);
+        assert_eq!((batch.rows(), batch.cols()), (calib.rows(), 3));
+        for r in 0..calib.rows() {
+            let single = sim.infer(calib.row(r), &mut eps_b);
+            assert_eq!(batch.row(r), &single[..], "image {r} diverged");
+        }
+        // Counters accumulate over the whole batch.
+        assert_eq!(batch_sim.stats(), sim.stats());
+    }
+
+    #[test]
+    fn parallel_hw_mc_is_bit_identical_across_thread_counts() {
+        let (_, q, calib) = deployed(9);
+        let eps = BoxMullerGrng::new(23);
+        let reference = q.predict_proba_mc_parallel(&calib, 5, &eps, 1);
+        for threads in [2usize, 4, 8] {
+            let got = q.predict_proba_mc_parallel(&calib, 5, &eps, threads);
+            assert_eq!(got.data(), reference.data(), "{threads} threads diverged");
+        }
+        let labels = vec![0usize; calib.rows()];
+        let acc = q.evaluate_mc_parallel(&calib, &labels, 5, &eps, 2);
+        assert!((0.0..=1.0).contains(&acc));
     }
 
     #[test]

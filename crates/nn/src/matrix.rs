@@ -26,6 +26,18 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// Reduction-dimension tile: a 512-byte `f32` segment of one operand row
+/// stays resident while its panel is consumed.
+const BLOCK_K: usize = 128;
+/// Column tile for [`Matrix::matmul`] / [`Matrix::t_matmul`]: the touched
+/// `BLOCK_K × BLOCK_J` panel of the right operand is ~128 KiB — L2-sized —
+/// while each 1 KiB output row segment stays in L1 across the k loop.
+const BLOCK_J: usize = 256;
+/// Row tile of the right operand for [`Matrix::matmul_t`]: a
+/// `BLOCK_J_T × BLOCK_K` panel is 32 KiB, so the dot-product kernel reads
+/// it from L1 for every row of the left operand.
+const BLOCK_J_T: usize = 64;
+
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -86,6 +98,17 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing
+    /// allocation whenever capacity allows (a scratch matrix cycling
+    /// through layer shapes settles at the largest one and stops
+    /// allocating). Contents are unspecified after a shape change; any
+    /// grown region is zero-filled.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Borrow row `r` as a slice.
     ///
     /// # Panics
@@ -104,23 +127,38 @@ impl Matrix {
 
     /// Standard matrix product `self · other`.
     ///
+    /// Tiled over `k` (rows of `other`) and `j` (columns of `other`) so
+    /// that one `BLOCK_K × BLOCK_J` panel of `other` and the matching
+    /// output row segments stay cache-resident while every row of `self`
+    /// streams past — the i-k-j micro-kernel of the original code, wrapped
+    /// in L1/L2-sized blocks. For each output element the products are
+    /// accumulated in strictly ascending `k` with a single accumulator
+    /// chain, so results are bit-identical to the untiled kernel (and to
+    /// [`Self::matmul_t`] / [`Self::t_matmul`] on transposed operands).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j ordering: streams through `other` rows, cache friendly.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let n = other.cols;
+        for jb in (0..n).step_by(BLOCK_J) {
+            let j_hi = (jb + BLOCK_J).min(n);
+            for kb in (0..self.cols).step_by(BLOCK_K) {
+                let k_hi = (kb + BLOCK_K).min(self.cols);
+                for i in 0..self.rows {
+                    let a_row = &self.data[i * self.cols + kb..i * self.cols + k_hi];
+                    let o_row = &mut out.data[i * n + jb..i * n + j_hi];
+                    for (k, &a) in (kb..).zip(a_row) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * n + jb..k * n + j_hi];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
@@ -129,22 +167,33 @@ impl Matrix {
 
     /// `selfᵀ · other` without materializing the transpose.
     ///
+    /// Same blocking and accumulation-order guarantees as
+    /// [`Self::matmul`], with the reduction running over rows `r` of both
+    /// operands.
+    ///
     /// # Panics
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let n = other.cols;
+        for jb in (0..n).step_by(BLOCK_J) {
+            let j_hi = (jb + BLOCK_J).min(n);
+            for rb in (0..self.rows).step_by(BLOCK_K) {
+                let r_hi = (rb + BLOCK_K).min(self.rows);
+                for r in rb..r_hi {
+                    let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    let b_row = &other.data[r * n + jb..r * n + j_hi];
+                    for (i, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let o_row = &mut out.data[i * n + jb..i * n + j_hi];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
@@ -153,18 +202,38 @@ impl Matrix {
 
     /// `self · otherᵀ` without materializing the transpose.
     ///
+    /// Blocked over rows of `other` and the shared `k` dimension so the
+    /// `other` panel is reused across every row of `self` while it is hot.
+    /// Each output element keeps one sequential accumulator chain over
+    /// ascending `k` (the partial resumes from the stored value), so for
+    /// finite operands the result is bit-identical to
+    /// `self.matmul(&other.transpose())`. (With infinities or NaNs the two
+    /// can differ: `matmul` skips zero left-operand terms, and
+    /// `0.0 × ±inf` is NaN.)
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let dot: f32 = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
-                out.data[i * other.rows + j] = dot;
+        let m = other.rows;
+        for jb in (0..m).step_by(BLOCK_J_T) {
+            let j_hi = (jb + BLOCK_J_T).min(m);
+            for kb in (0..self.cols).step_by(BLOCK_K) {
+                let k_hi = (kb + BLOCK_K).min(self.cols);
+                for i in 0..self.rows {
+                    let a_seg = &self.data[i * self.cols + kb..i * self.cols + k_hi];
+                    let o_row = &mut out.data[i * m + jb..i * m + j_hi];
+                    for (j, o) in (jb..).zip(o_row.iter_mut()) {
+                        let b_seg = &other.data[j * other.cols + kb..j * other.cols + k_hi];
+                        let mut acc = *o;
+                        for (&a, &b) in a_seg.iter().zip(b_seg) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
+                }
             }
         }
         out
@@ -374,6 +443,58 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Naive reference kernel with the same per-element accumulation
+    /// order the blocked kernels guarantee (ascending k, one chain).
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    if a[(i, k)] != 0.0 {
+                        acc += a[(i, k)] * b[(k, j)];
+                    }
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    fn patterned(rows: usize, cols: usize, salt: u32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.data_mut().iter_mut().enumerate() {
+            // Mix in zeros to exercise the sparsity skip.
+            let h = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt);
+            *v = if h % 7 == 0 {
+                0.0
+            } else {
+                ((h % 1000) as f32 - 500.0) * 1e-3
+            };
+        }
+        m
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_across_tile_boundaries() {
+        // 130 × 300 × 290 straddles BLOCK_K = 128 and BLOCK_J = 256.
+        let a = patterned(130, 300, 1);
+        let b = patterned(300, 290, 2);
+        assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn blocked_transpose_kernels_cross_tiles_consistently() {
+        let a = patterned(140, 150, 3);
+        let b = patterned(140, 270, 4);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        let c = patterned(60, 150, 5);
+        // 150 cols crosses BLOCK_K only via the k tail; 90 rows of `d`
+        // cross BLOCK_J_T = 64.
+        let d = patterned(90, 150, 6);
+        assert_eq!(c.matmul_t(&d), c.matmul(&d.transpose()));
     }
 
     #[test]

@@ -55,6 +55,12 @@ impl BitVec {
         self.len
     }
 
+    /// Borrow the backing 64-bit words (bit `i` lives in word `i / 64` at
+    /// position `i % 64`; tail bits beyond [`Self::len`] are always zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Whether the vector has zero length.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -94,9 +100,11 @@ impl BitVec {
     /// Panics if `idx >= len`.
     #[inline]
     pub fn toggle(&mut self, idx: usize) -> bool {
-        let v = !self.get(idx);
-        self.set(idx, v);
-        v
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let mask = 1u64 << (idx % 64);
+        let w = &mut self.words[idx / 64];
+        *w ^= mask;
+        *w & mask != 0
     }
 
     /// XORs the bit at `dst` with the bit at `src` (`dst ^= src`), returning

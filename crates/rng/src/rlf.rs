@@ -122,22 +122,31 @@ impl RlfLogic {
 
     /// Performs one *simple* update at the current head (equation 10) and
     /// advances the head by one. Internal building block for both modes.
+    ///
+    /// This is the innermost loop of every RLF-based generator, so the
+    /// index arithmetic avoids division: taps satisfy `1 <= t < n` and
+    /// `head < n`, hence `head + t < 2n` and the modulo is one conditional
+    /// subtract.
     fn simple_update(&mut self) {
         let n = self.seed.len();
-        let head_bit = self.seed.get(self.head);
-        if head_bit {
-            for i in 0..self.taps.len() {
-                let t = self.taps[i];
-                let idx = (self.head + t) % n;
-                let new = self.seed.toggle(idx);
-                if new {
+        if self.seed.get(self.head) {
+            let head = self.head;
+            for &t in &self.taps {
+                let mut idx = head + t;
+                if idx >= n {
+                    idx -= n;
+                }
+                if self.seed.toggle(idx) {
                     self.count += 1;
                 } else {
                     self.count -= 1;
                 }
             }
         }
-        self.head = (self.head + 1) % n;
+        self.head += 1;
+        if self.head >= n {
+            self.head = 0;
+        }
     }
 
     /// Advances one cycle; returns the updated population count, which is

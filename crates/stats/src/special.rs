@@ -36,9 +36,9 @@ fn erfc_core(x: f64) -> f64 {
     let ty = 4.0 * t - 2.0;
     const COF: [f64; 28] = [
         -1.3026537197817094,
-        6.4196979235649026e-1,
+        6.419_697_923_564_902e-1,
         1.9476473204185836e-2,
-        -9.561514786808631e-3,
+        -9.561_514_786_808_63e-3,
         -9.46595344482036e-4,
         3.66839497852761e-4,
         4.2523324806907e-5,
@@ -83,10 +83,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,

@@ -1,7 +1,7 @@
 //! High-level API: train → quantize → deploy → infer.
 
 use vibnn_bnn::{Bnn, BnnParams};
-use vibnn_grng::{GaussianSource, GrngKind};
+use vibnn_grng::{GaussianSource, GrngKind, StreamFork};
 use vibnn_hw::{AcceleratorConfig, CycleAccelerator, QuantizedBnn, ResourceModel, Schedule};
 use vibnn_nn::Matrix;
 
@@ -137,6 +137,42 @@ impl Vibnn {
     /// Accuracy on a labelled set.
     pub fn evaluate(&self, x: &Matrix, y: &[usize], eps: &mut impl GaussianSource) -> f64 {
         self.qbnn.evaluate_mc(x, y, self.mc_samples, eps)
+    }
+
+    /// Batch prediction with the Monte Carlo ensemble spread across
+    /// worker threads (`threads == 0` honours `VIBNN_THREADS`). Sample `s`
+    /// draws from `eps.fork(s)`, so results are bit-identical for every
+    /// thread count.
+    pub fn predict_proba_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        eps: &S,
+        threads: usize,
+    ) -> Matrix {
+        self.qbnn
+            .predict_proba_mc_parallel(x, self.mc_samples, eps, threads)
+    }
+
+    /// Accuracy on a labelled set under parallel MC inference.
+    pub fn evaluate_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        eps: &S,
+        threads: usize,
+    ) -> f64 {
+        self.qbnn
+            .evaluate_mc_parallel(x, y, self.mc_samples, eps, threads)
+    }
+
+    /// Cycle-accurate batch inference (see
+    /// [`vibnn_hw::CycleAccelerator::infer_batch`]).
+    pub fn infer_batch_cycle_accurate(
+        &mut self,
+        inputs: &Matrix,
+        eps: &mut impl GaussianSource,
+    ) -> Matrix {
+        self.sim.infer_batch(inputs, eps)
     }
 
     /// Cycle-accurate single-image inference (slower; counts cycles and

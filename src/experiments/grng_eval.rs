@@ -28,9 +28,19 @@ pub const PAPER_TABLE1: [(&str, f64, f64); 6] = [
 ];
 
 fn stability(source: &mut impl GaussianSource, samples: usize) -> (f64, f64) {
+    // Stream the measurement through fixed-size blocks: the generator runs
+    // its batched kernel and the working set stays cache-resident instead
+    // of materializing a `samples`-long vector.
+    let mut buf = vec![0.0f64; 8192];
     let mut m = Moments::new();
-    for _ in 0..samples {
-        m.push(source.next_gaussian());
+    let mut left = samples;
+    while left > 0 {
+        let n = left.min(buf.len());
+        source.fill(&mut buf[..n]);
+        for &v in &buf[..n] {
+            m.push(v);
+        }
+        left -= n;
     }
     m.stability_errors()
 }

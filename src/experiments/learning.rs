@@ -89,8 +89,9 @@ fn train_bnn(ds: &Dataset, scale: LearnScale, seed: u64) -> Bnn {
 }
 
 fn bnn_test_accuracy(bnn: &Bnn, ds: &Dataset, mc: usize, seed: u64) -> f64 {
-    let mut eps = BoxMullerGrng::new(seed);
-    bnn.evaluate_mc(&ds.test_x, &ds.test_y, mc, &mut eps)
+    // Parallel MC ensemble on forked substreams: thread count (the
+    // VIBNN_THREADS knob) never changes the result.
+    bnn.evaluate_mc_parallel(&ds.test_x, &ds.test_y, mc, &BoxMullerGrng::new(seed), 0)
 }
 
 fn hardware_accuracy(bnn: &Bnn, ds: &Dataset, bits: u32, mc: usize, seed: u64) -> f64 {
@@ -102,8 +103,8 @@ fn hardware_accuracy(bnn: &Bnn, ds: &Dataset, bits: u32, mc: usize, seed: u64) -
     // popcount random walk whose *within-sample* correlation collapses
     // deployment accuracy — see the eps-source ablation bench and
     // EXPERIMENTS.md for the measured data behind this choice.
-    let mut eps = BnnWallaceGrng::new(8, 256, seed);
-    q.evaluate_mc(&ds.test_x, &ds.test_y, mc, &mut eps)
+    let eps = BnnWallaceGrng::new(8, 256, seed);
+    q.evaluate_mc_parallel(&ds.test_x, &ds.test_y, mc, &eps, 0)
 }
 
 /// One point of Figure 16: test accuracy at a training-set fraction.

@@ -73,6 +73,27 @@ fn hw_re_exports_construct() {
 }
 
 #[test]
+fn sampling_engine_api_resolves() {
+    use vibnn::grng::{Buffered, StreamFork};
+    let bnn = tiny_bnn();
+    let accel = VibnnBuilder::new(bnn.params())
+        .mc_samples(2)
+        .calibration(Matrix::zeros(4, 6))
+        .build();
+    let x = Matrix::zeros(3, 6);
+    let eps = ParallelRlfGrng::new(4, 17);
+    // Parallel MC through the root-crate surface, bit-identical per
+    // thread count.
+    let a = accel.predict_proba_parallel(&x, &eps, 1);
+    let b = accel.predict_proba_parallel(&x, &eps, 2);
+    assert_eq!(a.data(), b.data());
+    // Fork + buffered adapter resolve through the re-exports.
+    let mut sub = Buffered::new(eps.fork(3));
+    assert!(sub.next_gaussian().is_finite());
+    assert!(vibnn::bnn::vibnn_threads() >= 1);
+}
+
+#[test]
 fn subsystem_re_exports_resolve() {
     // One representative symbol per re-exported crate, so a dropped
     // dependency edge in the root manifest is caught by name.

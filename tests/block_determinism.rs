@@ -1,0 +1,184 @@
+//! Block-engine determinism gates.
+//!
+//! Two contracts hold the sampling engine together:
+//!
+//! 1. **Block = scalar.** For every [`GaussianSource`] implementation, the
+//!    block API (`fill` / `fill_f32` / `take_vec`) must reproduce the
+//!    scalar `next_gaussian` stream exactly, under any interleaving of
+//!    block sizes.
+//! 2. **Threads don't matter.** Parallel Monte Carlo inference forks one
+//!    substream per sample and reduces in sample order, so its output is
+//!    bit-identical at 1, 2, and 4 (or any) threads.
+
+use vibnn::bnn::{Bnn, BnnConfig};
+use vibnn::grng::{
+    BnnWallaceGrng, BoxMullerGrng, Buffered, CdfInversionGrng, CltGrng, GaussianSource,
+    ParallelRlfGrng, PolarGrng, RlfGrng, SoftwareWallace, StreamFork, UniformSumGrng, WallaceNss,
+    ZigguratGrng,
+};
+use vibnn::hw::QuantizedBnn;
+use vibnn::nn::Matrix;
+
+type GeneratorPair = (&'static str, Box<dyn GaussianSource>, Box<dyn GaussianSource>);
+
+/// Every generator twice, identically seeded, for pairwise comparisons.
+fn generator_pairs() -> Vec<GeneratorPair> {
+    fn pair<G: GaussianSource + Clone + 'static>(name: &'static str, g: G) -> GeneratorPair {
+        (name, Box::new(g.clone()), Box::new(g))
+    }
+    vec![
+        pair("rlf-single", RlfGrng::from_seed(1)),
+        pair("rlf-parallel-64", ParallelRlfGrng::new(64, 2)),
+        pair("rlf-parallel-7-no-interleave", ParallelRlfGrng::without_interleaver(7, 3)),
+        pair("bnnwallace-8x256", BnnWallaceGrng::new(8, 256, 4)),
+        pair("bnnwallace-3x12", BnnWallaceGrng::new(3, 12, 5)),
+        pair("software-wallace", SoftwareWallace::new(256, 2, 6)),
+        pair("wallace-nss", WallaceNss::new(64, 7)),
+        pair("clt", CltGrng::new(255, 4, 8)),
+        pair("uniform-sum", UniformSumGrng::new(12, 9)),
+        pair("box-muller", BoxMullerGrng::new(10)),
+        pair("polar", PolarGrng::new(11)),
+        pair("ziggurat", ZigguratGrng::new(12)),
+        pair("inversion", CdfInversionGrng::new(13)),
+        pair("buffered-rlf", Buffered::with_block_len(ParallelRlfGrng::new(16, 14), 37)),
+    ]
+}
+
+#[test]
+fn block_api_reproduces_scalar_stream_for_every_generator() {
+    // Awkward block sizes: primes, one, and sizes straddling every
+    // generator's internal cycle/quad/block boundary.
+    let sizes = [1usize, 3, 4, 31, 32, 33, 257, 7, 1024, 5];
+    for (name, mut scalar, mut block) in generator_pairs() {
+        for &n in &sizes {
+            let via_scalar: Vec<f64> = (0..n).map(|_| scalar.next_gaussian()).collect();
+            let via_block = block.take_vec(n);
+            assert_eq!(via_block, via_scalar, "{name}: fill({n}) diverged");
+        }
+    }
+}
+
+#[test]
+fn fill_f32_matches_scalar_stream_for_every_generator() {
+    for (name, mut scalar, mut block) in generator_pairs() {
+        let mut out = vec![0.0f32; 777];
+        block.fill_f32(&mut out);
+        for (i, &v) in out.iter().enumerate() {
+            let want = scalar.next_gaussian() as f32;
+            assert!(
+                v == want,
+                "{name}: fill_f32 sample {i} diverged ({v} vs {want})"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_scalar_and_block_reads_stay_in_sync() {
+    for (name, mut scalar, mut mixed) in generator_pairs() {
+        for round in 0..4 {
+            let a = mixed.next_gaussian();
+            assert_eq!(a, scalar.next_gaussian(), "{name}: round {round} scalar");
+            let via_block = mixed.take_vec(9 + round);
+            let via_scalar: Vec<f64> =
+                (0..9 + round).map(|_| scalar.next_gaussian()).collect();
+            assert_eq!(via_block, via_scalar, "{name}: round {round} block");
+        }
+    }
+}
+
+#[test]
+fn forked_substreams_are_reproducible_and_pairwise_distinct() {
+    fn check<G: StreamFork>(name: &str, parent: G) {
+        let mut streams: Vec<Vec<f64>> = (0..4)
+            .map(|id| parent.fork(id).take_vec(96))
+            .collect();
+        for (id, s) in streams.iter().enumerate() {
+            let again = parent.fork(id as u64).take_vec(96);
+            assert_eq!(*s, again, "{name}: fork({id}) not reproducible");
+        }
+        streams.push(parent.fork(0).fork(1).take_vec(96));
+        for i in 0..streams.len() {
+            for j in i + 1..streams.len() {
+                assert_ne!(streams[i], streams[j], "{name}: streams {i}/{j} collide");
+            }
+        }
+    }
+    check("rlf-single", RlfGrng::from_seed(21));
+    check("rlf-parallel", ParallelRlfGrng::new(16, 22));
+    check("bnnwallace", BnnWallaceGrng::new(4, 32, 23));
+    check("software-wallace", SoftwareWallace::new(128, 1, 24));
+    check("wallace-nss", WallaceNss::new(64, 25));
+    check("clt", CltGrng::new(255, 2, 26));
+    check("uniform-sum", UniformSumGrng::new(8, 27));
+    check("box-muller", BoxMullerGrng::new(28));
+    check("polar", PolarGrng::new(29));
+    check("ziggurat", ZigguratGrng::new(30));
+    check("inversion", CdfInversionGrng::new(31));
+    check("buffered", Buffered::new(BoxMullerGrng::new(32)));
+}
+
+#[test]
+fn parallel_bnn_mc_identical_at_1_2_4_threads() {
+    let bnn = Bnn::new(BnnConfig::new(&[6, 12, 3]).with_sigma_init(0.25), 41);
+    let x = Matrix::from_rows(&[
+        &[0.2, -0.4, 0.9, 0.0, -1.1, 0.3],
+        &[1.0, 0.1, -0.6, 0.4, 0.0, -0.2],
+        &[-0.5, 0.5, 0.5, -0.5, 0.25, 0.75],
+    ]);
+    for eps_name in ["box-muller", "rlf", "bnnwallace"] {
+        let run = |threads: usize| -> Matrix {
+            match eps_name {
+                "box-muller" => {
+                    bnn.predict_proba_mc_parallel(&x, 9, &BoxMullerGrng::new(43), threads)
+                }
+                "rlf" => bnn.predict_proba_mc_parallel(
+                    &x,
+                    9,
+                    &ParallelRlfGrng::new(16, 44),
+                    threads,
+                ),
+                _ => bnn.predict_proba_mc_parallel(
+                    &x,
+                    9,
+                    &BnnWallaceGrng::new(4, 32, 45),
+                    threads,
+                ),
+            }
+        };
+        let one = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                run(threads).data(),
+                one.data(),
+                "{eps_name}: {threads}-thread MC diverged from 1-thread"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_hw_mc_identical_at_1_2_4_threads_and_env_knob_is_safe() {
+    let bnn = Bnn::new(BnnConfig::new(&[5, 8, 2]), 51);
+    let calib = {
+        let mut m = Matrix::zeros(3, 5);
+        for (i, v) in m.data_mut().iter_mut().enumerate() {
+            *v = (i as f32 * 0.31).cos();
+        }
+        m
+    };
+    let q = QuantizedBnn::from_params(&bnn.params(), 8, &calib);
+    let eps = BnnWallaceGrng::new(8, 32, 53);
+    let one = q.predict_proba_mc_parallel(&calib, 6, &eps, 1);
+    for threads in [2usize, 4] {
+        assert_eq!(
+            q.predict_proba_mc_parallel(&calib, 6, &eps, threads).data(),
+            one.data(),
+            "hw MC diverged at {threads} threads"
+        );
+    }
+    // threads == 0 routes through the VIBNN_THREADS knob; whatever it
+    // resolves to, the result must be the same.
+    assert_eq!(q.predict_proba_mc_parallel(&calib, 6, &eps, 0).data(), one.data());
+    assert!(vibnn::bnn::vibnn_threads() >= 1);
+}
