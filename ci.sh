@@ -23,9 +23,16 @@ else
     echo "==> NOTICE: clippy unavailable (offline toolchain); skipping lint step"
 fi
 
+echo "==> train-determinism suite (bit-identity at 1/2/4 threads)"
+cargo test -q --test train_determinism
+
 echo "==> VIBNN_SCALE=quick smoke run (table1 + machine-readable GRNG bench)"
 VIBNN_SCALE=quick cargo run --release -p vibnn_bench --bin table1
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
     cargo run --release -p vibnn_bench --bin bench_grng
+
+echo "==> VIBNN_SCALE=quick training-engine bench (machine-readable, asserts bit-identity)"
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_train.json" \
+    cargo run --release -p vibnn_bench --bin bench_train
 
 echo "CI green."

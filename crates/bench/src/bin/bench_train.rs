@@ -1,0 +1,238 @@
+//! Machine-readable training-engine benchmark: writes `BENCH_train.json`.
+//!
+//! Measures epochs/sec of BNN training on the MNIST-like workload in four
+//! configurations — the retained seed path (single-threaded, scalar ε
+//! draws, clone-heavy; `Bnn::train_epoch_reference`) and the
+//! deterministic data-parallel engine at 1/2/4 worker threads (block ε
+//! draws via forked substreams) — plus raw scalar-vs-block ε fill rates
+//! for the training generator. The engine runs all start from one cloned
+//! initial network, so the benchmark also *checks* the bit-identity
+//! contract: per-epoch losses must match exactly across thread counts.
+//!
+//! Output path: `$VIBNN_BENCH_OUT` if set, else `BENCH_train.json` in the
+//! working directory. `VIBNN_SCALE=quick` shrinks the workload;
+//! `default`/`full` use the paper's 784-200-200-10 architecture
+//! (`full` additionally uses the full `LearnScale::paper()` training-set
+//! size).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use vibnn::experiments::LearnScale;
+use vibnn_bench::RunScale;
+use vibnn_bnn::{Bnn, BnnConfig};
+use vibnn_datasets::{mnist_like_with, MnistLikeSpec};
+use vibnn_grng::{BoxMullerGrng, GaussianSource, ZigguratGrng};
+use vibnn_nn::Matrix;
+
+/// Forces the scalar ε path: only `next_gaussian` is implemented, so the
+/// default `fill`/`fill_f32` loop one virtual-free scalar draw per slot —
+/// exactly the seed's per-element consumption pattern.
+struct ScalarEps<G>(G);
+
+impl<G: GaussianSource> GaussianSource for ScalarEps<G> {
+    fn next_gaussian(&mut self) -> f64 {
+        self.0.next_gaussian()
+    }
+}
+
+struct Run {
+    threads: usize,
+    epochs_per_sec: f64,
+    losses: Vec<f64>,
+}
+
+/// Times each epoch individually and reports the *best* epoch's rate —
+/// robust against transient slowdowns on shared machines (applied
+/// identically to the baseline and every engine configuration, so the
+/// comparison stays fair).
+fn time_epochs(epochs: usize, mut f: impl FnMut() -> f64) -> (f64, Vec<f64>) {
+    let mut best = f64::INFINITY;
+    let mut losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let start = Instant::now();
+        losses.push(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (1.0 / best, losses)
+}
+
+/// One throwaway epoch on a scratch clone so page faults, allocator
+/// growth, and CPU frequency ramp-up land outside every measurement.
+fn warm_up(initial: &Bnn, x: &Matrix, y: &[usize], batch: usize) {
+    let mut scratch = initial.clone();
+    std::hint::black_box(scratch.train_epoch_mc_threads(x, y, batch, 1, 1));
+}
+
+fn fill_rate_msps(src: &mut impl GaussianSource, block: bool) -> f64 {
+    let mut buf = vec![0.0f32; 65_536];
+    // Warm-up.
+    src.fill_f32(&mut buf);
+    let start = Instant::now();
+    let mut filled = 0usize;
+    while start.elapsed().as_secs_f64() < 0.2 {
+        if block {
+            src.fill_f32(&mut buf);
+        } else {
+            for slot in &mut buf {
+                *slot = src.next_gaussian() as f32;
+            }
+        }
+        filled += buf.len();
+    }
+    std::hint::black_box(buf[0]);
+    filled as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let run_scale = RunScale::from_env();
+    let scale = match run_scale {
+        RunScale::Quick => LearnScale::smoke(),
+        RunScale::Default => LearnScale {
+            mnist_train: 2_000,
+            ..LearnScale::paper()
+        },
+        RunScale::Full => LearnScale::paper(),
+    };
+    let epochs = match run_scale {
+        RunScale::Quick => 2,
+        _ => 3,
+    };
+    let ds = mnist_like_with(
+        MnistLikeSpec {
+            train_size: scale.mnist_train,
+            test_size: 16,
+            ..MnistLikeSpec::default()
+        },
+        1,
+    );
+    let arch = [ds.features(), scale.hidden, scale.hidden, ds.classes];
+    let batch = 64.min(ds.train_len()).max(1);
+    let cfg = BnnConfig::new(&arch)
+        .with_lr(2e-3)
+        .with_kl_weight(5e-4)
+        .with_sigma_init(0.02)
+        .with_prior_std(0.1);
+    let initial = Bnn::new(cfg, 7);
+
+    // Seed scalar path: one continuous scalar-ε stream, single thread.
+    let (baseline_eps, baseline_losses) = {
+        let mut bnn = initial.clone();
+        let mut eps = ScalarEps(BoxMullerGrng::new(3));
+        let x: &Matrix = &ds.train_x;
+        warm_up(&initial, x, &ds.train_y, batch);
+        time_epochs(epochs, || {
+            bnn.train_epoch_reference(x, &ds.train_y, batch, &mut eps).loss
+        })
+    };
+
+    // Engine at 1/2/4 threads, all from the same initial network.
+    let engine: Vec<Run> = [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            let mut bnn = initial.clone();
+            let x: &Matrix = &ds.train_x;
+            warm_up(&initial, x, &ds.train_y, batch);
+            let (eps_rate, losses) = time_epochs(epochs, || {
+                bnn.train_epoch_mc_threads(x, &ds.train_y, batch, scale.train_mc, threads)
+                    .loss
+            });
+            Run {
+                threads,
+                epochs_per_sec: eps_rate,
+                losses,
+            }
+        })
+        .collect();
+
+    let bit_identical = engine.iter().all(|r| {
+        r.losses
+            .iter()
+            .zip(&engine[0].losses)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    assert!(
+        bit_identical,
+        "engine losses diverged across thread counts: {:?}",
+        engine.iter().map(|r| &r.losses).collect::<Vec<_>>()
+    );
+    let speedup_4t = engine
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.epochs_per_sec / baseline_eps)
+        .unwrap_or(0.0);
+
+    // Raw ε fill rates: scalar draw loop vs block kernel.
+    let mut zigg = ZigguratGrng::new(5);
+    let zigg_scalar = fill_rate_msps(&mut zigg, false);
+    let zigg_block = fill_rate_msps(&mut zigg, true);
+    let mut bm = BoxMullerGrng::new(5);
+    let bm_scalar = fill_rate_msps(&mut bm, false);
+    let bm_block = fill_rate_msps(&mut bm, true);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{run_scale:?}\",");
+    let _ = writeln!(
+        json,
+        "  \"arch\": [{}],",
+        arch.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(json, "  \"train_rows\": {},", ds.train_len());
+    let _ = writeln!(json, "  \"batch\": {batch},");
+    let _ = writeln!(json, "  \"epochs_measured\": {epochs},");
+    let _ = writeln!(
+        json,
+        "  \"eps_fill_msamples_per_sec\": {{\"ziggurat_scalar\": {zigg_scalar:.1}, \
+         \"ziggurat_block\": {zigg_block:.1}, \"boxmuller_scalar\": {bm_scalar:.1}, \
+         \"boxmuller_block\": {bm_block:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline_seed_scalar\": {{\"threads\": 1, \"epochs_per_sec\": {:.4}, \
+         \"final_loss\": {:.6}}},",
+        baseline_eps,
+        baseline_losses.last().copied().unwrap_or(f64::NAN)
+    );
+    json.push_str("  \"engine_block_eps\": [\n");
+    for (i, r) in engine.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"epochs_per_sec\": {:.4}, \"final_loss\": {:.6}, \
+             \"speedup_vs_seed\": {:.3}}}{}",
+            r.threads,
+            r.epochs_per_sec,
+            r.losses.last().copied().unwrap_or(f64::NAN),
+            r.epochs_per_sec / baseline_eps,
+            if i + 1 < engine.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_vs_seed_at_4_threads\": {speedup_4t:.3},");
+    let _ = writeln!(json, "  \"losses_bit_identical_across_threads\": {bit_identical}");
+    json.push_str("}\n");
+
+    let path =
+        std::env::var("VIBNN_BENCH_OUT").unwrap_or_else(|_| "BENCH_train.json".to_owned());
+    std::fs::write(&path, &json).expect("write benchmark output");
+
+    println!("wrote {path}");
+    println!(
+        "seed scalar path     1 thread   {:.3} epochs/s  (loss {:.4})",
+        baseline_eps,
+        baseline_losses.last().copied().unwrap_or(f64::NAN)
+    );
+    for r in &engine {
+        println!(
+            "engine (block eps)  {} thread{}  {:.3} epochs/s  x{:.2} vs seed  (loss {:.4})",
+            r.threads,
+            if r.threads == 1 { " " } else { "s" },
+            r.epochs_per_sec,
+            r.epochs_per_sec / baseline_eps,
+            r.losses.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "eps fill Msamples/s: ziggurat scalar {zigg_scalar:.1} block {zigg_block:.1} | \
+         box-muller scalar {bm_scalar:.1} block {bm_block:.1}"
+    );
+}

@@ -67,6 +67,7 @@ impl RunScale {
                 mnist_test: 1_000,
                 epochs: 10,
                 mc_samples: 8,
+                train_mc: 1,
                 hidden: 128,
             },
             RunScale::Full => LearnScale::paper(),

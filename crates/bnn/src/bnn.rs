@@ -1,13 +1,14 @@
 //! The full Bayesian MLP: stacked [`VarDense`] layers trained by
 //! Bayes-by-Backprop, with Monte Carlo inference (paper equations 4–6).
 
-use vibnn_grng::{BoxMullerGrng, GaussianSource, StreamFork};
+use vibnn_grng::{GaussianSource, StreamFork, ZigguratGrng};
 use vibnn_nn::{
     accuracy, cross_entropy_loss, relu, relu_backward, softmax_rows, Adam, GaussianInit, Matrix,
     Optimizer,
 };
 
-use crate::{parallel_mc_reduce, BnnParams, EpsScratch, GaussianPrior, VarDense};
+use crate::train::run_step;
+use crate::{parallel_mc_reduce, BnnParams, EpsScratch, GaussianPrior, LayerShared, VarDense};
 
 /// Configuration for [`Bnn`].
 ///
@@ -115,14 +116,28 @@ pub struct BnnTrainReport {
 }
 
 /// A Bayesian MLP with Gaussian variational posteriors over all weights.
+///
+/// Training runs through the deterministic data-parallel engine (see
+/// [`Self::train_batch_mc`]): each step forks one ε substream per Monte
+/// Carlo gradient sample, shards the minibatch into fixed-size
+/// microbatches across `std::thread::scope` workers, and reduces the
+/// gradients in a fixed order — so the trained parameters are
+/// **bit-identical at any thread count**.
 #[derive(Debug, Clone)]
 pub struct Bnn {
     cfg: BnnConfig,
     layers: Vec<VarDense>,
     opt: Adam,
     slots: Vec<[usize; 4]>,
-    train_eps: BoxMullerGrng,
+    /// Base generator for training ε. Step `t`, sample `s` draws from
+    /// `train_eps.fork(t).fork(s)` — consumption-independent, so the
+    /// stream a sample sees never depends on scheduling. The software
+    /// Ziggurat is the fastest high-quality generator in the workspace;
+    /// training happens off-accelerator (paper Section 2.2), so the
+    /// hardware-GRNG seam only binds at inference/deployment.
+    train_eps: ZigguratGrng,
     shuffle_rng: GaussianInit,
+    step: u64,
 }
 
 impl Bnn {
@@ -154,8 +169,9 @@ impl Bnn {
             layers,
             opt,
             slots,
-            train_eps: BoxMullerGrng::new(seed ^ 0xBEEF),
+            train_eps: ZigguratGrng::new(seed ^ 0xBEEF),
             shuffle_rng: GaussianInit::new(seed ^ 0xFACE),
+            step: 0,
         }
     }
 
@@ -180,6 +196,8 @@ impl Bnn {
     }
 
     /// One sampled forward pass ending in softmax, on reusable buffers.
+    /// The input is borrowed directly by the first layer — no per-sample
+    /// clone of the batch.
     fn sample_probs(
         &self,
         x: &Matrix,
@@ -187,15 +205,18 @@ impl Bnn {
         scratch: &mut EpsScratch,
     ) -> Matrix {
         let last = self.layers.len() - 1;
-        let mut h = x.clone();
+        let mut h: Option<Matrix> = None;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward_sample_inference_with(&h, eps_src, scratch);
+            let input = h.as_ref().unwrap_or(x);
+            let mut out = layer.forward_sample_inference_with(input, eps_src, scratch);
             if i < last {
-                relu(&mut h);
+                relu(&mut out);
             }
+            h = Some(out);
         }
-        softmax_rows(&mut h);
-        h
+        let mut probs = h.expect("at least one layer");
+        softmax_rows(&mut probs);
+        probs
     }
 
     /// Monte Carlo predictive probabilities: averages the softmax output
@@ -257,16 +278,19 @@ impl Bnn {
 
     /// Deterministic predictive probabilities using the posterior means.
     pub fn predict_proba_mean(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
         let last = self.layers.len() - 1;
+        let mut h: Option<Matrix> = None;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward_mean(&h);
+            let input = h.as_ref().unwrap_or(x);
+            let mut out = layer.forward_mean(input);
             if i < last {
-                relu(&mut h);
+                relu(&mut out);
             }
+            h = Some(out);
         }
-        softmax_rows(&mut h);
-        h
+        let mut probs = h.expect("at least one layer");
+        softmax_rows(&mut probs);
+        probs
     }
 
     /// Accuracy under MC inference.
@@ -301,20 +325,196 @@ impl Bnn {
         accuracy(&self.predict_proba_mean(x), labels)
     }
 
-    /// One Bayes-by-Backprop step on a minibatch (single MC sample);
-    /// returns `(total loss, nll, kl)`.
+    /// One Bayes-by-Backprop step on a minibatch (single MC gradient
+    /// sample) through the data-parallel engine; returns
+    /// `(total loss, nll, kl)`. Equivalent to
+    /// [`Self::train_batch_mc`]`(x, labels, 1)`.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> (f64, f64, f64) {
+        self.train_batch_mc_threads(x, labels, 1, 0)
+    }
+
+    /// One Bayes-by-Backprop step with the gradient averaged over
+    /// `samples` Monte Carlo weight draws (the paper's
+    /// reparameterization-trick estimator), with worker count from the
+    /// `VIBNN_THREADS` knob. See [`Self::train_batch_mc_threads`] for the
+    /// full contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or `samples == 0`.
+    pub fn train_batch_mc(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        samples: usize,
+    ) -> (f64, f64, f64) {
+        self.train_batch_mc_threads(x, labels, samples, 0)
+    }
+
+    /// One step of the deterministic data-parallel training engine;
+    /// returns `(total loss, nll, kl)`.
+    ///
+    /// MC sample `s` of step `t` draws every ε tensor from the forked
+    /// substream `fork(t).fork(s)` in block form; the minibatch is
+    /// sharded into fixed 16-row microbatches whose forward/backward
+    /// passes are spread over `threads` `std::thread::scope` workers
+    /// (`threads == 0` honours [`crate::vibnn_threads`]); and gradients
+    /// are reduced in ascending `(sample, shard)` order. Both the shard
+    /// partition and the reduction order depend only on the inputs, so
+    /// losses and parameters are **bit-identical for every thread
+    /// count**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, an empty batch, or `samples == 0`.
+    pub fn train_batch_mc_threads(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        samples: usize,
+        threads: usize,
+    ) -> (f64, f64, f64) {
+        assert_eq!(x.rows(), labels.len(), "batch size mismatch");
+        assert!(x.rows() > 0, "empty batch");
+        assert!(samples > 0, "need at least one Monte Carlo sample");
+        let shared: Vec<LayerShared> = self.layers.iter().map(VarDense::step_shared).collect();
+        let step_src = self.train_eps.fork(self.step);
+        self.step += 1;
+        let grads = run_step(&self.layers, &shared, x, labels, samples, threads, &step_src);
+        let nll = grads.nll_sum / (x.rows() as f64 * samples as f64);
+        let prior_std = self.cfg.prior.std() as f32;
+        let kl_weight = self.cfg.kl_weight;
+        let mut kl = 0.0;
+        for ((layer, sh), lg) in self.layers.iter_mut().zip(&shared).zip(grads.layers) {
+            kl += layer.finish_step_grads(sh, prior_std, kl_weight, lg);
+        }
+        self.opt.tick();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let [smu, srho, sbmu, sbrho] = self.slots[i];
+            let ((mu, gmu), (rho, grho), (bmu, gbmu), (brho, gbrho)) = layer.params_mut();
+            self.opt.update_matrix(smu, mu, gmu);
+            self.opt.update_matrix(srho, rho, grho);
+            self.opt.update(sbmu, bmu, gbmu);
+            self.opt.update(sbrho, brho, gbrho);
+        }
+        let total = nll + f64::from(kl_weight) * kl;
+        (total, nll, kl)
+    }
+
+    /// One epoch with deterministic shuffling (single MC gradient sample,
+    /// `VIBNN_THREADS` workers). Equivalent to
+    /// [`Self::train_epoch_mc`]`(x, labels, batch, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or shapes mismatch.
+    pub fn train_epoch(&mut self, x: &Matrix, labels: &[usize], batch: usize) -> BnnTrainReport {
+        self.train_epoch_mc_threads(x, labels, batch, 1, 0)
+    }
+
+    /// One epoch with the per-step gradient averaged over `samples` MC
+    /// weight draws, worker count from the `VIBNN_THREADS` knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `samples == 0`, or shapes mismatch.
+    pub fn train_epoch_mc(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch: usize,
+        samples: usize,
+    ) -> BnnTrainReport {
+        self.train_epoch_mc_threads(x, labels, batch, samples, 0)
+    }
+
+    /// One epoch through the data-parallel engine with an explicit worker
+    /// count (`threads == 0` honours [`crate::vibnn_threads`]). The
+    /// shuffle, ε substreams, shard partition, and reduction order are all
+    /// thread-count-independent, so the report and the trained parameters
+    /// are bit-identical for every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `samples == 0`, or shapes mismatch.
+    pub fn train_epoch_mc_threads(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch: usize,
+        samples: usize,
+        threads: usize,
+    ) -> BnnTrainReport {
+        self.epoch_driver(x, labels, batch, |bnn, bx, by| {
+            bnn.train_batch_mc_threads(bx, by, samples, threads)
+        })
+    }
+
+    /// The shared epoch loop: one deterministic Fisher–Yates shuffle from
+    /// `shuffle_rng`, then `step` per minibatch. Both the engine epochs
+    /// and the seed-reference epoch run through this single driver, so
+    /// their shuffles (and therefore their batch sequences) can never
+    /// drift apart.
+    fn epoch_driver(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch: usize,
+        mut step: impl FnMut(&mut Self, &Matrix, &[usize]) -> (f64, f64, f64),
+    ) -> BnnTrainReport {
+        assert!(batch > 0, "batch size must be positive");
+        assert_eq!(x.rows(), labels.len(), "dataset size mismatch");
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (self.shuffle_rng.next_uniform() * (i + 1) as f64) as usize;
+            order.swap(i, j.min(i));
+        }
+        let (mut tl, mut tn, mut tk, mut b) = (0.0, 0.0, 0.0, 0u32);
+        for chunk in order.chunks(batch) {
+            let bx = x.select_rows(chunk);
+            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let (l, nll, kl) = step(self, &bx, &by);
+            tl += l;
+            tn += nll;
+            tk += kl;
+            b += 1;
+        }
+        let b = f64::from(b.max(1));
+        BnnTrainReport {
+            loss: tl / b,
+            nll: tn / b,
+            kl: tk / b,
+            accuracy: self.evaluate_mean(x, labels),
+        }
+    }
+
+    /// The seed's scalar training step, retained verbatim as the
+    /// benchmark baseline (`bench_train`'s "seed scalar path") and as a
+    /// statistical cross-check for the engine: single-threaded, one
+    /// continuous ε stream through the whole batch, per-layer activation
+    /// clones, and optimizer round-trips through temporary buffers.
+    /// Not part of the engine's bit-identity contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn train_batch_reference(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        eps_src: &mut impl GaussianSource,
+    ) -> (f64, f64, f64) {
         assert_eq!(x.rows(), labels.len(), "batch size mismatch");
         let last = self.layers.len() - 1;
         let mut h = x.clone();
         let mut post_relu: Vec<Matrix> = Vec::with_capacity(last);
-        // Split borrow: iterate by index so we can use self.train_eps.
         for i in 0..self.layers.len() {
-            h = self.layers[i].forward_sample(&h, &mut self.train_eps);
+            h = self.layers[i].forward_sample(&h, eps_src);
             if i < last {
                 relu(&mut h);
                 post_relu.push(h.clone());
@@ -342,7 +542,7 @@ impl Bnn {
         for layer in &mut self.layers {
             kl += layer.accumulate_kl(prior_std, self.cfg.kl_weight);
         }
-        // Apply updates.
+        // Apply updates (the seed's copy-out/copy-back round-trip).
         self.opt.tick();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let [smu, srho, sbmu, sbrho] = self.slots[i];
@@ -360,43 +560,30 @@ impl Bnn {
         (total, nll, kl)
     }
 
-    /// One epoch with deterministic shuffling.
+    /// One epoch over the seed's scalar path (see
+    /// [`Self::train_batch_reference`]); same deterministic shuffle as the
+    /// engine epochs.
     ///
     /// # Panics
     ///
     /// Panics if `batch == 0` or shapes mismatch.
-    pub fn train_epoch(&mut self, x: &Matrix, labels: &[usize], batch: usize) -> BnnTrainReport {
-        assert!(batch > 0, "batch size must be positive");
-        assert_eq!(x.rows(), labels.len(), "dataset size mismatch");
-        let n = x.rows();
-        let mut order: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = (self.shuffle_rng.next_uniform() * (i + 1) as f64) as usize;
-            order.swap(i, j.min(i));
-        }
-        let (mut tl, mut tn, mut tk, mut b) = (0.0, 0.0, 0.0, 0u32);
-        for chunk in order.chunks(batch) {
-            let bx = x.select_rows(chunk);
-            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-            let (l, nll, kl) = self.train_batch(&bx, &by);
-            tl += l;
-            tn += nll;
-            tk += kl;
-            b += 1;
-        }
-        let b = f64::from(b.max(1));
-        BnnTrainReport {
-            loss: tl / b,
-            nll: tn / b,
-            kl: tk / b,
-            accuracy: self.evaluate_mean(x, labels),
-        }
+    pub fn train_epoch_reference(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch: usize,
+        eps_src: &mut impl GaussianSource,
+    ) -> BnnTrainReport {
+        self.epoch_driver(x, labels, batch, |bnn, bx, by| {
+            bnn.train_batch_reference(bx, by, eps_src)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vibnn_grng::BoxMullerGrng;
 
     fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
         let mut rng = GaussianInit::new(seed);
@@ -517,6 +704,48 @@ mod tests {
         let bnn = Bnn::new(BnnConfig::new(&[2, 2]), 1);
         let mut eps = BoxMullerGrng::new(1);
         let _ = bnn.predict_proba_mc(&Matrix::zeros(1, 2), 0, &mut eps);
+    }
+
+    // The thread-count bit-identity and `train_batch_mc(1) == train_batch`
+    // contracts are pinned by the integration suite
+    // (`tests/train_determinism.rs`, run explicitly by ci.sh) — not
+    // duplicated here.
+
+    #[test]
+    fn multi_sample_gradients_still_learn() {
+        let (x, y) = toy_data(256, 71);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 16, 2]).with_lr(0.02), 73);
+        for _ in 0..25 {
+            bnn.train_epoch_mc(&x, &y, 64, 3);
+        }
+        let acc = bnn.evaluate_mean(&x, &y);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn reference_path_statistically_agrees_with_engine() {
+        // Different ε assignment (one continuous stream vs forked
+        // substreams), same estimator: both should learn the toy problem
+        // to a similar accuracy.
+        let (x, y) = toy_data(256, 81);
+        let mut engine = Bnn::new(BnnConfig::new(&[2, 12, 2]).with_lr(0.02), 83);
+        let mut seed_path = engine.clone();
+        let mut eps = BoxMullerGrng::new(85);
+        for _ in 0..25 {
+            engine.train_epoch(&x, &y, 64);
+            seed_path.train_epoch_reference(&x, &y, 64, &mut eps);
+        }
+        let ea = engine.evaluate_mean(&x, &y);
+        let ra = seed_path.evaluate_mean(&x, &y);
+        assert!(ea > 0.85 && ra > 0.85, "engine {ea} vs reference {ra}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Monte Carlo sample")]
+    fn zero_gradient_samples_panics() {
+        let (x, y) = toy_data(8, 91);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 2]), 93);
+        let _ = bnn.train_batch_mc(&x, &y, 0);
     }
 
     #[test]

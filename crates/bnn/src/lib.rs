@@ -31,13 +31,14 @@ mod bnn;
 mod mc;
 mod prior;
 mod threads;
+mod train;
 mod var_dense;
 
 pub use bnn::{Bnn, BnnConfig, BnnTrainReport};
-pub use mc::parallel_mc_reduce;
+pub use mc::{parallel_fork_map, parallel_mc_reduce, parallel_ordered_tasks};
 pub use prior::{GaussianPrior, ScaleMixturePrior};
 pub use threads::vibnn_threads;
-pub use var_dense::{softplus, softplus_derivative, EpsScratch, VarDense};
+pub use var_dense::{softplus, softplus_derivative, EpsScratch, LayerGrads, LayerShared, VarDense};
 
 /// A frozen snapshot of a trained BNN's variational parameters, expressed
 /// as per-layer `(µ, σ)` matrices — the exact artifact that gets migrated

@@ -1,15 +1,97 @@
-//! The parallel Monte Carlo harness: fork-per-sample scheduling with an
-//! order-deterministic reduction.
+//! The deterministic parallel harness: ordered fan-out over
+//! `std::thread::scope` workers with fork-per-unit ε streams.
 //!
-//! Both the float BNN (`Bnn::predict_proba_mc_parallel`) and the
-//! fixed-point datapath (`vibnn_hw`'s parallel inference) run their MC
-//! ensembles through [`parallel_mc_reduce`], so the bit-identity contract
-//! — thread count never changes the result — lives in exactly one place.
+//! Three layers, each built on the one below:
+//!
+//! - [`parallel_ordered_tasks`] — run `units` closures across workers and
+//!   return their results **in unit order**, independent of scheduling.
+//! - [`parallel_fork_map`] — the same, with unit `u` handed the forked
+//!   substream `eps_src.fork(u)` (the [`StreamFork`] seam).
+//! - [`parallel_mc_reduce`] — fork-per-sample Monte Carlo with an
+//!   order-deterministic matrix reduction.
+//!
+//! Both the float BNN (`Bnn::predict_proba_mc_parallel`, the training
+//! engine in [`crate::Bnn::train_batch_mc`]) and the fixed-point datapath
+//! (`vibnn_hw`'s parallel inference) run through these helpers, so the
+//! bit-identity contract — thread count never changes the result — lives
+//! in exactly one place.
 
 use vibnn_grng::StreamFork;
 use vibnn_nn::Matrix;
 
 use crate::vibnn_threads;
+
+/// Runs `units` independent tasks across `threads` `std::thread::scope`
+/// workers and returns the per-unit results in ascending unit order.
+///
+/// Units are split into contiguous chunks, one per worker; each worker
+/// owns one `W::default()` of reusable scratch state for its whole chunk.
+/// Because every unit writes its own slot and the returned `Vec` is in
+/// unit order, any *order-sensitive* reduction the caller performs is
+/// independent of how units were scheduled — the foundation of the
+/// bit-identical-at-any-thread-count contract. `threads == 0` resolves
+/// through [`vibnn_threads`]; `threads == 1` runs inline without spawning.
+///
+/// `threads` is a scheduling hint, not a spawn count: the worker pool is
+/// additionally capped at the machine's available parallelism, since
+/// oversubscribing a CPU-bound fan-out only adds context-switch cost and
+/// — by the determinism contract above — can never change the result.
+pub fn parallel_ordered_tasks<W, T, F>(units: usize, threads: usize, f: F) -> Vec<T>
+where
+    W: Default,
+    T: Send,
+    F: Fn(usize, &mut W) -> T + Sync,
+{
+    if units == 0 {
+        return Vec::new();
+    }
+    let requested = if threads == 0 { vibnn_threads() } else { threads };
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(requested);
+    let threads = requested.min(hardware).min(units).max(1);
+    let mut slots: Vec<Option<T>> = (0..units).map(|_| None).collect();
+    if threads == 1 {
+        let mut worker_state = W::default();
+        for (u, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(u, &mut worker_state));
+        }
+    } else {
+        let chunk = units.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                let base = t * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut worker_state = W::default();
+                    for (off, slot) in chunk_slots.iter_mut().enumerate() {
+                        *slot = Some(f(base + off, &mut worker_state));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`parallel_ordered_tasks`] where unit `u` draws its ε from
+/// `eps_src.fork(u)` — never from a shared stream — so each unit's random
+/// draws are independent of scheduling.
+pub fn parallel_fork_map<S, W, T, F>(units: usize, threads: usize, eps_src: &S, f: F) -> Vec<T>
+where
+    S: StreamFork + Sync,
+    W: Default,
+    T: Send,
+    F: Fn(usize, &mut S, &mut W) -> T + Sync,
+{
+    parallel_ordered_tasks(units, threads, |u, worker_state: &mut W| {
+        let mut src = eps_src.fork(u as u64);
+        f(u, &mut src, worker_state)
+    })
+}
 
 /// Runs `samples` Monte Carlo draws of `sample_fn` across `threads`
 /// `std::thread::scope` workers and averages the resulting matrices.
@@ -20,7 +102,7 @@ use crate::vibnn_threads;
 /// - sample `s` always draws its ε from `eps_src.fork(s)`, never from a
 ///   shared stream, so its value is independent of scheduling;
 /// - the per-sample outputs are accumulated in ascending sample order
-///   after all workers join, so the float reduction order is fixed.
+///   after all workers finish, so the float reduction order is fixed.
 ///
 /// `threads == 0` resolves through [`vibnn_threads`] (the `VIBNN_THREADS`
 /// environment knob). Each worker gets one `W::default()` as reusable
@@ -41,29 +123,12 @@ where
     F: Fn(&mut S, &mut W) -> Matrix + Sync,
 {
     assert!(samples > 0, "need at least one Monte Carlo sample");
-    let threads = if threads == 0 { vibnn_threads() } else { threads }
-        .min(samples)
-        .max(1);
-    let mut per_sample: Vec<Option<Matrix>> = (0..samples).map(|_| None).collect();
-    let chunk = samples.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slots) in per_sample.chunks_mut(chunk).enumerate() {
-            let base = t * chunk;
-            let sample_fn = &sample_fn;
-            scope.spawn(move || {
-                let mut worker_state = W::default();
-                for (off, slot) in slots.iter_mut().enumerate() {
-                    let mut src = eps_src.fork((base + off) as u64);
-                    *slot = Some(sample_fn(&mut src, &mut worker_state));
-                }
-            });
-        }
+    let per_sample = parallel_fork_map(samples, threads, eps_src, |_, src, worker: &mut W| {
+        sample_fn(src, worker)
     });
     // Deterministic reduction: ascending sample order, independent of how
     // the chunks were scheduled.
-    let mut draws = per_sample
-        .into_iter()
-        .map(|m| m.expect("worker filled every slot"));
+    let mut draws = per_sample.into_iter();
     let mut acc = draws.next().expect("samples > 0");
     for m in draws {
         acc.axpy(1.0, &m);
@@ -90,6 +155,29 @@ mod tests {
         let one = run(1);
         for threads in [2usize, 3, 7, 32] {
             assert_eq!(run(threads).data(), one.data(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn ordered_tasks_return_results_in_unit_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let out = parallel_ordered_tasks(17, threads, |u, _: &mut ()| u * u);
+            assert_eq!(out, (0..17).map(|u| u * u).collect::<Vec<_>>());
+        }
+        assert!(parallel_ordered_tasks(0, 4, |u, _: &mut ()| u).is_empty());
+    }
+
+    #[test]
+    fn fork_map_assigns_substreams_by_unit_not_schedule() {
+        let eps = BoxMullerGrng::new(11);
+        let run = |threads| {
+            parallel_fork_map(9, threads, &eps, |_, src: &mut BoxMullerGrng, _: &mut ()| {
+                src.next_gaussian()
+            })
+        };
+        let one = run(1);
+        for threads in [2usize, 4, 9] {
+            assert_eq!(run(threads), one, "{threads} threads");
         }
     }
 

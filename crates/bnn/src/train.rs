@@ -1,0 +1,229 @@
+//! The deterministic data-parallel training engine.
+//!
+//! One Bayes-by-Backprop step is decomposed into three phases, mirroring
+//! the PR 2 Monte Carlo inference design:
+//!
+//! 1. **Draw** (parallel over MC samples): sample `s` forks the step's ε
+//!    substream (`step_src.fork(s)`) and block-draws one reparameterized
+//!    weight set `w_s = µ + σ ◦ ε_s` per layer via
+//!    [`vibnn_grng::GaussianSource::fill_f32`]. σ comes from the step's
+//!    shared [`LayerShared`] tensors, computed once from ρ.
+//! 2. **Shard passes** (parallel over `(sample, shard)` units): the
+//!    minibatch is split into fixed [`MICROBATCH_ROWS`]-row microbatches —
+//!    a partition that depends only on the batch, never on the thread
+//!    count — and each unit runs the forward/backward pass of its shard's
+//!    rows against its sample's weights, producing per-layer likelihood
+//!    gradients on reusable workspace buffers.
+//! 3. **Ordered reduction** (serial): unit gradients are folded in
+//!    ascending `(sample, shard)` order — one fixed float accumulation
+//!    chain — so the result is **bit-identical at any thread count**.
+//!
+//! The ρ-gradient trick: within a sample every shard shares ε, so the
+//! likelihood ρ-gradient is `(Σ_shards ∂L/∂w) ∘ ε_s ∘ σ′`. The engine
+//! reduces the cheap `∘ ε_s` part per sample (phase 3) and applies the
+//! shared `σ′` factor once per step in
+//! [`VarDense::finish_step_grads`] — the seed path recomputed
+//! `softplus`/`sigmoid` per weight up to six times per batch, which
+//! dominated its CPU profile.
+
+use vibnn_grng::StreamFork;
+use vibnn_nn::{relu, relu_backward, softmax_rows, Matrix};
+
+use crate::{parallel_fork_map, parallel_ordered_tasks, LayerGrads, LayerShared, VarDense};
+
+/// Rows per gradient microbatch. A fixed constant (rather than
+/// `batch / threads`) so the shard partition — and therefore the gradient
+/// reduction tree — is identical at every thread count. At the paper's
+/// batch size of 64 this yields 4 shards, matching the 4-worker sweet
+/// spot of the bench.
+pub(crate) const MICROBATCH_ROWS: usize = 16;
+
+/// One MC sample's drawn tensors, shared read-only by its shard units.
+struct SampleDraw {
+    w: Vec<Matrix>,
+    b: Vec<Vec<f32>>,
+    eps: Vec<Matrix>,
+    bias_eps: Vec<Vec<f32>>,
+}
+
+/// Likelihood gradients produced by one `(sample, shard)` unit.
+struct UnitGrads {
+    w: Vec<Matrix>,
+    b: Vec<Vec<f32>>,
+    nll: f64,
+}
+
+/// Per-worker reusable buffers for the shard forward/backward pass.
+#[derive(Default)]
+struct ShardWorkspace {
+    /// Post-activation output of every layer (`acts[last]` holds logits,
+    /// then softmax probabilities).
+    acts: Vec<Matrix>,
+    /// Current upstream gradient.
+    grad: Matrix,
+    /// Landing buffer for the next `dL/dx` (swapped with `grad`).
+    grad_next: Matrix,
+}
+
+/// The reduced likelihood gradients of one training step, still missing
+/// the `σ′` ρ-factor and the KL terms (both applied by
+/// [`VarDense::finish_step_grads`]).
+pub(crate) struct StepGrads {
+    /// One [`LayerGrads`] per layer.
+    pub layers: Vec<LayerGrads>,
+    /// `Σ −ln p[label]` over every `(sample, shard, row)`, accumulated in
+    /// unit order; divide by `batch × samples` for the reported NLL.
+    pub nll_sum: f64,
+}
+
+/// Forward + backward over one shard with one sample's weights.
+fn unit_pass(
+    layers: &[VarDense],
+    draw: &SampleDraw,
+    x: &Matrix,
+    labels: &[usize],
+    inv_scale: f32,
+    ws: &mut ShardWorkspace,
+) -> UnitGrads {
+    let num_layers = layers.len();
+    let last = num_layers - 1;
+    if ws.acts.len() != num_layers {
+        ws.acts = (0..num_layers).map(|_| Matrix::default()).collect();
+    }
+    for l in 0..num_layers {
+        let (done, rest) = ws.acts.split_at_mut(l);
+        let input = if l == 0 { x } else { &done[l - 1] };
+        let out = &mut rest[0];
+        input.matmul_into(&draw.w[l], out);
+        out.add_row_broadcast(&draw.b[l]);
+        if l < last {
+            relu(out);
+        }
+    }
+    softmax_rows(&mut ws.acts[last]);
+    let probs = &ws.acts[last];
+    let mut nll = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        nll -= f64::from(probs[(r, label)]).max(1e-12).ln();
+    }
+    // dL/dlogits = (probs − onehot) / (batch × samples).
+    ws.grad.resize(probs.rows(), probs.cols());
+    ws.grad.data_mut().copy_from_slice(probs.data());
+    for (r, &label) in labels.iter().enumerate() {
+        ws.grad[(r, label)] -= 1.0;
+    }
+    ws.grad.scale(inv_scale);
+    let mut gw: Vec<Matrix> = (0..num_layers).map(|_| Matrix::default()).collect();
+    let mut gb: Vec<Vec<f32>> = vec![Vec::new(); num_layers];
+    for l in (0..num_layers).rev() {
+        if l < last {
+            relu_backward(&mut ws.grad, &ws.acts[l]);
+        }
+        let input = if l == 0 { x } else { &ws.acts[l - 1] };
+        gw[l] = input.t_matmul(&ws.grad);
+        gb[l] = ws.grad.col_sums();
+        if l > 0 {
+            // dL/dx through the *sampled* weights; skipped for the first
+            // layer, whose input gradient nobody consumes.
+            ws.grad.matmul_t_into(&draw.w[l], &mut ws.grad_next);
+            std::mem::swap(&mut ws.grad, &mut ws.grad_next);
+        }
+    }
+    UnitGrads { w: gw, b: gb, nll }
+}
+
+/// Runs the draw / shard-pass / ordered-reduction phases of one training
+/// step. `threads == 0` resolves through [`crate::vibnn_threads`].
+pub(crate) fn run_step<S: StreamFork + Sync>(
+    layers: &[VarDense],
+    shared: &[LayerShared],
+    x: &Matrix,
+    labels: &[usize],
+    samples: usize,
+    threads: usize,
+    step_src: &S,
+) -> StepGrads {
+    let num_layers = layers.len();
+    let batch = x.rows();
+    let num_shards = batch.div_ceil(MICROBATCH_ROWS).max(1);
+    let shard_x: Vec<Matrix> = (0..num_shards)
+        .map(|m| x.rows_slice(m * MICROBATCH_ROWS, ((m + 1) * MICROBATCH_ROWS).min(batch)))
+        .collect();
+    let shard_y: Vec<&[usize]> = labels.chunks(MICROBATCH_ROWS).collect();
+
+    // Phase 1: one forked ε substream per MC sample.
+    let draws: Vec<SampleDraw> =
+        parallel_fork_map(samples, threads, step_src, |_, src, _: &mut ()| {
+            let mut w = Vec::with_capacity(num_layers);
+            let mut b = Vec::with_capacity(num_layers);
+            let mut eps = Vec::with_capacity(num_layers);
+            let mut bias_eps = Vec::with_capacity(num_layers);
+            for (layer, sh) in layers.iter().zip(shared) {
+                let (wi, bi, ei, bei) = layer.draw_sample(sh, src);
+                w.push(wi);
+                b.push(bi);
+                eps.push(ei);
+                bias_eps.push(bei);
+            }
+            SampleDraw { w, b, eps, bias_eps }
+        });
+
+    // Phase 2: (sample, shard) units on reusable worker workspaces.
+    let inv_scale = 1.0 / (batch as f32 * samples as f32);
+    let units = parallel_ordered_tasks(
+        samples * num_shards,
+        threads,
+        |u, ws: &mut ShardWorkspace| {
+            let s = u / num_shards;
+            let m = u % num_shards;
+            unit_pass(layers, &draws[s], &shard_x[m], shard_y[m], inv_scale, ws)
+        },
+    );
+
+    // Phase 3: ordered reduction — ascending shard order within each
+    // sample, ascending sample order overall.
+    let mut reduced: Vec<LayerGrads> = layers
+        .iter()
+        .map(|l| LayerGrads {
+            mu: Matrix::zeros(l.in_dim(), l.out_dim()),
+            rho_pre: Matrix::zeros(l.in_dim(), l.out_dim()),
+            bias_mu: vec![0.0; l.out_dim()],
+            bias_rho_pre: vec![0.0; l.out_dim()],
+        })
+        .collect();
+    let mut units = units;
+    for (s, draw) in draws.iter().enumerate() {
+        for (l, acc) in reduced.iter_mut().enumerate() {
+            // The first shard's gradient doubles as the per-sample
+            // accumulator (taken by move; later shards fold in ascending
+            // order).
+            let mut sample_sum = std::mem::take(&mut units[s * num_shards].w[l]);
+            for m in 1..num_shards {
+                sample_sum.axpy(1.0, &units[s * num_shards + m].w[l]);
+            }
+            acc.mu.axpy(1.0, &sample_sum);
+            acc.rho_pre.fma_assign(&sample_sum, &draw.eps[l]);
+            let mut bias_sum = std::mem::take(&mut units[s * num_shards].b[l]);
+            for m in 1..num_shards {
+                for (a, &v) in bias_sum.iter_mut().zip(&units[s * num_shards + m].b[l]) {
+                    *a += v;
+                }
+            }
+            for (a, &v) in acc.bias_mu.iter_mut().zip(&bias_sum) {
+                *a += v;
+            }
+            for (a, (&v, &e)) in acc
+                .bias_rho_pre
+                .iter_mut()
+                .zip(bias_sum.iter().zip(&draw.bias_eps[l]))
+            {
+                *a += v * e;
+            }
+        }
+    }
+    let nll_sum: f64 = units.iter().map(|u| u.nll).sum();
+    StepGrads {
+        layers: reduced,
+        nll_sum,
+    }
+}

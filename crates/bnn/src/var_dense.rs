@@ -53,6 +53,61 @@ impl Default for EpsScratch {
     }
 }
 
+/// Per-training-step derived tensors of one [`VarDense`] layer, computed
+/// **once** from ρ and shared read-only by every microbatch worker.
+///
+/// The seed training loop re-derived `softplus(ρ)` and its sigmoid in at
+/// least six places per batch (forward sampling, backward sampling,
+/// ρ-gradients, KL value, KL gradients) — ~1.2M transcendental evaluations
+/// per 784-200-200-10 minibatch, the single largest cost on a CPU. One
+/// fused pass per step computes σ, σ′ = sigmoid(ρ), and `Σ ln σ` (the
+/// KL value's only transcendental), and everything downstream is
+/// fused-multiply-add arithmetic.
+#[derive(Debug, Clone)]
+pub struct LayerShared {
+    /// Weight standard deviations `softplus(ρ)`.
+    pub sigma: Matrix,
+    /// `dσ/dρ = sigmoid(ρ)` for the weight tensor.
+    pub sig_deriv: Matrix,
+    /// Bias standard deviations.
+    pub bias_sigma: Vec<f32>,
+    /// `dσ/dρ` for the bias row.
+    pub bias_sig_deriv: Vec<f32>,
+    /// `Σ ln σ` over the weight tensor (f64, ascending element order).
+    pub ln_sigma_sum: f64,
+    /// `Σ ln σ` over the bias row.
+    pub bias_ln_sigma_sum: f64,
+}
+
+/// One layer's reduced likelihood-gradient tensors for a training step,
+/// as produced by the engine's ordered reduction and consumed by
+/// [`VarDense::finish_step_grads`]. The ρ entries are "pre" gradients:
+/// `Σ_s ∂NLL/∂w_s ∘ ε_s`, still missing the shared `σ′` factor.
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    /// `Σ ∂NLL/∂w` (equals `∂NLL/∂µ`).
+    pub mu: Matrix,
+    /// `Σ_s (∂NLL/∂w)_s ∘ ε_s`.
+    pub rho_pre: Matrix,
+    /// `Σ ∂NLL/∂b`.
+    pub bias_mu: Vec<f32>,
+    /// `Σ_s (∂NLL/∂b)_s ∘ ε_s`.
+    pub bias_rho_pre: Vec<f32>,
+}
+
+/// One fused σ/σ′/ln σ evaluation (same branch structure as [`softplus`] /
+/// [`softplus_derivative`], sharing the single `exp`).
+#[inline]
+fn sigma_pair(rho: f32) -> (f32, f32) {
+    if rho > 20.0 {
+        (rho, 1.0 / (1.0 + (-rho).exp()))
+    } else {
+        let t = rho.exp();
+        let sigma = if rho < -20.0 { t } else { t.ln_1p() };
+        (sigma, t / (1.0 + t))
+    }
+}
+
 /// A dense layer whose weights and biases are Gaussian posteriors
 /// `N(µ, softplus(ρ)²)`, trained with the reparameterization trick
 /// `w = µ + σ ◦ ε`.
@@ -303,6 +358,162 @@ impl VarDense {
         kl
     }
 
+    /// Computes this step's [`LayerShared`] tensors (one fused pass over
+    /// ρ; see the type docs for why this is hoisted out of the per-shard
+    /// hot path).
+    ///
+    /// `Σ ln σ` is accumulated as `ln` of short σ-products — one `ln` per
+    /// 16 elements instead of per element — with an underflow guard that
+    /// flushes early whenever the running product leaves comfortable f64
+    /// range, so pathologically tiny σ still contribute their (possibly
+    /// `-inf`) logarithm instead of vanishing.
+    pub fn step_shared(&self) -> LayerShared {
+        fn ln_product_sum(values: &[f32]) -> f64 {
+            let mut total = 0.0f64;
+            let mut prod = 1.0f64;
+            let mut pending = 0u32;
+            for &v in values {
+                prod *= f64::from(v);
+                pending += 1;
+                if pending == 16 || !(1e-270..=1e270).contains(&prod) {
+                    total += prod.ln();
+                    prod = 1.0;
+                    pending = 0;
+                }
+            }
+            if pending > 0 {
+                total += prod.ln();
+            }
+            total
+        }
+        let mut sigma = Matrix::zeros(self.mu.rows(), self.mu.cols());
+        let mut sig_deriv = Matrix::zeros(self.mu.rows(), self.mu.cols());
+        for ((&r, s), d) in self
+            .rho
+            .data()
+            .iter()
+            .zip(sigma.data_mut())
+            .zip(sig_deriv.data_mut())
+        {
+            let (sg, sd) = sigma_pair(r);
+            *s = sg;
+            *d = sd;
+        }
+        let ln_sigma_sum = ln_product_sum(sigma.data());
+        let mut bias_sigma = vec![0.0f32; self.bias_rho.len()];
+        let mut bias_sig_deriv = vec![0.0f32; self.bias_rho.len()];
+        for ((&r, s), d) in self
+            .bias_rho
+            .iter()
+            .zip(&mut bias_sigma)
+            .zip(&mut bias_sig_deriv)
+        {
+            let (sg, sd) = sigma_pair(r);
+            *s = sg;
+            *d = sd;
+        }
+        let bias_ln_sigma_sum = ln_product_sum(&bias_sigma);
+        LayerShared {
+            sigma,
+            sig_deriv,
+            bias_sigma,
+            bias_sig_deriv,
+            ln_sigma_sum,
+            bias_ln_sigma_sum,
+        }
+    }
+
+    /// Draws one reparameterized sample of this layer against precomputed
+    /// σ tensors: ε blocks come from `src` via [`GaussianSource::fill_f32`]
+    /// (weights first, then biases — the canonical stream order), and the
+    /// returned tuple is `(w, b, ε, bias ε)` with `w = µ + σ ◦ ε`.
+    pub fn draw_sample(
+        &self,
+        shared: &LayerShared,
+        src: &mut impl GaussianSource,
+    ) -> (Matrix, Vec<f32>, Matrix, Vec<f32>) {
+        let mut eps = Matrix::zeros(self.mu.rows(), self.mu.cols());
+        src.fill_f32(eps.data_mut());
+        let mut bias_eps = vec![0.0f32; self.bias_mu.len()];
+        src.fill_f32(&mut bias_eps);
+        let mut w = self.mu.clone();
+        w.fma_assign(&shared.sigma, &eps);
+        let b: Vec<f32> = self
+            .bias_mu
+            .iter()
+            .zip(&shared.bias_sigma)
+            .zip(&bias_eps)
+            .map(|((&m, &s), &e)| m + s * e)
+            .collect();
+        (w, b, eps, bias_eps)
+    }
+
+    /// Finalizes one training step's gradients from the reduced
+    /// likelihood terms in `grads` and installs them in the layer: the
+    /// `rho_pre` tensors gain their `σ′` factor, and the KL gradients
+    /// (`∂KL/∂µ = µ/σp²`, `∂KL/∂ρ = (σ/σp² − 1/σ)·σ′`), scaled by
+    /// `kl_weight`, are added on top.
+    ///
+    /// Returns this layer's (unscaled) KL divergence to the
+    /// `N(0, prior_std²)` prior, computed from the precomputed `Σ ln σ`
+    /// plus one fused pass accumulating `Σ (σ² + µ²)`.
+    pub fn finish_step_grads(
+        &mut self,
+        shared: &LayerShared,
+        prior_std: f32,
+        kl_weight: f32,
+        grads: LayerGrads,
+    ) -> f64 {
+        let LayerGrads {
+            mu: grad_mu,
+            rho_pre: mut grad_rho_pre,
+            bias_mu: grad_bias_mu,
+            bias_rho_pre: mut grad_bias_rho_pre,
+        } = grads;
+        let ps2 = f64::from(prior_std) * f64::from(prior_std);
+        let inv_ps2 = (1.0 / ps2) as f32;
+        let n_w = self.mu.data().len();
+        let n_b = self.bias_mu.len();
+        self.grad_mu = grad_mu;
+        // f32 arithmetic throughout the gradient pass (it vectorizes; the
+        // seed's per-element f64 divisions were a measurable cost), with
+        // f64 only for the Σ(σ² + µ²) loss accumulator.
+        let mut quad = 0.0f64;
+        for (((g_mu, g_rho), &mu), (&sigma, &sd)) in self
+            .grad_mu
+            .data_mut()
+            .iter_mut()
+            .zip(grad_rho_pre.data_mut())
+            .zip(self.mu.data())
+            .zip(shared.sigma.data().iter().zip(shared.sig_deriv.data()))
+        {
+            quad += f64::from(sigma * sigma + mu * mu);
+            let dsigma = sigma * inv_ps2 - 1.0 / sigma;
+            *g_mu += kl_weight * (mu * inv_ps2);
+            *g_rho = *g_rho * sd + kl_weight * dsigma * sd;
+        }
+        self.grad_rho = grad_rho_pre;
+        self.grad_bias_mu = grad_bias_mu;
+        let mut bias_quad = 0.0f64;
+        for (((g_mu, g_rho), &mu), (&sigma, &sd)) in self
+            .grad_bias_mu
+            .iter_mut()
+            .zip(&mut grad_bias_rho_pre)
+            .zip(&self.bias_mu)
+            .zip(shared.bias_sigma.iter().zip(&shared.bias_sig_deriv))
+        {
+            bias_quad += f64::from(sigma * sigma + mu * mu);
+            let dsigma = sigma * inv_ps2 - 1.0 / sigma;
+            *g_mu += kl_weight * (mu * inv_ps2);
+            *g_rho = *g_rho * sd + kl_weight * dsigma * sd;
+        }
+        self.grad_bias_rho = grad_bias_rho_pre;
+        let ln_prior = f64::from(prior_std).ln();
+        (n_w + n_b) as f64 * ln_prior - shared.ln_sigma_sum - shared.bias_ln_sigma_sum
+            + (quad + bias_quad) / (2.0 * ps2)
+            - 0.5 * (n_w + n_b) as f64
+    }
+
     /// Parameter/gradient access for the optimizer, flattened as four
     /// tensors: `(µ, ∂µ), (ρ, ∂ρ), (bµ, ∂bµ), (bρ, ∂bρ)`.
     #[allow(clippy::type_complexity)]
@@ -433,6 +644,76 @@ mod tests {
                 (num - ana).abs() < 3e-2 * ana.abs().max(1.0),
                 "drho[{r},{c}] numeric {num} vs {ana}"
             );
+        }
+    }
+
+    #[test]
+    fn step_shared_matches_scalar_softplus_functions() {
+        let mut layer = VarDense::new(5, 4, 0.3, 21);
+        // Spread ρ across the branch boundaries.
+        for (i, r) in layer.rho.data_mut().iter_mut().enumerate() {
+            *r = [-25.0, -3.0, 0.0, 2.5, 25.0][i % 5];
+        }
+        let sh = layer.step_shared();
+        for (i, &r) in layer.rho.data().iter().enumerate() {
+            let s = sh.sigma.data()[i];
+            let d = sh.sig_deriv.data()[i];
+            assert!((s - softplus(r)).abs() <= 1e-6 * softplus(r).abs().max(1e-30));
+            assert!((d - softplus_derivative(r)).abs() <= 1e-6);
+        }
+        let expect: f64 = layer
+            .rho
+            .data()
+            .iter()
+            .map(|&r| f64::from(softplus(r).ln()))
+            .sum();
+        assert!((sh.ln_sigma_sum - expect).abs() < 1e-3, "{}", sh.ln_sigma_sum);
+    }
+
+    #[test]
+    fn draw_sample_matches_forward_sample_weights() {
+        let mut layer = VarDense::new(4, 3, 0.2, 31);
+        let shared = layer.step_shared();
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25, 2.0]]);
+        let mut src_a = BoxMullerGrng::new(77);
+        let mut src_b = BoxMullerGrng::new(77);
+        let y_cached = layer.forward_sample(&x, &mut src_a);
+        let (w, b, _eps, _beps) = layer.draw_sample(&shared, &mut src_b);
+        let mut y = x.matmul(&w);
+        y.add_row_broadcast(&b);
+        for (a, b) in y_cached.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn finish_step_grads_agrees_with_accumulate_kl() {
+        let mut a = VarDense::new(3, 4, 0.4, 41);
+        let mut b = a.clone();
+        a.zero_grad();
+        let kl_a = a.accumulate_kl(0.7, 0.3);
+        let shared = b.step_shared();
+        let (i, o) = (b.in_dim(), b.out_dim());
+        let kl_b = b.finish_step_grads(
+            &shared,
+            0.7,
+            0.3,
+            LayerGrads {
+                mu: Matrix::zeros(i, o),
+                rho_pre: Matrix::zeros(i, o),
+                bias_mu: vec![0.0; o],
+                bias_rho_pre: vec![0.0; o],
+            },
+        );
+        assert!((kl_a - kl_b).abs() < 1e-6 * kl_a.abs().max(1.0), "{kl_a} vs {kl_b}");
+        for (x, y) in a.grad_mu.data().iter().zip(b.grad_mu.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+        for (x, y) in a.grad_rho.data().iter().zip(b.grad_rho.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+        for (x, y) in a.grad_bias_rho.iter().zip(&b.grad_bias_rho) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }
     }
 

@@ -115,22 +115,48 @@ impl QFormat {
     }
 
     /// Re-scales a raw value with `from_frac` fractional bits into this
-    /// format (rounding to nearest, saturating) — the requantization at the
-    /// end of a MAC.
+    /// format — the requantization at the end of a MAC. Rounds to nearest
+    /// with **ties away from zero**, matching [`Self::quantize`]'s
+    /// documented behaviour (the old `(raw + half) >> shift` rounded
+    /// negative ties toward +∞, a 1-LSB disagreement on exact half-LSB
+    /// negative values), and saturates. The arithmetic is carried out in
+    /// `i128`, so neither the rounding bias addition nor an up-shift of a
+    /// large accumulator can overflow.
     pub fn requantize(&self, raw: i64, from_frac: u32) -> i32 {
         let shift = i64::from(from_frac) - i64::from(self.frac);
-        let adjusted = if shift > 0 {
-            let half = 1i64 << (shift - 1);
-            (raw + half) >> shift
+        let adjusted: i128 = if shift > 127 {
+            // |raw| < 2^63 ≤ half: everything rounds to zero.
+            0
+        } else if shift > 0 {
+            let half = 1i128 << (shift - 1);
+            let wide = i128::from(raw);
+            if wide >= 0 {
+                (wide + half) >> shift
+            } else {
+                -((-wide + half) >> shift)
+            }
         } else {
-            raw << (-shift)
+            // Up-shift: frac < 32 bounds the shift amount well below the
+            // i128 headroom over any i64 accumulator.
+            i128::from(raw) << (-shift)
         };
-        self.saturate(adjusted)
+        adjusted
+            .clamp(i128::from(self.min_raw()), i128::from(self.max_raw())) as i32
     }
 }
 
 /// Picks the Q format for `total` bits that covers `[-max_abs, max_abs]`
 /// with the most fraction bits possible.
+///
+/// Coverage uses the **asymmetric negative bound** of two's complement:
+/// a format is accepted when `min_value() <= -max_abs`, i.e. when
+/// `2^int_bits >= max_abs`. The positive endpoint `+max_abs` may then
+/// saturate to `max_value() = 2^int_bits − lsb`, at most one LSB of
+/// error — the right trade for calibration, since the alternative costs a
+/// full fraction bit on *every* value. (The old `max_value() >= max_abs`
+/// test hit exactly this on power-of-two ranges: `max_abs = 2.0` picked
+/// Q2.5 even though Q1.6's `min_value = -2.0` covers the range, silently
+/// halving resolution in the paper's B=8 sweep.)
 ///
 /// # Panics
 ///
@@ -143,6 +169,9 @@ impl QFormat {
 /// let q = choose_format(8, 1.5); // needs 1 integer bit -> Q1.6
 /// assert_eq!(q.frac_bits(), 6);
 /// assert!(q.max_value() >= 1.5);
+/// let q2 = choose_format(8, 2.0); // exact power of two: still Q1.6
+/// assert_eq!(q2.frac_bits(), 6);
+/// assert_eq!(q2.min_value(), -2.0);
 /// ```
 pub fn choose_format(total: u32, max_abs: f64) -> QFormat {
     assert!(
@@ -153,7 +182,7 @@ pub fn choose_format(total: u32, max_abs: f64) -> QFormat {
     while int_bits < total - 1 {
         let frac = total - 1 - int_bits;
         let q = QFormat::new(total, frac);
-        if q.max_value() >= max_abs {
+        if q.min_value() <= -max_abs {
             return q;
         }
         int_bits += 1;
@@ -265,6 +294,58 @@ mod tests {
     }
 
     #[test]
+    fn requantize_negative_ties_round_away_from_zero() {
+        let out = QFormat::new(8, 4);
+        // Half-LSB ties (shift = 8, half = 128) must mirror the positive
+        // side: quantize's documented ties-away-from-zero.
+        assert_eq!(out.requantize(128, 12), 1);
+        assert_eq!(out.requantize(-128, 12), -1); // was 0 before the fix
+        assert_eq!(out.requantize(384, 12), 2);
+        assert_eq!(out.requantize(-384, 12), -2); // was -1 before the fix
+        // Non-ties are unchanged in both directions.
+        assert_eq!(out.requantize(-127, 12), 0);
+        assert_eq!(out.requantize(-129, 12), -1);
+        // Exact odd symmetry everywhere saturation is not in play.
+        for raw in 0..2000i64 {
+            assert_eq!(
+                out.requantize(-raw, 12),
+                -out.requantize(raw, 12),
+                "asymmetric rounding at ±{raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_mirrors_quantize_on_tie_values() {
+        // A raw value at k + 0.5 LSB of the target format must land on
+        // the same integer quantize() picks for the equivalent real value.
+        let out = QFormat::new(8, 4);
+        for k in [-5i64, -2, -1, 0, 1, 2, 5] {
+            let raw_12 = k * 256 + if k < 0 { -128 } else { 128 };
+            let real = raw_12 as f64 / 4096.0;
+            assert_eq!(
+                out.requantize(raw_12, 12),
+                out.quantize(real),
+                "tie at {real}"
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_up_shift_saturates_instead_of_overflowing() {
+        let out = QFormat::new(8, 6);
+        // A huge accumulator up-shifted by 6 bits overflowed i64 before;
+        // now it saturates cleanly.
+        assert_eq!(out.requantize(i64::MAX / 2, 0), out.max_raw());
+        assert_eq!(out.requantize(i64::MIN / 2, 0), out.min_raw());
+        // Rounding-bias addition near i64::MAX also stays exact.
+        assert_eq!(out.requantize(i64::MAX, 40), out.max_raw());
+        assert_eq!(out.requantize(i64::MIN, 40), out.min_raw());
+        // Absurd down-shifts collapse to zero rather than misbehaving.
+        assert_eq!(out.requantize(i64::MAX, u32::MAX), 0);
+    }
+
+    #[test]
     fn mac_matches_float_within_tolerance() {
         let q = QFormat::new(8, 6);
         let xs = [0.3f64, -0.7, 0.9, 0.2, -0.1];
@@ -298,6 +379,28 @@ mod tests {
         // max_abs = 0.9 fits in Q0.7 for 8 bits (max 0.9921875).
         let q = choose_format(8, 0.9);
         assert_eq!(q.frac_bits(), 7);
+    }
+
+    #[test]
+    fn choose_format_keeps_fraction_bit_on_power_of_two_ranges() {
+        // Exact powers of two are covered by the asymmetric negative
+        // bound: only +max_abs saturates, by at most one LSB.
+        for &(bits, max, frac) in &[
+            (8u32, 1.0f64, 7u32), // Q0.7, min -1.0 (was Q1.6 before)
+            (8, 2.0, 6),          // Q1.6, min -2.0 (was Q2.5 before)
+            (8, 4.0, 5),
+            (16, 8.0, 12),
+            (4, 1.0, 3), // Q0.3, min -1.0 (was Q1.2 before)
+        ] {
+            let q = choose_format(bits, max);
+            assert_eq!(q.frac_bits(), frac, "bits={bits} max={max} q={q:?}");
+            assert!(q.min_value() <= -max);
+            // The positive endpoint loses at most one LSB to saturation.
+            assert!(max - q.max_value() <= q.lsb() + 1e-12);
+            assert_eq!(f64::from(q.quantize(max)), f64::from(q.max_raw()));
+        }
+        // Just past a power of two the next integer bit is required.
+        assert_eq!(choose_format(8, 2.0 + 1e-9).frac_bits(), 5);
     }
 
     #[test]

@@ -93,11 +93,29 @@ impl Dense {
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self
             .cached_input
-            .as_ref()
+            .take()
             .expect("backward called before forward");
-        self.grad_weight = x.t_matmul(grad_out);
-        self.grad_bias = grad_out.col_sums();
+        let grad_in = self.backward_from(&x, grad_out);
+        self.cached_input = Some(x);
+        grad_in
+    }
+
+    /// Backward pass with the forward input supplied by the caller — the
+    /// clone-free path used by [`crate::Mlp`]'s persistent activation
+    /// workspace (`forward` caches a copy of its input; this variant needs
+    /// no cache at all).
+    pub fn backward_from(&mut self, input: &Matrix, grad_out: &Matrix) -> Matrix {
+        self.accumulate_param_grads(input, grad_out);
         grad_out.matmul_t(&self.weight)
+    }
+
+    /// Parameter-gradient half of the backward pass, without computing the
+    /// input gradient — what the *first* layer of a network needs (its
+    /// `dL/dx` is never consumed, and for a 784-input MNIST layer that
+    /// skipped `matmul_t` is a third of all backward FLOPs).
+    pub fn accumulate_param_grads(&mut self, input: &Matrix, grad_out: &Matrix) {
+        input.t_matmul_into(grad_out, &mut self.grad_weight);
+        self.grad_bias = grad_out.col_sums();
     }
 
     /// Zeroes accumulated gradients.
@@ -170,6 +188,20 @@ mod tests {
                 "dx[{r},{c}]: numeric {num} vs analytic {ana}"
             );
         }
+    }
+
+    #[test]
+    fn backward_from_matches_cached_backward() {
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.8], &[-1.0, 0.3, 0.1]]);
+        let mut a = Dense::new(3, 2, 11);
+        let mut b = a.clone();
+        let y = a.forward(&x);
+        let ga = a.backward(&y);
+        let yb = b.forward_inference(&x);
+        let gb = b.backward_from(&x, &yb);
+        assert_eq!(ga.data(), gb.data());
+        assert_eq!(a.grad_weight.data(), b.grad_weight.data());
+        assert_eq!(a.grad_bias, b.grad_bias);
     }
 
     #[test]

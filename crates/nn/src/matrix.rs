@@ -140,8 +140,23 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] into a caller-owned output matrix, which is
+    /// resized (allocation-free once warm) and overwritten. Bit-identical
+    /// to `matmul`; the workhorse of the training engine's reusable
+    /// activation workspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
+        out.data.fill(0.0);
         let n = other.cols;
         for jb in (0..n).step_by(BLOCK_J) {
             let j_hi = (jb + BLOCK_J).min(n);
@@ -162,7 +177,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -175,8 +189,21 @@ impl Matrix {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::t_matmul`] into a caller-owned output matrix (resized and
+    /// overwritten). Bit-identical to `t_matmul`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.resize(self.cols, other.cols);
+        out.data.fill(0.0);
         let n = other.cols;
         for jb in (0..n).step_by(BLOCK_J) {
             let j_hi = (jb + BLOCK_J).min(n);
@@ -197,7 +224,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self · otherᵀ` without materializing the transpose.
@@ -215,8 +241,21 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_t`] into a caller-owned output matrix (resized and
+    /// overwritten). Bit-identical to `matmul_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.resize(self.rows, other.rows);
+        out.data.fill(0.0);
         let m = other.rows;
         for jb in (0..m).step_by(BLOCK_J_T) {
             let j_hi = (jb + BLOCK_J_T).min(m);
@@ -236,7 +275,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Returns the transpose.
@@ -298,6 +336,29 @@ impl Matrix {
         }
     }
 
+    /// `self += a ∘ b` (elementwise fused accumulate) — used by the
+    /// training engine to fold `grad_w ∘ ε` into the ρ-gradient
+    /// accumulator without materializing the product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn fma_assign(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, a.cols),
+            "fma_assign shape mismatch"
+        );
+        assert_eq!(
+            (a.rows, a.cols),
+            (b.rows, b.cols),
+            "fma_assign shape mismatch"
+        );
+        for ((o, &x), &y) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *o += x * y;
+        }
+    }
+
     /// `self += alpha * other`.
     ///
     /// # Panics
@@ -347,6 +408,14 @@ impl Matrix {
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural seed for workspace buffers
+    /// that grow on first use via [`Matrix::resize`].
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -495,6 +564,31 @@ mod tests {
         // cross BLOCK_J_T = 64.
         let d = patterned(90, 150, 6);
         assert_eq!(c.matmul_t(&d), c.matmul(&d.transpose()));
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_kernels_on_warm_buffers() {
+        let a = patterned(37, 90, 7);
+        let b = patterned(90, 41, 8);
+        let mut out = Matrix::zeros(3, 3); // wrong shape: must be resized
+        out.map_inplace(|_| 42.0); // and stale contents discarded
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let g = patterned(37, 41, 9);
+        a.t_matmul_into(&g, &mut out);
+        assert_eq!(out, a.t_matmul(&g));
+        let c = patterned(20, 90, 10);
+        a.matmul_t_into(&c, &mut out);
+        assert_eq!(out, a.matmul_t(&c));
+    }
+
+    #[test]
+    fn fma_assign_accumulates_products() {
+        let mut acc = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let a = Matrix::from_rows(&[&[3.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 5.0]]);
+        acc.fma_assign(&a, &b);
+        assert_eq!(acc.data(), &[7.0, -3.0]);
     }
 
     #[test]

@@ -169,22 +169,29 @@ impl Mlp {
 
     /// One optimization step on a minibatch; returns the batch loss.
     ///
+    /// Forward activations live in a per-call workspace that the backward
+    /// pass reads in place — no `post_relu` clones, no cached-input copies
+    /// inside the layers, and optimizer updates are applied in place
+    /// through [`Optimizer::update_matrix`]. The first layer skips its
+    /// (unused) input gradient.
+    ///
     /// # Panics
     ///
     /// Panics if shapes are inconsistent.
     pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) -> f64 {
         assert_eq!(x.rows(), labels.len(), "batch size mismatch");
         let last = self.layers.len() - 1;
-        // Forward with caching; record post-ReLU activations and dropout
-        // masks for the backward pass.
-        let mut h = x.clone();
-        let mut post_relu: Vec<Matrix> = Vec::with_capacity(last);
+        // Forward. `acts[i]` holds layer i's output (post-ReLU, and
+        // post-dropout when enabled — relu_backward only inspects signs,
+        // and dropped entries are re-zeroed by the mask on the way back,
+        // so masked activations back-propagate identically).
+        let mut acts: Vec<Matrix> = Vec::with_capacity(self.layers.len());
         let mut masks: Vec<Option<Matrix>> = Vec::with_capacity(last);
-        for (i, layer) in self.layers.iter_mut().enumerate() {
-            h = layer.forward(&h);
+        for i in 0..self.layers.len() {
+            let input = if i == 0 { x } else { &acts[i - 1] };
+            let mut h = self.layers[i].forward_inference(input);
             if i < last {
                 relu(&mut h);
-                post_relu.push(h.clone());
                 if self.cfg.dropout > 0.0 {
                     let keep = 1.0 - self.cfg.dropout;
                     let mut mask = Matrix::zeros(h.rows(), h.cols());
@@ -201,8 +208,9 @@ impl Mlp {
                     masks.push(None);
                 }
             }
+            acts.push(h);
         }
-        let mut probs = h;
+        let mut probs = acts.pop().expect("at least one layer");
         softmax_rows(&mut probs);
         let loss = cross_entropy_loss(&probs, labels);
 
@@ -218,18 +226,21 @@ impl Mlp {
                 if let Some(mask) = &masks[i] {
                     grad.hadamard_assign(mask);
                 }
-                relu_backward(&mut grad, &post_relu[i]);
+                relu_backward(&mut grad, &acts[i]);
             }
-            grad = self.layers[i].backward(&grad);
+            let input = if i == 0 { x } else { &acts[i - 1] };
+            if i == 0 {
+                self.layers[i].accumulate_param_grads(input, &grad);
+            } else {
+                grad = self.layers[i].backward_from(input, &grad);
+            }
         }
-        // Apply updates.
+        // Apply updates in place.
         self.opt.tick();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let (wslot, bslot) = self.slots[i];
             let (w, gw, b, gb) = layer.params_mut();
-            let mut wbuf = w.data().to_vec();
-            self.opt.update(wslot, &mut wbuf, gw.data());
-            w.data_mut().copy_from_slice(&wbuf);
+            self.opt.update_matrix(wslot, w, gw);
             self.opt.update(bslot, b, gb);
         }
         loss

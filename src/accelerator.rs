@@ -217,6 +217,12 @@ impl Vibnn {
 
 /// Convenience: train a BNN and deploy it in one call (used by examples).
 ///
+/// Training runs through the deterministic data-parallel engine
+/// ([`Bnn::train_epoch_mc`] with a single MC gradient sample): minibatches
+/// are sharded across `VIBNN_THREADS` workers on forked ε substreams with
+/// an ordered gradient reduction, so the deployed parameters are
+/// bit-identical at every thread count.
+///
 /// # Panics
 ///
 /// Panics if shapes are inconsistent.
@@ -228,7 +234,7 @@ pub fn train_and_deploy(
     batch: usize,
 ) -> (Bnn, Vibnn) {
     for _ in 0..epochs {
-        bnn.train_epoch(train_x, train_y, batch);
+        bnn.train_epoch_mc(train_x, train_y, batch, 1);
     }
     let calib = train_x.rows_slice(0, train_x.rows().min(128));
     let accel = VibnnBuilder::new(bnn.params())

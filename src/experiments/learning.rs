@@ -18,6 +18,10 @@ pub struct LearnScale {
     pub epochs: usize,
     /// Monte Carlo samples for BNN/hardware inference.
     pub mc_samples: usize,
+    /// Monte Carlo weight draws per training *gradient* step (the
+    /// reparameterization-trick estimator; 1 reproduces the paper's
+    /// single-sample Bayes-by-Backprop).
+    pub train_mc: usize,
     /// Hidden layer width (the paper uses 200).
     pub hidden: usize,
 }
@@ -31,6 +35,7 @@ impl LearnScale {
             mnist_test: 2_000,
             epochs: 12,
             mc_samples: 8,
+            train_mc: 1,
             hidden: 200,
         }
     }
@@ -42,6 +47,7 @@ impl LearnScale {
             mnist_test: 200,
             epochs: 6,
             mc_samples: 2,
+            train_mc: 1,
             hidden: 32,
         }
     }
@@ -83,7 +89,10 @@ fn train_bnn(ds: &Dataset, scale: LearnScale, seed: u64) -> Bnn {
         .with_prior_std(0.1);
     let mut bnn = Bnn::new(cfg, seed);
     for _ in 0..scale.epochs {
-        bnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+        // The deterministic data-parallel engine: microbatch shards across
+        // VIBNN_THREADS workers, `scale.train_mc` MC gradient samples per
+        // step, results bit-identical at any thread count.
+        bnn.train_epoch_mc(&ds.train_x, &ds.train_y, batch, scale.train_mc);
     }
     bnn
 }
@@ -175,7 +184,7 @@ pub fn fig17(scale: LearnScale, seed: u64) -> Vec<Fig17Point> {
     (1..=scale.epochs.max(6))
         .map(|epoch| {
             fnn.train_epoch(&ds.train_x, &ds.train_y, batch);
-            bnn.train_epoch(&ds.train_x, &ds.train_y, batch);
+            bnn.train_epoch_mc(&ds.train_x, &ds.train_y, batch, scale.train_mc);
             Fig17Point {
                 epoch,
                 fnn_accuracy: fnn.evaluate(&ds.test_x, &ds.test_y),

@@ -1,0 +1,129 @@
+//! The training engine's determinism contract: losses and trained
+//! parameters are bit-identical at `VIBNN_THREADS` = 1/2/4 (exercised via
+//! the explicit-thread API, which the env knob merely defaults), and the
+//! multi-sample path at `samples == 1` coincides exactly with
+//! `train_batch` / `train_epoch`.
+
+use vibnn::bnn::{Bnn, BnnConfig, BnnTrainReport};
+use vibnn::nn::{GaussianInit, Matrix};
+
+fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = GaussianInit::new(seed);
+    let mut x = Matrix::zeros(n, 6);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut s = 0.0f32;
+        for c in 0..6 {
+            let v = rng.next_gaussian() as f32;
+            x[(r, c)] = v;
+            s += v;
+        }
+        y.push(usize::from(s > 0.0) + usize::from(s > 1.5));
+    }
+    (x, y)
+}
+
+fn fresh(seed: u64) -> Bnn {
+    Bnn::new(
+        BnnConfig::new(&[6, 24, 3]).with_lr(5e-3).with_kl_weight(1e-3),
+        seed,
+    )
+}
+
+/// Every trained tensor, bit-exact.
+fn param_bits(bnn: &Bnn) -> Vec<u32> {
+    let p = bnn.params();
+    let mut bits = Vec::new();
+    for m in p.weight_mu.iter().chain(&p.weight_sigma) {
+        bits.extend(m.data().iter().map(|v| v.to_bits()));
+    }
+    for v in p.bias_mu.iter().chain(&p.bias_sigma) {
+        bits.extend(v.iter().map(|x| x.to_bits()));
+    }
+    bits
+}
+
+fn train(threads: usize, samples: usize, epochs: usize) -> (Vec<BnnTrainReport>, Vec<u32>) {
+    // 50-row batches over 120 rows: exercises shard tails (50 = 16+16+16+2)
+    // and a ragged final batch of 20 rows.
+    let (x, y) = toy_data(120, 11);
+    let mut bnn = fresh(13);
+    let reports = (0..epochs)
+        .map(|_| bnn.train_epoch_mc_threads(&x, &y, 50, samples, threads))
+        .collect();
+    (reports, param_bits(&bnn))
+}
+
+#[test]
+fn single_sample_training_is_bit_identical_across_thread_counts() {
+    let reference = train(1, 1, 3);
+    for threads in [2usize, 4] {
+        let got = train(threads, 1, 3);
+        assert_eq!(got.0, reference.0, "{threads} threads: reports diverged");
+        assert_eq!(got.1, reference.1, "{threads} threads: parameters diverged");
+    }
+}
+
+#[test]
+fn multi_sample_training_is_bit_identical_across_thread_counts() {
+    let reference = train(1, 3, 2);
+    for threads in [2usize, 4, 16] {
+        let got = train(threads, 3, 2);
+        assert_eq!(got.0, reference.0, "{threads} threads: reports diverged");
+        assert_eq!(got.1, reference.1, "{threads} threads: parameters diverged");
+    }
+}
+
+#[test]
+fn train_batch_mc_with_one_sample_matches_train_batch_exactly() {
+    let (x, y) = toy_data(64, 21);
+    let mut a = fresh(23);
+    let mut b = a.clone();
+    for _ in 0..5 {
+        let ra = a.train_batch(&x, &y);
+        let rb = b.train_batch_mc(&x, &y, 1);
+        assert_eq!(ra, rb, "losses diverged");
+    }
+    assert_eq!(param_bits(&a), param_bits(&b), "parameters diverged");
+}
+
+#[test]
+fn train_epoch_mc_with_one_sample_matches_train_epoch_exactly() {
+    let (x, y) = toy_data(96, 31);
+    let mut a = fresh(33);
+    let mut b = a.clone();
+    for _ in 0..3 {
+        assert_eq!(
+            a.train_epoch(&x, &y, 32),
+            b.train_epoch_mc(&x, &y, 32, 1),
+            "epoch reports diverged"
+        );
+    }
+    assert_eq!(param_bits(&a), param_bits(&b), "parameters diverged");
+}
+
+#[test]
+fn explicit_threads_match_the_env_default_path() {
+    // Whatever VIBNN_THREADS resolves to in this process, the env-driven
+    // default (threads == 0) must coincide with every explicit count.
+    let (x, y) = toy_data(64, 41);
+    let mut a = fresh(43);
+    let mut b = a.clone();
+    let ra = a.train_batch_mc(&x, &y, 2); // VIBNN_THREADS default
+    let rb = b.train_batch_mc_threads(&x, &y, 2, 3); // explicit
+    assert_eq!(ra, rb);
+    assert_eq!(param_bits(&a), param_bits(&b));
+}
+
+#[test]
+fn engine_training_still_learns_and_reports_finite_losses() {
+    let (x, y) = toy_data(256, 51);
+    let mut bnn = fresh(53);
+    let first = bnn.train_epoch_mc(&x, &y, 64, 2);
+    assert!(first.loss.is_finite() && first.kl.is_finite() && first.nll.is_finite());
+    for _ in 0..30 {
+        bnn.train_epoch_mc(&x, &y, 64, 2);
+    }
+    let acc = bnn.evaluate_mean(&x, &y);
+    assert!(acc > 0.75, "accuracy {acc}");
+}
