@@ -26,6 +26,9 @@ fi
 echo "==> train-determinism suite (bit-identity at 1/2/4 threads)"
 cargo test -q --test train_determinism
 
+echo "==> serve-determinism suite (engine == batched inference, any order/worker count)"
+cargo test -q --test serve_determinism
+
 echo "==> VIBNN_SCALE=quick smoke run (table1 + machine-readable GRNG bench)"
 VIBNN_SCALE=quick cargo run --release -p vibnn_bench --bin table1
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
@@ -34,5 +37,9 @@ VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
 echo "==> VIBNN_SCALE=quick training-engine bench (machine-readable, asserts bit-identity)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_train.json" \
     cargo run --release -p vibnn_bench --bin bench_train
+
+echo "==> VIBNN_SCALE=quick serving bench (machine-readable, asserts serve == batched)"
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_serve.json" \
+    cargo run --release -p vibnn_bench --bin bench_serve
 
 echo "CI green."

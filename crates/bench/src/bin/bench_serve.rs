@@ -1,0 +1,224 @@
+//! Machine-readable serving-engine benchmark: writes `BENCH_serve.json`.
+//!
+//! Measures end-to-end requests/sec of the thread-backed
+//! [`vibnn::serve::ServeEngine`] — single-row submissions through the
+//! backpressured queue, coalesced into micro-batches — over a
+//! `max_batch × workers` grid, plus the synchronous `submit_batch` path
+//! and the raw batched `predict_proba_parallel` upper bound. Before
+//! timing anything it asserts the serving determinism contract: engine
+//! results must be bit-identical to the one-shot batched call.
+//!
+//! Output path: `$VIBNN_BENCH_OUT` if set, else `BENCH_serve.json` in the
+//! working directory. `VIBNN_SCALE=quick` shrinks the workload.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use vibnn::bnn::{Bnn, BnnConfig};
+use vibnn::grng::ZigguratGrng;
+use vibnn::nn::{GaussianInit, Matrix};
+use vibnn::serve::{ServeConfig, ServeEngine};
+use vibnn::{Vibnn, VibnnBuilder, VibnnError};
+use vibnn_bench::RunScale;
+
+const EPS_SEED: u64 = 0xBEAC;
+
+struct Workload {
+    features: usize,
+    hidden: usize,
+    classes: usize,
+    requests: usize,
+    mc_samples: usize,
+    train_epochs: usize,
+}
+
+impl Workload {
+    fn from_scale(scale: RunScale) -> Self {
+        match scale {
+            RunScale::Quick => Self {
+                features: 8,
+                hidden: 16,
+                classes: 2,
+                requests: 96,
+                mc_samples: 4,
+                train_epochs: 2,
+            },
+            RunScale::Default => Self {
+                features: 26,
+                hidden: 64,
+                classes: 2,
+                requests: 512,
+                mc_samples: 8,
+                train_epochs: 6,
+            },
+            RunScale::Full => Self {
+                features: 26,
+                hidden: 128,
+                classes: 2,
+                requests: 2048,
+                mc_samples: 8,
+                train_epochs: 10,
+            },
+        }
+    }
+}
+
+fn synth_rows(n: usize, features: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = GaussianInit::new(seed);
+    let mut x = Matrix::zeros(n, features);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut s = 0.0;
+        for c in 0..features {
+            let v = rng.next_gaussian() as f32;
+            x[(r, c)] = v;
+            s += v;
+        }
+        y.push(usize::from(s > 0.0));
+    }
+    (x, y)
+}
+
+fn deploy(w: &Workload) -> Vibnn {
+    let (x, y) = synth_rows(512, w.features, 3);
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&[w.features, w.hidden, w.classes]).with_lr(0.01),
+        5,
+    );
+    for _ in 0..w.train_epochs {
+        bnn.train_epoch(&x, &y, 64);
+    }
+    VibnnBuilder::new(bnn.params())
+        .mc_samples(w.mc_samples)
+        .calibration(x.rows_slice(0, 64))
+        .build()
+        .expect("valid deployment")
+}
+
+fn engine(vibnn: Vibnn, max_batch: usize, workers: usize) -> ServeEngine<ZigguratGrng> {
+    ServeEngine::with_eps(
+        vibnn,
+        ServeConfig {
+            max_batch,
+            max_queue: 256,
+            workers,
+        },
+        ZigguratGrng::new(EPS_SEED),
+    )
+    .expect("valid serve config")
+}
+
+/// Requests/sec for `requests` single-row submissions through the
+/// spawned queue (measured submit → last result, including queueing and
+/// backpressure spins).
+fn spawned_rps(vibnn: Vibnn, x: &Matrix, max_batch: usize, workers: usize) -> f64 {
+    let handle = engine(vibnn, max_batch, workers).spawn();
+    let start = Instant::now();
+    let mut ids = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let id = loop {
+            match handle.submit(x.row(r).to_vec()) {
+                Ok(id) => break id,
+                Err(VibnnError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        };
+        ids.push(id);
+    }
+    for id in ids {
+        handle.wait(id).expect("result");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    handle.shutdown();
+    x.rows() as f64 / elapsed
+}
+
+/// Requests/sec for the synchronous `submit_batch` path (no queue; pure
+/// micro-batched compute).
+fn sync_rps(vibnn: Vibnn, x: &Matrix, max_batch: usize, workers: usize) -> f64 {
+    let eng = engine(vibnn, max_batch, workers);
+    let start = Instant::now();
+    let results = eng.submit_batch(x).expect("serve");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(results.len(), x.rows());
+    x.rows() as f64 / elapsed
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let w = Workload::from_scale(scale);
+    let (x, _) = synth_rows(w.requests, w.features, 17);
+    let vibnn = deploy(&w);
+
+    // Determinism gate: engine rows must be bit-identical to the batched
+    // parallel call before any number is worth reporting.
+    let reference = vibnn.predict_proba_parallel(&x, &ZigguratGrng::new(EPS_SEED), 1);
+    let served = engine(vibnn.clone(), 16, 2)
+        .submit_batch(&x)
+        .expect("serve");
+    for (r, res) in served.iter().enumerate() {
+        let same = res
+            .proba
+            .iter()
+            .zip(reference.row(r))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "serving diverged from batched inference at row {r}");
+    }
+
+    // The raw batched upper bound (one predict_proba_parallel call).
+    let start = Instant::now();
+    let _ = std::hint::black_box(vibnn.predict_proba_parallel(
+        &x,
+        &ZigguratGrng::new(EPS_SEED),
+        0,
+    ));
+    let batched_rps = x.rows() as f64 / start.elapsed().as_secs_f64();
+
+    let max_batches = [1usize, 8, 32];
+    let workers_grid = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    for &mb in &max_batches {
+        for &wk in &workers_grid {
+            // Warm-up pass, then measure.
+            let _ = sync_rps(vibnn.clone(), &x, mb, wk);
+            let sync = sync_rps(vibnn.clone(), &x, mb, wk);
+            let queued = spawned_rps(vibnn.clone(), &x, mb, wk);
+            println!(
+                "max_batch {mb:3}  workers {wk}  sync {sync:9.1} req/s  queued {queued:9.1} req/s"
+            );
+            rows.push((mb, wk, sync, queued));
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(
+        json,
+        "  \"arch\": [{}, {}, {}],",
+        w.features, w.hidden, w.classes
+    );
+    let _ = writeln!(json, "  \"requests\": {},", w.requests);
+    let _ = writeln!(json, "  \"mc_samples\": {},", w.mc_samples);
+    let _ = writeln!(
+        json,
+        "  \"batched_parallel_upper_bound_rps\": {batched_rps:.1},"
+    );
+    let _ = writeln!(json, "  \"results_bit_identical_to_batched\": true,");
+    json.push_str("  \"grid\": [\n");
+    for (i, (mb, wk, sync, queued)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"max_batch\": {mb}, \"workers\": {wk}, \
+             \"sync_requests_per_sec\": {sync:.1}, \
+             \"queued_requests_per_sec\": {queued:.1}}}{}",
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path =
+        std::env::var("VIBNN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_owned());
+    std::fs::write(&path, &json).expect("write benchmark output");
+    println!("wrote {path}");
+    println!("batched parallel upper bound: {batched_rps:.1} req/s");
+}

@@ -100,6 +100,21 @@ impl BnnConfig {
     pub fn prior(&self) -> GaussianPrior {
         self.prior
     }
+
+    /// The configured base learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// The initial posterior σ.
+    pub fn sigma_init(&self) -> f32 {
+        self.sigma_init
+    }
+
+    /// The per-batch KL weight.
+    pub fn kl_weight(&self) -> f32 {
+        self.kl_weight
+    }
 }
 
 /// Per-epoch training statistics for a BNN.
@@ -125,19 +140,31 @@ pub struct BnnTrainReport {
 /// **bit-identical at any thread count**.
 #[derive(Debug, Clone)]
 pub struct Bnn {
-    cfg: BnnConfig,
-    layers: Vec<VarDense>,
-    opt: Adam,
-    slots: Vec<[usize; 4]>,
+    pub(crate) cfg: BnnConfig,
+    pub(crate) layers: Vec<VarDense>,
+    pub(crate) opt: Adam,
+    pub(crate) slots: Vec<[usize; 4]>,
     /// Base generator for training ε. Step `t`, sample `s` draws from
     /// `train_eps.fork(t).fork(s)` — consumption-independent, so the
     /// stream a sample sees never depends on scheduling. The software
     /// Ziggurat is the fastest high-quality generator in the workspace;
     /// training happens off-accelerator (paper Section 2.2), so the
     /// hardware-GRNG seam only binds at inference/deployment.
-    train_eps: ZigguratGrng,
-    shuffle_rng: GaussianInit,
-    step: u64,
+    ///
+    /// `train_eps` is only ever *forked*, never consumed, so its state is
+    /// fully determined by `seed` — checkpoints persist the seed alone.
+    pub(crate) train_eps: ZigguratGrng,
+    pub(crate) shuffle_rng: GaussianInit,
+    pub(crate) step: u64,
+    /// The construction seed (all internal RNGs derive from it).
+    pub(crate) seed: u64,
+    /// Uniform draws consumed from `shuffle_rng` so far. A checkpoint
+    /// stores this count; loading fast-forwards a fresh generator by the
+    /// same number of draws, making epoch shuffles resume exactly.
+    pub(crate) shuffle_draws: u64,
+    /// Completed training epochs. LR schedules index on this, so a
+    /// checkpointed run resumes its schedule where it left off.
+    pub(crate) epochs_trained: u64,
 }
 
 impl Bnn {
@@ -172,12 +199,48 @@ impl Bnn {
             train_eps: ZigguratGrng::new(seed ^ 0xBEEF),
             shuffle_rng: GaussianInit::new(seed ^ 0xFACE),
             step: 0,
+            seed,
+            shuffle_draws: 0,
+            epochs_trained: 0,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &BnnConfig {
         &self.cfg
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of optimizer steps (minibatches) taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Number of completed training epochs (any epoch driver). LR
+    /// schedules index on this, so resumed runs continue their schedule
+    /// instead of restarting it.
+    pub fn epochs_trained(&self) -> u64 {
+        self.epochs_trained
+    }
+
+    /// The optimizer's current learning rate (may differ from the
+    /// configured base rate when a schedule is active).
+    pub fn lr(&self) -> f32 {
+        self.opt.lr()
+    }
+
+    /// Sets the optimizer learning rate — the seam LR schedules plug
+    /// into (see [`crate::LrSchedule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.opt.set_lr(lr);
     }
 
     /// Borrow the layers.
@@ -474,6 +537,7 @@ impl Bnn {
             let j = (self.shuffle_rng.next_uniform() * (i + 1) as f64) as usize;
             order.swap(i, j.min(i));
         }
+        self.shuffle_draws += n.saturating_sub(1) as u64;
         let (mut tl, mut tn, mut tk, mut b) = (0.0, 0.0, 0.0, 0u32);
         for chunk in order.chunks(batch) {
             let bx = x.select_rows(chunk);
@@ -484,6 +548,7 @@ impl Bnn {
             tk += kl;
             b += 1;
         }
+        self.epochs_trained += 1;
         let b = f64::from(b.max(1));
         BnnTrainReport {
             loss: tl / b,

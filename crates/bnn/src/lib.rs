@@ -28,15 +28,19 @@
 #![warn(missing_docs)]
 
 mod bnn;
+pub mod checkpoint;
 mod mc;
 mod prior;
+mod schedule;
 mod threads;
 mod train;
 mod var_dense;
 
 pub use bnn::{Bnn, BnnConfig, BnnTrainReport};
-pub use mc::{parallel_fork_map, parallel_mc_reduce, parallel_ordered_tasks};
+pub use checkpoint::CheckpointError;
+pub use mc::{parallel_fork_map, parallel_mc_reduce, parallel_ordered_tasks, reduce_mean};
 pub use prior::{GaussianPrior, ScaleMixturePrior};
+pub use schedule::{EarlyStop, LrSchedule, ScheduledRun, TrainSchedule};
 pub use threads::vibnn_threads;
 pub use var_dense::{softplus, softplus_derivative, EpsScratch, LayerGrads, LayerShared, VarDense};
 

@@ -126,14 +126,29 @@ where
     let per_sample = parallel_fork_map(samples, threads, eps_src, |_, src, worker: &mut W| {
         sample_fn(src, worker)
     });
-    // Deterministic reduction: ascending sample order, independent of how
-    // the chunks were scheduled.
-    let mut draws = per_sample.into_iter();
-    let mut acc = draws.next().expect("samples > 0");
-    for m in draws {
-        acc.axpy(1.0, &m);
+    reduce_mean(&per_sample)
+}
+
+/// The engine's order-deterministic mean reduction: accumulate the draws
+/// in ascending index order (`acc = draws[0]; acc += draws[i]`), then
+/// scale by `1/n`.
+///
+/// This is the *only* reduction used by the parallel Monte Carlo paths —
+/// callers that need the per-sample members (e.g. the serving engine's
+/// uncertainty estimates) fetch them via
+/// [`parallel_fork_map`] and re-derive the mean through this function,
+/// which guarantees bit-identity with [`parallel_mc_reduce`].
+///
+/// # Panics
+///
+/// Panics if `draws` is empty.
+pub fn reduce_mean(draws: &[Matrix]) -> Matrix {
+    assert!(!draws.is_empty(), "need at least one Monte Carlo sample");
+    let mut acc = draws[0].clone();
+    for m in &draws[1..] {
+        acc.axpy(1.0, m);
     }
-    acc.scale(1.0 / samples as f32);
+    acc.scale(1.0 / draws.len() as f32);
     acc
 }
 

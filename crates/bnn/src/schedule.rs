@@ -1,0 +1,311 @@
+//! Learning-rate schedules and patience-based early stopping for the
+//! multi-epoch training driver.
+//!
+//! Schedules are pure functions of `(base_lr, epoch)` and the stopper is a
+//! pure fold over the per-epoch losses, so scheduled training keeps the
+//! engine's determinism contract: the epoch at which training stops and
+//! every parameter along the way are bit-identical at any thread count.
+
+use crate::{Bnn, BnnTrainReport};
+use vibnn_nn::Matrix;
+
+/// A learning-rate schedule over epochs, applied through
+/// [`Bnn::set_lr`] before each [`Bnn::train_epoch_mc_threads`] call.
+///
+/// # Example
+///
+/// ```
+/// use vibnn_bnn::LrSchedule;
+/// let cosine = LrSchedule::Cosine { total_epochs: 10, min_lr: 1e-5 };
+/// assert!((cosine.lr_for_epoch(1e-3, 0) - 1e-3).abs() < 1e-9);
+/// assert!(cosine.lr_for_epoch(1e-3, 9) <= 2e-5);
+/// let step = LrSchedule::StepDecay { every: 2, gamma: 0.5 };
+/// assert_eq!(step.lr_for_epoch(0.1, 3), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate (the base rate every epoch).
+    Const,
+    /// Multiply the rate by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays (must be positive).
+        every: usize,
+        /// Decay factor per step (must be in `(0, 1]`).
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate down to `min_lr` over
+    /// `total_epochs` epochs (Loshchilov & Hutter, without restarts).
+    Cosine {
+        /// Epochs over which the rate anneals to `min_lr`.
+        total_epochs: usize,
+        /// Floor learning rate (must be positive).
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) given the base rate.
+    ///
+    /// The result is always positive: step decay and cosine annealing are
+    /// clamped away from zero so [`Bnn::set_lr`] never rejects it.
+    pub fn lr_for_epoch(&self, base_lr: f32, epoch: usize) -> f32 {
+        const LR_FLOOR: f32 = 1e-12;
+        match *self {
+            LrSchedule::Const => base_lr,
+            LrSchedule::StepDecay { every, gamma } => {
+                let every = every.max(1);
+                let decays = (epoch / every) as i32;
+                (base_lr * gamma.powi(decays)).max(LR_FLOOR)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                let span = total_epochs.saturating_sub(1).max(1);
+                let t = (epoch.min(span) as f64) / span as f64;
+                let min = f64::from(min_lr);
+                let lr = min
+                    + 0.5 * (f64::from(base_lr) - min) * (1.0 + (std::f64::consts::PI * t).cos());
+                (lr as f32).max(LR_FLOOR)
+            }
+        }
+    }
+}
+
+/// Patience-based early stopping on the per-epoch training loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Consecutive epochs without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum loss decrease that counts as an improvement.
+    pub min_delta: f64,
+}
+
+impl EarlyStop {
+    /// Stop after `patience` stale epochs; any decrease counts.
+    pub fn patience(patience: usize) -> Self {
+        Self {
+            patience,
+            min_delta: 0.0,
+        }
+    }
+}
+
+/// A multi-epoch training plan: epoch budget, LR schedule, and optional
+/// early stopping — consumed by [`Bnn::train_mc_scheduled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainSchedule {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Optional patience-based stop on the epoch training loss.
+    pub early_stop: Option<EarlyStop>,
+}
+
+impl TrainSchedule {
+    /// A constant-rate plan with no early stopping.
+    pub fn constant(epochs: usize) -> Self {
+        Self {
+            epochs,
+            lr: LrSchedule::Const,
+            early_stop: None,
+        }
+    }
+}
+
+/// The outcome of a scheduled training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledRun {
+    /// Per-epoch reports, in order (length ≤ the epoch budget).
+    pub reports: Vec<BnnTrainReport>,
+    /// Whether the early stopper ended the run before the budget.
+    pub stopped_early: bool,
+    /// The learning rate in effect for the last epoch run.
+    pub final_lr: f32,
+}
+
+impl Bnn {
+    /// Runs up to `sched.epochs` epochs of the deterministic data-parallel
+    /// engine ([`Bnn::train_epoch_mc_threads`]), setting the learning rate
+    /// from `sched.lr` before each epoch (via the [`Bnn::set_lr`] /
+    /// `Adam::set_lr` plumbing) and stopping early when `sched.early_stop`
+    /// sees `patience` consecutive epochs whose loss fails to improve the
+    /// best seen by more than `min_delta`.
+    ///
+    /// The schedule indexes on the network's **lifetime** epoch count
+    /// ([`Bnn::epochs_trained`]), not this call's loop counter — so a run
+    /// split across calls (or across a checkpoint save/load, which
+    /// persists the count) anneals exactly like one uninterrupted run.
+    /// The early-stop fold, by contrast, is local to the call.
+    ///
+    /// The schedule is a pure function of that epoch index and the stopper
+    /// folds over the (thread-count-independent) epoch losses, so the
+    /// whole run — including *when* it stops — is bit-identical for every
+    /// `threads` value (`0` honours `VIBNN_THREADS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `samples == 0`, or shapes mismatch.
+    pub fn train_mc_scheduled(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch: usize,
+        samples: usize,
+        threads: usize,
+        sched: &TrainSchedule,
+    ) -> ScheduledRun {
+        let base_lr = self.config().lr();
+        let mut reports = Vec::with_capacity(sched.epochs);
+        let mut stopped_early = false;
+        let mut final_lr = self.lr();
+        let mut best = f64::INFINITY;
+        let mut stale = 0usize;
+        for _ in 0..sched.epochs {
+            let epoch = usize::try_from(self.epochs_trained()).unwrap_or(usize::MAX);
+            final_lr = sched.lr.lr_for_epoch(base_lr, epoch);
+            self.set_lr(final_lr);
+            let report = self.train_epoch_mc_threads(x, labels, batch, samples, threads);
+            let loss = report.loss;
+            reports.push(report);
+            if let Some(es) = sched.early_stop {
+                if loss < best - es.min_delta {
+                    best = loss;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= es.patience.max(1) {
+                        stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+        ScheduledRun {
+            reports,
+            stopped_early,
+            final_lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BnnConfig;
+    use vibnn_nn::GaussianInit;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = GaussianInit::new(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let a = rng.next_gaussian() as f32;
+            let b = rng.next_gaussian() as f32;
+            x[(r, 0)] = a;
+            x[(r, 1)] = b;
+            y.push(usize::from(a + b > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn cosine_anneals_monotonically_to_floor() {
+        let s = LrSchedule::Cosine {
+            total_epochs: 8,
+            min_lr: 1e-4,
+        };
+        let mut prev = f32::INFINITY;
+        for e in 0..8 {
+            let lr = s.lr_for_epoch(1e-2, e);
+            assert!(lr <= prev, "epoch {e}: {lr} > {prev}");
+            assert!(lr >= 1e-4 - 1e-9);
+            prev = lr;
+        }
+        assert!((s.lr_for_epoch(1e-2, 7) - 1e-4).abs() < 1e-7);
+        // Past the horizon the schedule stays at the floor.
+        assert_eq!(s.lr_for_epoch(1e-2, 20), s.lr_for_epoch(1e-2, 7));
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 3,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_for_epoch(0.8, 0), 0.8);
+        assert_eq!(s.lr_for_epoch(0.8, 2), 0.8);
+        assert_eq!(s.lr_for_epoch(0.8, 3), 0.4);
+        assert_eq!(s.lr_for_epoch(0.8, 6), 0.2);
+    }
+
+    #[test]
+    fn schedule_is_applied_to_the_optimizer() {
+        let (x, y) = toy_data(32, 3);
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 4, 2]).with_lr(0.02), 5);
+        let run = bnn.train_mc_scheduled(
+            &x,
+            &y,
+            16,
+            1,
+            1,
+            &TrainSchedule {
+                epochs: 4,
+                lr: LrSchedule::StepDecay {
+                    every: 2,
+                    gamma: 0.1,
+                },
+                early_stop: None,
+            },
+        );
+        assert_eq!(run.reports.len(), 4);
+        assert!(!run.stopped_early);
+        // Epoch 3 (0-based) has had one decay: 0.02 * 0.1.
+        assert!((run.final_lr - 0.002).abs() < 1e-9);
+        assert!((bnn.lr() - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_stop_triggers_on_stale_loss() {
+        let (x, y) = toy_data(64, 7);
+        // An absurd min_delta means no epoch ever "improves": training
+        // stops after exactly `patience` epochs beyond the first.
+        let mut bnn = Bnn::new(BnnConfig::new(&[2, 4, 2]).with_lr(0.01), 9);
+        let run = bnn.train_mc_scheduled(
+            &x,
+            &y,
+            16,
+            1,
+            1,
+            &TrainSchedule {
+                epochs: 50,
+                lr: LrSchedule::Const,
+                early_stop: Some(EarlyStop {
+                    patience: 3,
+                    min_delta: f64::INFINITY,
+                }),
+            },
+        );
+        assert!(run.stopped_early);
+        assert_eq!(run.reports.len(), 3);
+    }
+
+    #[test]
+    fn scheduled_training_is_bit_identical_across_thread_counts() {
+        let (x, y) = toy_data(48, 11);
+        let sched = TrainSchedule {
+            epochs: 3,
+            lr: LrSchedule::Cosine {
+                total_epochs: 3,
+                min_lr: 1e-4,
+            },
+            early_stop: Some(EarlyStop::patience(2)),
+        };
+        let mut a = Bnn::new(BnnConfig::new(&[2, 6, 2]).with_lr(0.02), 13);
+        let mut b = a.clone();
+        let ra = a.train_mc_scheduled(&x, &y, 16, 2, 1, &sched);
+        let rb = b.train_mc_scheduled(&x, &y, 16, 2, 4, &sched);
+        assert_eq!(ra, rb);
+    }
+}

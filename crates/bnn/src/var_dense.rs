@@ -173,9 +173,51 @@ impl VarDense {
         s
     }
 
+    /// Raw weight posterior ρ parameters (`σ = softplus(ρ)`) — the tensor
+    /// a training checkpoint must persist (σ alone loses the exact ρ).
+    pub fn rho(&self) -> &Matrix {
+        &self.rho
+    }
+
     /// Bias means.
     pub fn bias_mu(&self) -> &[f32] {
         &self.bias_mu
+    }
+
+    /// Raw bias posterior ρ parameters.
+    pub fn bias_rho(&self) -> &[f32] {
+        &self.bias_rho
+    }
+
+    /// Overwrites the layer's variational parameters with checkpointed
+    /// tensors, clearing gradient and forward caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor's shape differs from the layer's.
+    pub fn restore_params(
+        &mut self,
+        mu: Matrix,
+        rho: Matrix,
+        bias_mu: Vec<f32>,
+        bias_rho: Vec<f32>,
+    ) {
+        let (i, o) = (self.in_dim(), self.out_dim());
+        assert_eq!((mu.rows(), mu.cols()), (i, o), "mu shape mismatch");
+        assert_eq!((rho.rows(), rho.cols()), (i, o), "rho shape mismatch");
+        assert_eq!(bias_mu.len(), o, "bias_mu length mismatch");
+        assert_eq!(bias_rho.len(), o, "bias_rho length mismatch");
+        self.mu = mu;
+        self.rho = rho;
+        self.bias_mu = bias_mu;
+        self.bias_rho = bias_rho;
+        self.grad_mu = Matrix::zeros(i, o);
+        self.grad_rho = Matrix::zeros(i, o);
+        self.grad_bias_mu = vec![0.0; o];
+        self.grad_bias_rho = vec![0.0; o];
+        self.cached_input = None;
+        self.cached_eps = None;
+        self.cached_bias_eps = None;
     }
 
     /// Bias standard deviations.

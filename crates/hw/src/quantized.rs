@@ -14,7 +14,7 @@
 //!    averaging (equation 6) happen at full precision on the host, as they
 //!    would on the CPU collecting accelerator outputs.
 
-use vibnn_bnn::{parallel_mc_reduce, BnnParams};
+use vibnn_bnn::{parallel_fork_map, reduce_mean, BnnParams};
 use vibnn_fixed::{choose_format, MacAccumulator, QFormat};
 use vibnn_grng::{GaussianSource, StreamFork};
 use vibnn_nn::{softmax_rows, Matrix};
@@ -357,7 +357,32 @@ impl QuantizedBnn {
         eps_src: &S,
         threads: usize,
     ) -> Matrix {
-        parallel_mc_reduce(samples, threads, eps_src, |src, eps_scratch: &mut Vec<f64>| {
+        reduce_mean(&self.predict_proba_mc_members_parallel(x, samples, eps_src, threads))
+    }
+
+    /// The per-sample softmax outputs behind
+    /// [`Self::predict_proba_mc_parallel`], returned in ascending sample
+    /// order — the batch entry point for callers that need the Monte
+    /// Carlo *members* (predictive-uncertainty estimates, the serving
+    /// engine) rather than just their mean.
+    ///
+    /// Sample `s` draws its ε from `eps_src.fork(s)` exactly as the mean
+    /// path does, so `vibnn_bnn::reduce_mean` over the returned members is
+    /// **bit-identical** to [`Self::predict_proba_mc_parallel`] at every
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn predict_proba_mc_members_parallel<S: StreamFork + Sync>(
+        &self,
+        x: &Matrix,
+        samples: usize,
+        eps_src: &S,
+        threads: usize,
+    ) -> Vec<Matrix> {
+        assert!(samples > 0, "need at least one Monte Carlo sample");
+        parallel_fork_map(samples, threads, eps_src, |_, src, eps_scratch: &mut Vec<f64>| {
             let weights = self.sample_weights_with(src, eps_scratch);
             let mut probs = self.forward_with_weights(x, &weights);
             softmax_rows(&mut probs);

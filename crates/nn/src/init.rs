@@ -47,6 +47,14 @@ impl GaussianInit {
         self.rng.next_f64()
     }
 
+    /// Fast-forwards past `n` [`next_uniform`](Self::next_uniform) draws
+    /// in O(1) (each uniform consumes exactly one underlying SplitMix64
+    /// output). Checkpoint loading uses this to replay a recorded stream
+    /// position without iterating; the Gaussian spare cache is untouched.
+    pub fn skip_uniforms(&mut self, n: u64) {
+        self.rng.advance(n);
+    }
+
     /// He-normal matrix: N(0, 2/fan_in).
     pub fn he_matrix(&mut self, fan_in: usize, fan_out: usize) -> Matrix {
         let std = (2.0 / fan_in as f64).sqrt();

@@ -130,6 +130,70 @@ impl Adam {
         assert!(lr > 0.0, "learning rate must be positive");
         self.lr = lr;
     }
+
+    /// The global step counter (number of `tick()` calls so far).
+    pub fn step_count(&self) -> i32 {
+        self.t
+    }
+
+    /// Number of registered parameter slots.
+    pub fn slot_count(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Borrows one slot's first and second moment estimates `(m, v)` —
+    /// the exact state a checkpoint must persist for bit-exact resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_moments(&self, slot: usize) -> (&[f32], &[f32]) {
+        (&self.m[slot], &self.v[slot])
+    }
+
+    /// Restores the optimizer to a checkpointed state: learning rate,
+    /// step counter, and per-slot moment vectors. Slots must already be
+    /// registered (via [`Optimizer::slot`]) with matching shapes — the
+    /// caller reconstructs the model first, then restores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if `lr` is non-positive, the
+    /// slot count differs, or any moment vector has the wrong length.
+    pub fn restore_state(
+        &mut self,
+        lr: f32,
+        t: i32,
+        moments: Vec<(Vec<f32>, Vec<f32>)>,
+    ) -> Result<(), String> {
+        if lr <= 0.0 || !lr.is_finite() {
+            return Err(format!("learning rate {lr} must be positive and finite"));
+        }
+        if moments.len() != self.m.len() {
+            return Err(format!(
+                "slot count mismatch: checkpoint has {}, optimizer has {}",
+                moments.len(),
+                self.m.len()
+            ));
+        }
+        for (slot, (m, v)) in moments.iter().enumerate() {
+            if m.len() != self.m[slot].len() || v.len() != self.v[slot].len() {
+                return Err(format!(
+                    "slot {slot} moment length mismatch: checkpoint ({}, {}), optimizer {}",
+                    m.len(),
+                    v.len(),
+                    self.m[slot].len()
+                ));
+            }
+        }
+        self.lr = lr;
+        self.t = t;
+        for (slot, (m, v)) in moments.into_iter().enumerate() {
+            self.m[slot] = m;
+            self.v[slot] = v;
+        }
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {
@@ -224,6 +288,45 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn zero_lr_panics() {
         let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn restore_state_round_trips_bitwise() {
+        let mut a = Adam::new(0.05);
+        let s = a.slot(2, 3);
+        let mut p = vec![1.0f32; 6];
+        for step in 0..5 {
+            a.tick();
+            let g: Vec<f32> = (0..6).map(|i| (i as f32 - step as f32) * 0.1).collect();
+            a.update(s, &mut p, &g);
+        }
+        // Snapshot, then restore into a freshly slotted optimizer.
+        let (m, v) = a.slot_moments(s);
+        let snapshot = vec![(m.to_vec(), v.to_vec())];
+        let mut b = Adam::new(0.01);
+        let sb = b.slot(2, 3);
+        b.restore_state(a.lr(), a.step_count(), snapshot).unwrap();
+        assert_eq!(b.lr(), a.lr());
+        assert_eq!(b.step_count(), a.step_count());
+        // Identical updates from here on.
+        let (mut pa, mut pb) = (p.clone(), p);
+        a.tick();
+        b.tick();
+        a.update(s, &mut pa, &[0.3, -0.1, 0.0, 0.7, -0.2, 0.05]);
+        b.update(sb, &mut pb, &[0.3, -0.1, 0.0, 0.7, -0.2, 0.05]);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn restore_state_rejects_mismatched_shapes() {
+        let mut a = Adam::new(0.05);
+        let _ = a.slot(2, 2);
+        assert!(a.restore_state(0.05, 1, vec![]).is_err());
+        assert!(a
+            .restore_state(0.05, 1, vec![(vec![0.0; 3], vec![0.0; 4])])
+            .is_err());
+        assert!(a.restore_state(-1.0, 1, vec![(vec![0.0; 4], vec![0.0; 4])]).is_err());
+        assert!(a.restore_state(0.05, 1, vec![(vec![0.0; 4], vec![0.0; 4])]).is_ok());
     }
 
     #[test]

@@ -31,7 +31,8 @@ fn main() {
         .bit_len(8)
         .mc_samples(8)
         .calibration(ds.train_x.rows_slice(0, 128))
-        .build();
+        .build()
+        .expect("valid deployment");
 
     // 4. Classify the test set on the hardware datapath, eps from the
     //    BNNWallace-GRNG exactly as the weight generator would.

@@ -35,7 +35,8 @@ fn main() {
     let accel = VibnnBuilder::new(bnn.params())
         .mc_samples(16)
         .calibration(ds.train_x.rows_slice(0, 128))
-        .build();
+        .build()
+        .expect("valid deployment");
 
     let mut eps = BnnWallaceGrng::new(8, 256, 9);
     // In-distribution: test images.

@@ -1,11 +1,20 @@
 //! High-level API: train → quantize → deploy → infer.
 
-use vibnn_bnn::{Bnn, BnnParams};
+use vibnn_bnn::{Bnn, BnnParams, TrainSchedule};
 use vibnn_grng::{GaussianSource, GrngKind, StreamFork};
 use vibnn_hw::{AcceleratorConfig, CycleAccelerator, QuantizedBnn, ResourceModel, Schedule};
 use vibnn_nn::Matrix;
 
+use crate::VibnnError;
+
 /// Builder for a deployed [`Vibnn`] accelerator instance.
+///
+/// Construction is **fallible**: [`build`](Self::build) returns
+/// `Result<Vibnn, VibnnError>` and reports missing calibration data, bad
+/// topologies, shape mismatches, and invalid accelerator configurations
+/// as typed variants instead of panicking
+/// ([`build_unchecked`](Self::build_unchecked) keeps the old panicking
+/// behaviour for scripts).
 ///
 /// # Example
 ///
@@ -19,7 +28,8 @@ use vibnn_nn::Matrix;
 /// let accel = VibnnBuilder::new(bnn.params())
 ///     .bit_len(8)
 ///     .calibration(calib)
-///     .build();
+///     .build()
+///     .expect("valid deployment");
 /// assert_eq!(accel.classes(), 2);
 /// ```
 #[derive(Debug, Clone)]
@@ -29,6 +39,67 @@ pub struct VibnnBuilder {
     config: AcceleratorConfig,
     calibration: Option<Matrix>,
     mc_samples: usize,
+}
+
+/// Checks that a parameter snapshot describes a deployable network:
+/// at least one layer, no zero-sized dimension, per-layer tensors with
+/// mutually consistent shapes, and consecutive layers that chain.
+pub(crate) fn validate_topology(params: &BnnParams) -> Result<(), VibnnError> {
+    let layers = params.layers();
+    if layers == 0 {
+        return Err(VibnnError::BadTopology(
+            "parameter snapshot has no layers (empty layer list)".into(),
+        ));
+    }
+    if params.weight_sigma.len() != layers
+        || params.bias_mu.len() != layers
+        || params.bias_sigma.len() != layers
+    {
+        return Err(VibnnError::BadTopology(format!(
+            "per-layer tensor counts disagree: {} mu, {} sigma, {} bias mu, {} bias sigma",
+            layers,
+            params.weight_sigma.len(),
+            params.bias_mu.len(),
+            params.bias_sigma.len()
+        )));
+    }
+    for l in 0..layers {
+        let mu = &params.weight_mu[l];
+        if mu.rows() == 0 || mu.cols() == 0 {
+            return Err(VibnnError::BadTopology(format!(
+                "layer {l} has a zero dimension ({}x{})",
+                mu.rows(),
+                mu.cols()
+            )));
+        }
+        let sg = &params.weight_sigma[l];
+        if (sg.rows(), sg.cols()) != (mu.rows(), mu.cols()) {
+            return Err(VibnnError::BadTopology(format!(
+                "layer {l}: sigma shape {}x{} != mu shape {}x{}",
+                sg.rows(),
+                sg.cols(),
+                mu.rows(),
+                mu.cols()
+            )));
+        }
+        if params.bias_mu[l].len() != mu.cols() || params.bias_sigma[l].len() != mu.cols() {
+            return Err(VibnnError::BadTopology(format!(
+                "layer {l}: bias lengths ({}, {}) != output width {}",
+                params.bias_mu[l].len(),
+                params.bias_sigma[l].len(),
+                mu.cols()
+            )));
+        }
+        if l + 1 < layers && params.weight_mu[l + 1].rows() != mu.cols() {
+            return Err(VibnnError::BadTopology(format!(
+                "layer {l} output width {} does not chain into layer {} input width {}",
+                mu.cols(),
+                l + 1,
+                params.weight_mu[l + 1].rows()
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl VibnnBuilder {
@@ -80,24 +151,61 @@ impl VibnnBuilder {
 
     /// Quantizes the network and constructs the accelerator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no calibration inputs were provided or the configuration
-    /// is invalid.
-    pub fn build(self) -> Vibnn {
-        let calib = self
-            .calibration
-            .expect("calibration inputs required: call .calibration(x)");
-        let qbnn = QuantizedBnn::from_params(&self.params, self.bit_len, &calib);
+    /// - [`VibnnError::BadTopology`] — empty layer list, zero-sized
+    ///   dimension, or inconsistent per-layer shapes.
+    /// - [`VibnnError::MissingCalibration`] — no calibration inputs (or an
+    ///   empty calibration matrix).
+    /// - [`VibnnError::ShapeMismatch`] — calibration width differs from
+    ///   the network's input width.
+    /// - [`VibnnError::Config`] — the accelerator configuration (or the
+    ///   datapath bit length) violates an architectural constraint.
+    pub fn build(self) -> Result<Vibnn, VibnnError> {
+        validate_topology(&self.params)?;
+        if !(2..=32).contains(&self.bit_len) {
+            return Err(VibnnError::Config(
+                vibnn_hw::ConfigError::BadBitLength(self.bit_len),
+            ));
+        }
+        let calib = self.calibration.ok_or(VibnnError::MissingCalibration)?;
+        if calib.rows() == 0 {
+            return Err(VibnnError::MissingCalibration);
+        }
+        let input_dim = self.params.weight_mu[0].rows();
+        if calib.cols() != input_dim {
+            return Err(VibnnError::ShapeMismatch {
+                context: "calibration width",
+                expected: input_dim,
+                got: calib.cols(),
+            });
+        }
         let mut config = self.config;
         config.mc_samples = self.mc_samples;
-        config.validate().expect("invalid accelerator configuration");
+        config.validate()?;
+        let qbnn = QuantizedBnn::from_params(&self.params, self.bit_len, &calib);
         let sim = CycleAccelerator::new(config.clone(), qbnn.clone());
-        Vibnn {
+        let classes = self.params.weight_mu[self.params.layers() - 1].cols();
+        Ok(Vibnn {
             qbnn,
             sim,
             config,
             mc_samples: self.mc_samples,
+            params: self.params,
+            bit_len: self.bit_len,
+            classes,
+        })
+    }
+
+    /// [`build`](Self::build) for contexts where failure is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`VibnnError`] display message on any build error.
+    pub fn build_unchecked(self) -> Vibnn {
+        match self.build() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -106,16 +214,42 @@ impl VibnnBuilder {
 /// performance models.
 #[derive(Debug, Clone)]
 pub struct Vibnn {
-    qbnn: QuantizedBnn,
-    sim: CycleAccelerator,
-    config: AcceleratorConfig,
-    mc_samples: usize,
+    pub(crate) qbnn: QuantizedBnn,
+    pub(crate) sim: CycleAccelerator,
+    pub(crate) config: AcceleratorConfig,
+    pub(crate) mc_samples: usize,
+    /// The float parameter snapshot the deployment was quantized from —
+    /// retained so [`Vibnn::save`](crate::Vibnn::save) can ship an exact,
+    /// re-quantizable checkpoint.
+    pub(crate) params: BnnParams,
+    pub(crate) bit_len: u32,
+    pub(crate) classes: usize,
 }
 
 impl Vibnn {
     /// Number of output classes.
     pub fn classes(&self) -> usize {
-        *self.qbnn.layer_sizes().last().expect("layer sizes")
+        self.classes
+    }
+
+    /// Width of the input feature vector.
+    pub fn input_dim(&self) -> usize {
+        self.params.weight_mu[0].rows()
+    }
+
+    /// Monte Carlo samples per prediction.
+    pub fn mc_samples(&self) -> usize {
+        self.mc_samples
+    }
+
+    /// The datapath bit length the network was quantized to.
+    pub fn bit_len(&self) -> u32 {
+        self.bit_len
+    }
+
+    /// The float parameters the deployment was quantized from.
+    pub fn params(&self) -> &BnnParams {
+        &self.params
     }
 
     /// The deployed quantized network (fast functional datapath).
@@ -198,7 +332,7 @@ impl Vibnn {
     /// Modelled power in watts.
     pub fn power_w(&self) -> f64 {
         let sizes = self.qbnn.layer_sizes();
-        let max_width = *sizes.iter().max().expect("sizes");
+        let max_width = sizes.iter().copied().max().unwrap_or(1);
         vibnn_hw::power::system_power_w(&self.config, self.qbnn.total_weights(), max_width)
     }
 
@@ -210,12 +344,12 @@ impl Vibnn {
     /// Modelled FPGA resource usage.
     pub fn resources(&self) -> vibnn_hw::SystemResources {
         let sizes = self.qbnn.layer_sizes();
-        let max_width = *sizes.iter().max().expect("sizes");
+        let max_width = sizes.iter().copied().max().unwrap_or(1);
         ResourceModel.system(&self.config, self.qbnn.total_weights(), max_width)
     }
 }
 
-/// Convenience: train a BNN and deploy it in one call (used by examples).
+/// Convenience: train a BNN and deploy it in one call.
 ///
 /// Training runs through the deterministic data-parallel engine
 /// ([`Bnn::train_epoch_mc`] with a single MC gradient sample): minibatches
@@ -223,24 +357,51 @@ impl Vibnn {
 /// an ordered gradient reduction, so the deployed parameters are
 /// bit-identical at every thread count.
 ///
+/// For LR schedules, early stopping, checkpointing, and deployment
+/// customization, use the [`Pipeline`](crate::Pipeline) builder this
+/// wraps.
+///
+/// # Errors
+///
+/// [`VibnnError::ShapeMismatch`] when the dataset does not match the
+/// network, plus every [`VibnnBuilder::build`] error.
+///
 /// # Panics
 ///
-/// Panics if shapes are inconsistent.
+/// Panics if `batch == 0`.
 pub fn train_and_deploy(
     mut bnn: Bnn,
     train_x: &Matrix,
     train_y: &[usize],
     epochs: usize,
     batch: usize,
-) -> (Bnn, Vibnn) {
-    for _ in 0..epochs {
-        bnn.train_epoch_mc(train_x, train_y, batch, 1);
+) -> Result<(Bnn, Vibnn), VibnnError> {
+    if train_x.rows() != train_y.len() {
+        return Err(VibnnError::ShapeMismatch {
+            context: "label count",
+            expected: train_x.rows(),
+            got: train_y.len(),
+        });
     }
+    let input_dim = bnn.config().layer_sizes()[0];
+    if train_x.cols() != input_dim {
+        return Err(VibnnError::ShapeMismatch {
+            context: "feature width",
+            expected: input_dim,
+            got: train_x.cols(),
+        });
+    }
+    bnn.train_mc_scheduled(
+        train_x,
+        train_y,
+        batch,
+        1,
+        0,
+        &TrainSchedule::constant(epochs),
+    );
     let calib = train_x.rows_slice(0, train_x.rows().min(128));
-    let accel = VibnnBuilder::new(bnn.params())
-        .calibration(calib)
-        .build();
-    (bnn, accel)
+    let accel = VibnnBuilder::new(bnn.params()).calibration(calib).build()?;
+    Ok((bnn, accel))
 }
 
 #[cfg(test)]
@@ -257,8 +418,11 @@ mod tests {
             .bit_len(8)
             .mc_samples(4)
             .calibration(calib.clone())
-            .build();
+            .build()
+            .expect("valid deployment");
         assert_eq!(accel.classes(), 3);
+        assert_eq!(accel.input_dim(), 8);
+        assert_eq!(accel.mc_samples(), 4);
         let mut eps = BoxMullerGrng::new(2);
         let probs = accel.predict_proba(&calib, &mut eps);
         assert_eq!((probs.rows(), probs.cols()), (4, 3));
@@ -275,7 +439,8 @@ mod tests {
         let mut accel = VibnnBuilder::new(bnn.params())
             .mc_samples(2)
             .calibration(calib.clone())
-            .build();
+            .build()
+            .expect("valid deployment");
         let mut eps_a = BoxMullerGrng::new(5);
         let mut eps_b = BoxMullerGrng::new(5);
         let functional = accel.predict_proba(&calib.rows_slice(0, 1), &mut eps_a);
@@ -286,9 +451,101 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "calibration inputs required")]
-    fn missing_calibration_panics() {
+    fn missing_calibration_is_a_typed_error() {
         let bnn = Bnn::new(BnnConfig::new(&[4, 2]), 1);
-        let _ = VibnnBuilder::new(bnn.params()).build();
+        assert!(matches!(
+            VibnnBuilder::new(bnn.params()).build(),
+            Err(VibnnError::MissingCalibration)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration inputs required")]
+    fn build_unchecked_keeps_the_panicking_path() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 2]), 1);
+        let _ = VibnnBuilder::new(bnn.params()).build_unchecked();
+    }
+
+    #[test]
+    fn empty_layer_list_is_bad_topology_at_build_time() {
+        // Regression: `Vibnn::classes()` used to `expect` on the layer
+        // list; an empty snapshot now fails in `build` with a typed error.
+        let empty = BnnParams {
+            weight_mu: vec![],
+            weight_sigma: vec![],
+            bias_mu: vec![],
+            bias_sigma: vec![],
+        };
+        assert!(matches!(
+            VibnnBuilder::new(empty)
+                .calibration(Matrix::zeros(1, 1))
+                .build(),
+            Err(VibnnError::BadTopology(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_layer_shapes_are_bad_topology() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 3, 2]), 1);
+        let mut params = bnn.params();
+        // Break the chain: layer 1 no longer accepts layer 0's output.
+        params.weight_mu[1] = Matrix::zeros(5, 2);
+        params.weight_sigma[1] = Matrix::zeros(5, 2);
+        assert!(matches!(
+            VibnnBuilder::new(params)
+                .calibration(Matrix::zeros(2, 4))
+                .build(),
+            Err(VibnnError::BadTopology(_))
+        ));
+    }
+
+    #[test]
+    fn calibration_width_mismatch_is_typed() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 2]), 1);
+        assert!(matches!(
+            VibnnBuilder::new(bnn.params())
+                .calibration(Matrix::zeros(2, 7))
+                .build(),
+            Err(VibnnError::ShapeMismatch {
+                context: "calibration width",
+                expected: 4,
+                got: 7,
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_accelerator_config_is_typed() {
+        let bnn = Bnn::new(BnnConfig::new(&[4, 2]), 1);
+        let cfg = AcceleratorConfig {
+            pes_per_set: 4, // != pe_inputs: violates eq. 15c
+            ..AcceleratorConfig::paper()
+        };
+        assert!(matches!(
+            VibnnBuilder::new(bnn.params())
+                .config(cfg)
+                .calibration(Matrix::zeros(2, 4))
+                .build(),
+            Err(VibnnError::Config(_))
+        ));
+        let bnn = Bnn::new(BnnConfig::new(&[4, 2]), 1);
+        assert!(matches!(
+            VibnnBuilder::new(bnn.params())
+                .bit_len(64)
+                .calibration(Matrix::zeros(2, 4))
+                .build(),
+            Err(VibnnError::Config(vibnn_hw::ConfigError::BadBitLength(64)))
+        ));
+    }
+
+    #[test]
+    fn train_and_deploy_reports_shape_errors() {
+        let bnn = Bnn::new(BnnConfig::new(&[6, 3, 2]), 7);
+        let x = Matrix::zeros(8, 6);
+        let y = vec![0usize; 5]; // wrong length
+        assert!(matches!(
+            train_and_deploy(bnn, &x, &y, 1, 4),
+            Err(VibnnError::ShapeMismatch { .. })
+        ));
     }
 }

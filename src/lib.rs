@@ -23,9 +23,16 @@
 #![warn(missing_docs)]
 
 mod accelerator;
+mod checkpoint;
+mod error;
 pub mod experiments;
+mod pipeline;
+pub mod serve;
 
 pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
+pub use error::VibnnError;
+pub use pipeline::{Deployed, Pipeline, TrainedPipeline};
+pub use serve::{ServeConfig, ServeEngine, ServeHandle, ServeResult};
 
 pub use vibnn_bnn as bnn;
 pub use vibnn_datasets as datasets;

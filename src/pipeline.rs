@@ -1,0 +1,408 @@
+//! The train → checkpoint → deploy pipeline builder.
+
+use std::path::Path;
+
+use vibnn_bnn::{Bnn, BnnConfig, BnnTrainReport, EarlyStop, LrSchedule, ScheduledRun, TrainSchedule};
+use vibnn_nn::Matrix;
+
+use crate::{Vibnn, VibnnBuilder, VibnnError};
+
+/// A fallible, chainable train-and-deploy pipeline on top of the typed
+/// deployment API: configure training, run it with an LR schedule and
+/// optional early stopping, persist a resumable checkpoint, and deploy
+/// the result on the simulated accelerator.
+///
+/// # Example
+///
+/// ```
+/// use vibnn::bnn::{BnnConfig, LrSchedule};
+/// use vibnn::nn::Matrix;
+/// use vibnn::Pipeline;
+///
+/// let x = Matrix::zeros(8, 4);
+/// let y = vec![0, 1, 0, 1, 0, 1, 0, 1];
+/// let path = std::env::temp_dir().join("vibnn_pipeline_doc.ckpt");
+/// let deployed = Pipeline::new(BnnConfig::new(&[4, 8, 2]))
+///     .epochs(2)
+///     .batch(4)
+///     .lr_schedule(LrSchedule::Cosine { total_epochs: 2, min_lr: 1e-5 })
+///     .train(&x, &y)?
+///     .checkpoint(&path)?
+///     .deploy(Matrix::zeros(4, 4))?;
+/// assert_eq!(deployed.vibnn.classes(), 2);
+/// assert_eq!(deployed.reports.len(), 2);
+/// # std::fs::remove_file(&path).ok();
+/// # Ok::<(), vibnn::VibnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: BnnConfig,
+    seed: u64,
+    epochs: usize,
+    batch: usize,
+    train_mc: usize,
+    threads: usize,
+    lr: LrSchedule,
+    early_stop: Option<EarlyStop>,
+}
+
+impl Pipeline {
+    /// Starts a pipeline for the given network configuration, with the
+    /// defaults: seed 1, 10 epochs, batch 64, one MC gradient sample,
+    /// `VIBNN_THREADS` workers, constant learning rate, no early stop.
+    pub fn new(cfg: BnnConfig) -> Self {
+        Self {
+            cfg,
+            seed: 1,
+            epochs: 10,
+            batch: 64,
+            train_mc: 1,
+            threads: 0,
+            lr: LrSchedule::Const,
+            early_stop: None,
+        }
+    }
+
+    /// Sets the initialization / ε seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the epoch budget.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the minibatch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets Monte Carlo gradient samples per training step.
+    pub fn train_mc_samples(mut self, samples: usize) -> Self {
+        self.train_mc = samples;
+        self
+    }
+
+    /// Sets the worker thread count (`0` honours `VIBNN_THREADS`; results
+    /// are bit-identical for every value).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    pub fn lr_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.lr = schedule;
+        self
+    }
+
+    /// Enables patience-based early stopping on the epoch training loss.
+    pub fn early_stop(mut self, patience: usize, min_delta: f64) -> Self {
+        self.early_stop = Some(EarlyStop { patience, min_delta });
+        self
+    }
+
+    /// Runs training through the deterministic data-parallel engine.
+    ///
+    /// # Errors
+    ///
+    /// - [`VibnnError::ShapeMismatch`] — dataset rows/labels disagree, the
+    ///   feature width differs from the configured input layer, or the
+    ///   batch size is zero.
+    /// - [`VibnnError::LabelOutOfRange`] — a label exceeds the configured
+    ///   class count.
+    pub fn train(self, x: &Matrix, y: &[usize]) -> Result<TrainedPipeline, VibnnError> {
+        validate_dataset(self.cfg.layer_sizes(), x, y, self.batch)?;
+        let mut bnn = Bnn::new(self.cfg, self.seed);
+        let run = bnn.train_mc_scheduled(
+            x,
+            y,
+            self.batch,
+            self.train_mc.max(1),
+            self.threads,
+            &TrainSchedule {
+                epochs: self.epochs,
+                lr: self.lr,
+                early_stop: self.early_stop,
+            },
+        );
+        Ok(TrainedPipeline { bnn, run })
+    }
+
+    /// Resumes a previously checkpointed training run for `epochs` more
+    /// epochs: the loaded network continues **bit-identically** to a run
+    /// that was never interrupted — same parameters, optimizer moments,
+    /// ε substreams, epoch shuffles, *and* schedule position (LR
+    /// schedules index on the checkpointed lifetime epoch count, so a
+    /// resumed `StepDecay`/`Cosine` anneals from where it stopped, not
+    /// from epoch 0).
+    ///
+    /// The dataset and schedule must be the ones the checkpoint was
+    /// trained with for the bit-identity guarantee to be meaningful;
+    /// shapes are re-validated.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::Checkpoint`] on unreadable files, plus the same
+    /// validation errors as [`Pipeline::train`].
+    pub fn resume(
+        path: impl AsRef<Path>,
+        x: &Matrix,
+        y: &[usize],
+        epochs: usize,
+        batch: usize,
+        sched: LrSchedule,
+    ) -> Result<TrainedPipeline, VibnnError> {
+        let mut bnn = Bnn::load(path)?;
+        validate_dataset(bnn.config().layer_sizes(), x, y, batch)?;
+        let run = bnn.train_mc_scheduled(
+            x,
+            y,
+            batch,
+            1,
+            0,
+            &TrainSchedule {
+                epochs,
+                lr: sched,
+                early_stop: None,
+            },
+        );
+        Ok(TrainedPipeline { bnn, run })
+    }
+}
+
+/// Shared dataset validation for [`Pipeline::train`] and
+/// [`Pipeline::resume`]: row/label agreement, feature width, positive
+/// batch, labels within the class range.
+fn validate_dataset(
+    sizes: &[usize],
+    x: &Matrix,
+    y: &[usize],
+    batch: usize,
+) -> Result<(), VibnnError> {
+    let (input_dim, classes) = (sizes[0], *sizes.last().expect("at least two sizes"));
+    if x.rows() != y.len() {
+        return Err(VibnnError::ShapeMismatch {
+            context: "label count",
+            expected: x.rows(),
+            got: y.len(),
+        });
+    }
+    if x.cols() != input_dim {
+        return Err(VibnnError::ShapeMismatch {
+            context: "feature width",
+            expected: input_dim,
+            got: x.cols(),
+        });
+    }
+    if batch == 0 {
+        return Err(VibnnError::ShapeMismatch {
+            context: "batch size",
+            expected: 1,
+            got: 0,
+        });
+    }
+    if let Some(&label) = y.iter().find(|&&l| l >= classes) {
+        return Err(VibnnError::LabelOutOfRange { label, classes });
+    }
+    Ok(())
+}
+
+/// A trained network ready to be checkpointed and/or deployed.
+#[derive(Debug, Clone)]
+pub struct TrainedPipeline {
+    bnn: Bnn,
+    run: ScheduledRun,
+}
+
+impl TrainedPipeline {
+    /// The trained network.
+    pub fn bnn(&self) -> &Bnn {
+        &self.bnn
+    }
+
+    /// Per-epoch training reports.
+    pub fn reports(&self) -> &[BnnTrainReport] {
+        &self.run.reports
+    }
+
+    /// Whether the early stopper ended training before the epoch budget.
+    pub fn stopped_early(&self) -> bool {
+        self.run.stopped_early
+    }
+
+    /// Writes a resumable training checkpoint (kind-2 envelope; see
+    /// [`vibnn_bnn::checkpoint`]) and passes the pipeline through for
+    /// further chaining.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::Checkpoint`] on write failure.
+    pub fn checkpoint(self, path: impl AsRef<Path>) -> Result<Self, VibnnError> {
+        self.bnn.save(path)?;
+        Ok(self)
+    }
+
+    /// Deploys on the simulated accelerator with the default builder
+    /// settings (8-bit datapath, 8 MC samples, paper configuration).
+    ///
+    /// # Errors
+    ///
+    /// Every [`VibnnBuilder::build`] error.
+    pub fn deploy(self, calibration: Matrix) -> Result<Deployed, VibnnError> {
+        self.deploy_with(calibration, |b| b)
+    }
+
+    /// Deploys with builder customization (bit length, GRNG choice, MC
+    /// samples, accelerator configuration).
+    ///
+    /// # Errors
+    ///
+    /// Every [`VibnnBuilder::build`] error.
+    pub fn deploy_with(
+        self,
+        calibration: Matrix,
+        customize: impl FnOnce(VibnnBuilder) -> VibnnBuilder,
+    ) -> Result<Deployed, VibnnError> {
+        let builder = VibnnBuilder::new(self.bnn.params()).calibration(calibration);
+        let vibnn = customize(builder).build()?;
+        Ok(Deployed {
+            bnn: self.bnn,
+            vibnn,
+            reports: self.run.reports,
+        })
+    }
+
+    /// Unwraps the trained network.
+    pub fn into_bnn(self) -> Bnn {
+        self.bnn
+    }
+}
+
+/// The pipeline's end state: the trained float network, the deployed
+/// accelerator, and the training history.
+#[derive(Debug, Clone)]
+pub struct Deployed {
+    /// The trained float network (still trainable / checkpointable).
+    pub bnn: Bnn,
+    /// The deployed accelerator instance.
+    pub vibnn: Vibnn,
+    /// Per-epoch training reports.
+    pub reports: Vec<BnnTrainReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vibnn_nn::GaussianInit;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = GaussianInit::new(seed);
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut s = 0.0;
+            for c in 0..3 {
+                let v = rng.next_gaussian() as f32;
+                x[(r, c)] = v;
+                s += v;
+            }
+            y.push(usize::from(s > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn pipeline_validates_inputs() {
+        let (x, y) = toy_data(16, 1);
+        let bad_labels = vec![0usize; 9];
+        assert!(matches!(
+            Pipeline::new(BnnConfig::new(&[3, 4, 2])).train(&x, &bad_labels),
+            Err(VibnnError::ShapeMismatch { .. })
+        ));
+        let mut high = y.clone();
+        high[3] = 7;
+        assert!(matches!(
+            Pipeline::new(BnnConfig::new(&[3, 4, 2])).train(&x, &high),
+            Err(VibnnError::LabelOutOfRange { label: 7, classes: 2 })
+        ));
+        assert!(matches!(
+            Pipeline::new(BnnConfig::new(&[3, 4, 2])).batch(0).train(&x, &y),
+            Err(VibnnError::ShapeMismatch { context: "batch size", .. })
+        ));
+        assert!(matches!(
+            Pipeline::new(BnnConfig::new(&[5, 4, 2])).train(&x, &y),
+            Err(VibnnError::ShapeMismatch { context: "feature width", .. })
+        ));
+    }
+
+    #[test]
+    fn resume_continues_schedule_and_validates_inputs() {
+        use vibnn_bnn::LrSchedule;
+        let (x, y) = toy_data(32, 5);
+        let sched = LrSchedule::StepDecay { every: 1, gamma: 0.5 };
+        let path = std::env::temp_dir().join(format!(
+            "vibnn_pipeline_resume_{}.ckpt",
+            std::process::id()
+        ));
+        // Uninterrupted 4-epoch reference.
+        let full = Pipeline::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02))
+            .seed(3)
+            .epochs(4)
+            .batch(8)
+            .lr_schedule(sched)
+            .train(&x, &y)
+            .unwrap();
+        // 2 epochs + checkpoint + 2 resumed epochs.
+        let _ = Pipeline::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02))
+            .seed(3)
+            .epochs(2)
+            .batch(8)
+            .lr_schedule(sched)
+            .train(&x, &y)
+            .unwrap()
+            .checkpoint(&path)
+            .unwrap();
+        let resumed = Pipeline::resume(&path, &x, &y, 2, 8, sched).unwrap();
+        assert_eq!(resumed.reports(), &full.reports()[2..]);
+        for (a, b) in full.bnn().layers().iter().zip(resumed.bnn().layers()) {
+            assert_eq!(a.mu().data(), b.mu().data());
+            assert_eq!(a.rho().data(), b.rho().data());
+        }
+        // Resume validates like train: typed errors, not panics.
+        assert!(matches!(
+            Pipeline::resume(&path, &x, &y, 1, 0, sched),
+            Err(VibnnError::ShapeMismatch { context: "batch size", .. })
+        ));
+        let mut high = y.clone();
+        high[0] = 9;
+        assert!(matches!(
+            Pipeline::resume(&path, &x, &high, 1, 8, sched),
+            Err(VibnnError::LabelOutOfRange { label: 9, classes: 2 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_matches_manual_training_bitwise() {
+        let (x, y) = toy_data(32, 3);
+        let trained = Pipeline::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02))
+            .seed(9)
+            .epochs(2)
+            .batch(8)
+            .train(&x, &y)
+            .unwrap();
+        let mut manual = Bnn::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02), 9);
+        let r0 = manual.train_epoch(&x, &y, 8);
+        let r1 = manual.train_epoch(&x, &y, 8);
+        assert_eq!(trained.reports(), &[r0, r1]);
+        for (a, b) in trained.bnn().layers().iter().zip(manual.layers()) {
+            assert_eq!(a.mu().data(), b.mu().data());
+            assert_eq!(a.rho().data(), b.rho().data());
+        }
+    }
+}

@@ -23,7 +23,8 @@ fn train_quantize_deploy_parkinson() {
         .bit_len(8)
         .mc_samples(8)
         .calibration(ds.train_x.rows_slice(0, 64))
-        .build();
+        .build()
+        .expect("valid deployment");
     let mut eps = BnnWallaceGrng::new(8, 256, 3);
     let hw = accel.evaluate(&ds.test_x, &ds.test_y, &mut eps);
     assert!(
@@ -42,7 +43,8 @@ fn cycle_accurate_equals_functional_on_trained_network() {
     let mut accel = VibnnBuilder::new(bnn.params())
         .mc_samples(3)
         .calibration(ds.train_x.rows_slice(0, 32))
-        .build();
+        .build()
+        .expect("valid deployment");
     for r in 0..5 {
         let mut eps_a = BoxMullerGrng::new(100 + r as u64);
         let mut eps_b = BoxMullerGrng::new(100 + r as u64);
@@ -62,7 +64,8 @@ fn accelerator_models_stay_consistent_across_grngs() {
         let accel = VibnnBuilder::new(bnn.params())
             .grng(kind)
             .calibration(ds.train_x.rows_slice(0, 16))
-            .build();
+            .build()
+            .expect("valid deployment");
         assert!(accel.images_per_second() > 0.0);
         assert!(accel.power_w() > vibnn::hw::power::P_STATIC_W);
         assert!(accel.resources().fits_device());
