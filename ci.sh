@@ -29,6 +29,9 @@ cargo test -q --test train_determinism
 echo "==> serve-determinism suite (engine == batched inference, any order/worker count)"
 cargo test -q --test serve_determinism
 
+echo "==> cluster-determinism suite (cluster == engine == batched, any replica count, hot swap)"
+cargo test -q --test cluster_determinism
+
 echo "==> VIBNN_SCALE=quick smoke run (table1 + machine-readable GRNG bench)"
 VIBNN_SCALE=quick cargo run --release -p vibnn_bench --bin table1
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
@@ -41,5 +44,9 @@ VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_train.json" \
 echo "==> VIBNN_SCALE=quick serving bench (machine-readable, asserts serve == batched)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_serve.json" \
     cargo run --release -p vibnn_bench --bin bench_serve
+
+echo "==> VIBNN_SCALE=quick cluster bench (machine-readable, asserts cluster == batched)"
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_cluster.json" \
+    cargo run --release -p vibnn_bench --bin bench_cluster
 
 echo "CI green."

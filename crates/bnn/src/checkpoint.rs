@@ -95,6 +95,54 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// Crash-safe file replacement: writes `bytes` to a temporary file in the
+/// same directory as `path`, then `rename`s it into place.
+///
+/// The rename is the commit point, so a crash (or I/O error) mid-save can
+/// never corrupt an existing checkpoint at `path` — the worst outcome is a
+/// stale `.<name>.tmp.<pid>.<n>` file left next to it, which is harmless
+/// to delete. Temp names carry the process id *and* a process-wide
+/// counter, so concurrent saves to the same path never share a temp file.
+/// Every checkpoint writer in the workspace ([`BnnParams::save`],
+/// [`Bnn::save`], and the root crate's `Vibnn::save`) goes through here.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the temporary file cannot be written or
+/// renamed; the temporary file is removed on failure, `path` is untouched.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), CheckpointError> {
+    static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            CheckpointError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("checkpoint path {} has no file name", path.display()),
+            ))
+        })?
+        .to_os_string();
+    // Same directory as the target, so the rename never crosses a
+    // filesystem boundary (cross-device renames are not atomic).
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(&file_name);
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    let write_then_rename = (|| {
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write_then_rename {
+        std::fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e));
+    }
+    Ok(())
+}
+
 /// Little-endian byte-stream writer producing one checkpoint envelope.
 ///
 /// Constructed with the envelope kind (which writes the magic, version,
@@ -370,14 +418,15 @@ impl BnnParams {
         Ok(params)
     }
 
-    /// Writes the snapshot to `path` (see the module docs for the format).
+    /// Writes the snapshot to `path` (see the module docs for the format)
+    /// via [`atomic_write`], so an interrupted save never corrupts an
+    /// existing file.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] on write failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        atomic_write(path, &self.to_bytes())
     }
 
     /// Loads a snapshot written by [`BnnParams::save`].
@@ -502,14 +551,14 @@ impl Bnn {
         Ok(bnn)
     }
 
-    /// Writes the full training state to `path`.
+    /// Writes the full training state to `path` via [`atomic_write`], so
+    /// an interrupted save never corrupts an existing file.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] on write failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        atomic_write(path, &self.to_bytes())
     }
 
     /// Loads a training checkpoint written by [`Bnn::save`].
@@ -629,6 +678,55 @@ mod tests {
             assert_eq!(a.mu().data(), b.mu().data());
             assert_eq!(a.rho().data(), b.rho().data());
         }
+    }
+
+    #[test]
+    fn atomic_save_survives_a_simulated_crash_mid_write() {
+        // Regression: `save` used to write the target file in place, so a
+        // crash mid-write could leave a truncated checkpoint. The atomic
+        // writer goes through a temp file + rename, so the worst a crash
+        // can leave behind is a stale temp file — the original stays
+        // loadable.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("vibnn_atomic_save_{}.ckpt", std::process::id()));
+        let (x, y) = toy_data(16, 3);
+        let mut bnn = Bnn::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02), 5);
+        bnn.train_epoch(&x, &y, 8);
+        bnn.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Simulate a crash during a later save: a truncated temp file is
+        // left next to the checkpoint (the rename never happened).
+        let tmp = path.with_file_name(format!(
+            ".{}.tmp.{}.0",
+            path.file_name().unwrap().to_string_lossy(),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &good[..good.len() / 2]).unwrap();
+        let loaded = Bnn::load(&path).expect("original checkpoint still loads");
+        assert_eq!(loaded.to_bytes(), good);
+        // A subsequent save goes through its own temp file (the counter
+        // keeps concurrent/stale temps from colliding) and replaces the
+        // target whole.
+        bnn.train_epoch(&x, &y, 8);
+        bnn.save(&path).unwrap();
+        assert_eq!(Bnn::load(&path).unwrap().to_bytes(), bnn.to_bytes());
+        std::fs::remove_file(&tmp).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_pathless_targets_and_leaves_no_droppings() {
+        assert!(matches!(
+            atomic_write(Path::new("/"), b"x"),
+            Err(CheckpointError::Io(_))
+        ));
+        // A failing write (unwritable directory) must not leave a temp
+        // file behind.
+        let missing = Path::new("/nonexistent_vibnn_dir/ckpt.bin");
+        assert!(matches!(
+            atomic_write(missing, b"x"),
+            Err(CheckpointError::Io(_))
+        ));
     }
 
     #[test]

@@ -38,7 +38,9 @@ mod var_dense;
 
 pub use bnn::{Bnn, BnnConfig, BnnTrainReport};
 pub use checkpoint::CheckpointError;
-pub use mc::{parallel_fork_map, parallel_mc_reduce, parallel_ordered_tasks, reduce_mean};
+pub use mc::{
+    parallel_fork_map, parallel_mc_reduce, parallel_ordered_tasks, reduce_mean, replica_source,
+};
 pub use prior::{GaussianPrior, ScaleMixturePrior};
 pub use schedule::{EarlyStop, LrSchedule, ScheduledRun, TrainSchedule};
 pub use threads::vibnn_threads;

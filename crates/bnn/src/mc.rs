@@ -129,6 +129,30 @@ where
     reduce_mean(&per_sample)
 }
 
+/// Domain tag separating serving-replica ε substreams from the Monte
+/// Carlo sample ids (`fork(0..samples)`) the inference engines consume.
+const REPLICA_STREAM: u64 = 0x5EED_C105_7E12;
+
+/// Derives the dispatcher ε source for one serving replica from a shared
+/// cluster source.
+///
+/// Every replica receives the **same** substream (an independently owned
+/// generator instance of an identical stream), deliberately *not* one
+/// keyed by replica id: a replica's result for a feature row depends only
+/// on the row, its parameters, and its ε source, so replicas loaded from
+/// the same checkpoint become interchangeable — any of them can serve any
+/// request with bit-identical output, which is what lets a cluster route
+/// (and spill) requests freely while staying bit-identical to a single
+/// engine. Per-replica-id derivation would silently tie results to the
+/// router's placement decisions and break that contract.
+///
+/// The substream is forked under a dedicated domain tag so it can never
+/// collide with the per-sample forks (`fork(s)` for `s < mc_samples`)
+/// the serving engines draw from.
+pub fn replica_source<S: StreamFork>(cluster_eps: &S) -> S {
+    cluster_eps.fork(REPLICA_STREAM)
+}
+
 /// The engine's order-deterministic mean reduction: accumulate the draws
 /// in ascending index order (`acc = draws[0]; acc += draws[i]`), then
 /// scale by `1/n`.
@@ -193,6 +217,23 @@ mod tests {
         let one = run(1);
         for threads in [2usize, 4, 9] {
             assert_eq!(run(threads), one, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn replica_sources_are_identical_and_disjoint_from_sample_forks() {
+        let cluster = BoxMullerGrng::new(23);
+        let mut a = replica_source(&cluster);
+        let mut b = replica_source(&cluster);
+        let draws_a: Vec<u64> = (0..32).map(|_| a.next_gaussian().to_bits()).collect();
+        let draws_b: Vec<u64> = (0..32).map(|_| b.next_gaussian().to_bits()).collect();
+        // Independently owned instances of the same stream …
+        assert_eq!(draws_a, draws_b);
+        // … that never alias the Monte Carlo sample substreams.
+        for s in 0..64u64 {
+            let mut sample = cluster.fork(s);
+            let first = sample.next_gaussian().to_bits();
+            assert_ne!(first, draws_a[0], "replica stream collides with fork({s})");
         }
     }
 

@@ -156,6 +156,42 @@ impl Bnn {
         threads: usize,
         sched: &TrainSchedule,
     ) -> ScheduledRun {
+        let run = self.train_mc_scheduled_with(x, labels, batch, samples, threads, sched, |_, _| {
+            Ok::<(), std::convert::Infallible>(())
+        });
+        match run {
+            Ok(run) => run,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`Bnn::train_mc_scheduled`] with a fallible per-epoch observer:
+    /// `on_epoch(bnn, report)` runs after every completed epoch (after the
+    /// lifetime epoch counter advances), before the early stopper folds the
+    /// loss. This is the seam periodic auto-checkpointing hangs off —
+    /// the observer sees the exact state a kind-2 save would persist.
+    ///
+    /// The observer never influences training: schedules, stopping, and
+    /// every parameter stay bit-identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Stops after the current epoch and returns the observer's error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`, `samples == 0`, or shapes mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_mc_scheduled_with<E>(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        batch: usize,
+        samples: usize,
+        threads: usize,
+        sched: &TrainSchedule,
+        mut on_epoch: impl FnMut(&Bnn, &BnnTrainReport) -> Result<(), E>,
+    ) -> Result<ScheduledRun, E> {
         let base_lr = self.config().lr();
         let mut reports = Vec::with_capacity(sched.epochs);
         let mut stopped_early = false;
@@ -167,6 +203,7 @@ impl Bnn {
             final_lr = sched.lr.lr_for_epoch(base_lr, epoch);
             self.set_lr(final_lr);
             let report = self.train_epoch_mc_threads(x, labels, batch, samples, threads);
+            on_epoch(self, &report)?;
             let loss = report.loss;
             reports.push(report);
             if let Some(es) = sched.early_stop {
@@ -182,11 +219,11 @@ impl Bnn {
                 }
             }
         }
-        ScheduledRun {
+        Ok(ScheduledRun {
             reports,
             stopped_early,
             final_lr,
-        }
+        })
     }
 }
 
@@ -289,6 +326,37 @@ mod tests {
         );
         assert!(run.stopped_early);
         assert_eq!(run.reports.len(), 3);
+    }
+
+    #[test]
+    fn epoch_observer_sees_every_epoch_and_can_abort() {
+        let (x, y) = toy_data(32, 5);
+        let sched = TrainSchedule::constant(4);
+        // The observer sees the post-epoch state and never perturbs it.
+        let mut observed = Bnn::new(BnnConfig::new(&[2, 4, 2]).with_lr(0.02), 7);
+        let mut epochs_seen = Vec::new();
+        let run = observed
+            .train_mc_scheduled_with(&x, &y, 16, 1, 1, &sched, |bnn, report| {
+                epochs_seen.push((bnn.epochs_trained(), report.loss.to_bits()));
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+        assert_eq!(epochs_seen.len(), 4);
+        assert_eq!(epochs_seen.last().unwrap().0, 4);
+        let mut plain = Bnn::new(BnnConfig::new(&[2, 4, 2]).with_lr(0.02), 7);
+        let plain_run = plain.train_mc_scheduled(&x, &y, 16, 1, 1, &sched);
+        assert_eq!(run, plain_run, "observer perturbed training");
+        // An erroring observer stops the run after the epoch it saw.
+        let mut aborted = Bnn::new(BnnConfig::new(&[2, 4, 2]).with_lr(0.02), 7);
+        let err = aborted.train_mc_scheduled_with(&x, &y, 16, 1, 1, &sched, |bnn, _| {
+            if bnn.epochs_trained() == 2 {
+                Err("stop")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(err.unwrap_err(), "stop");
+        assert_eq!(aborted.epochs_trained(), 2);
     }
 
     #[test]

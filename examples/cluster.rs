@@ -1,0 +1,104 @@
+//! Scaling out: serve one deployment from a pool of replicas with
+//! deterministic routing, cluster-level backpressure, live metrics, and a
+//! hot checkpoint swap mid-traffic.
+//!
+//! Run with: `cargo run --release --example cluster`
+
+use vibnn::bnn::BnnConfig;
+use vibnn::cluster::{ClusterConfig, ClusterEngine};
+use vibnn::datasets::parkinson_original;
+use vibnn::{Pipeline, VibnnError};
+
+fn main() -> Result<(), VibnnError> {
+    let ds = parkinson_original(42);
+    let calib = ds.train_x.rows_slice(0, 128);
+
+    // Train two checkpoint generations of the same topology: v0 goes live
+    // first, v1 rolls out mid-traffic.
+    let train = |epochs: usize| {
+        Pipeline::new(BnnConfig::new(&[ds.features(), 32, ds.classes]).with_lr(2e-3))
+            .seed(7)
+            .epochs(epochs)
+            .batch(32)
+            .train(&ds.train_x, &ds.train_y)?
+            .deploy(calib.clone())
+    };
+    let v0 = train(2)?.vibnn;
+    let v1 = train(6)?.vibnn;
+
+    // A 2-replica cluster: each replica is a full deployment with its own
+    // dispatcher and micro-batching engine; requests are routed by id and
+    // may spill to a less-loaded replica of the same version (which, by
+    // the determinism contract, answers identically).
+    let cluster = ClusterEngine::new(
+        v0,
+        ClusterConfig {
+            replicas: 2,
+            max_batch: 16,
+            max_queue: 256,
+            workers: 0,
+            spill: true,
+        },
+    )?;
+
+    let n = ds.test_len().min(96);
+    let submit = |range: std::ops::Range<usize>| -> Result<Vec<u64>, VibnnError> {
+        let mut ids = Vec::new();
+        for r in range {
+            let id = loop {
+                match cluster.submit(ds.test_x.row(r).to_vec()) {
+                    Ok(id) => break id,
+                    Err(VibnnError::QueueFull { depth, capacity }) => {
+                        // Informed backoff: wait proportionally to the
+                        // backlog the error reports.
+                        let backlog = depth as f64 / capacity.max(1) as f64;
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            (50.0 * backlog) as u64 + 1,
+                        ));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            ids.push(id);
+        }
+        Ok(ids)
+    };
+
+    // First half of the traffic lands on checkpoint v0 …
+    let pre = submit(0..n / 2)?;
+    // … then v1 rolls across both replicas while requests are in flight:
+    // everything queued before each swap marker drains through v0, nothing
+    // is dropped, and later submissions are answered by v1.
+    for report in cluster.rollout(v1)? {
+        println!(
+            "replica {} now serving version {} (drained {} request(s) first)",
+            report.replica, report.version, report.drained
+        );
+    }
+    let post = submit(n / 2..n)?;
+
+    let mut correct = 0usize;
+    for (r, id) in pre.iter().chain(&post).enumerate() {
+        let res = cluster.wait(*id)?;
+        correct += usize::from(res.argmax == ds.test_y[r]);
+    }
+
+    let m = cluster.metrics();
+    println!(
+        "served {} requests on {} replicas: accuracy {:.3}, {} spilled, {} rejected",
+        m.served,
+        m.replicas.len(),
+        correct as f64 / n as f64,
+        m.spilled,
+        m.rejected
+    );
+    for (i, rep) in m.replicas.iter().enumerate() {
+        let batches: u64 = rep.batch_histogram.iter().sum();
+        println!(
+            "  replica {i}: version {}, {} served in {} micro-batches",
+            rep.version, rep.served, batches
+        );
+    }
+    cluster.shutdown();
+    Ok(())
+}

@@ -59,11 +59,17 @@ fn main() -> Result<(), VibnnError> {
     let n = ds.test_len().min(64);
     let mut ids = Vec::with_capacity(n);
     for r in 0..n {
-        // Backpressure: spin until the queue accepts the request.
+        // Informed backoff: `QueueFull` reports how deep the queue is, so
+        // the retry wait scales with the backlog instead of blind-spinning.
         let id = loop {
             match handle.submit(ds.test_x.row(r).to_vec()) {
                 Ok(id) => break id,
-                Err(VibnnError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(VibnnError::QueueFull { depth, capacity }) => {
+                    let backlog = depth as f64 / capacity.max(1) as f64;
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        (50.0 * backlog) as u64 + 1,
+                    ));
+                }
                 Err(e) => return Err(e),
             }
         };

@@ -140,13 +140,15 @@ impl Vibnn {
         })
     }
 
-    /// Writes the deployment checkpoint to `path`.
+    /// Writes the deployment checkpoint to `path` via the crash-safe
+    /// atomic writer ([`vibnn_bnn::checkpoint::atomic_write`]): an
+    /// interrupted save never corrupts an existing checkpoint.
     ///
     /// # Errors
     ///
     /// [`VibnnError::Checkpoint`] on write failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), VibnnError> {
-        std::fs::write(path, self.to_bytes()).map_err(CheckpointError::Io)?;
+        vibnn_bnn::checkpoint::atomic_write(path, &self.to_bytes())?;
         Ok(())
     }
 

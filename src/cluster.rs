@@ -1,0 +1,1004 @@
+//! Sharded multi-replica serving: a [`ClusterEngine`] scales the
+//! [`ServeEngine`] from one dispatcher to a pool of replicas with
+//! deterministic routing, shared admission control, live metrics, and hot
+//! checkpoint swap.
+//!
+//! The paper's accelerator is a single inference unit; the scale target is
+//! serving heavy traffic from many users. This module treats each deployed
+//! accelerator instance as a schedulable unit behind a cluster-level
+//! queue: N replicas (each a [`Vibnn`] plus its own dispatcher thread and
+//! micro-batching [`ServeEngine`]) drain a sharded request queue in
+//! parallel.
+//!
+//! # Determinism
+//!
+//! Per-request determinism holds **by construction**, not by careful
+//! scheduling:
+//!
+//! - Every replica serves with the *same* ε substream, derived from the
+//!   cluster source by [`vibnn_bnn::replica_source`] (deliberately not
+//!   keyed by replica id — see that function's docs). A replica's answer
+//!   for a feature row therefore depends only on the row, the parameters
+//!   it was loaded from, and the cluster seed.
+//! - The router maps request id → home replica with a stable function
+//!   (`id mod replicas`), and least-loaded spill is restricted to
+//!   *equivalent* replicas — ones whose next-to-serve engine came from the
+//!   same checkpoint (judged by a fingerprint of the full kind-3
+//!   serialization, so independently loaded copies of one checkpoint
+//!   count as equivalent) — so placement can never change a result.
+//! - Each replica's micro-batches run through the serving engine's
+//!   synchronous path, which is bit-identical to the one-shot batched
+//!   `Vibnn::predict_proba_parallel` call row for row.
+//!
+//! Consequently a cluster of any size produces, for every request,
+//! **bit-identical** results to a single `ServeEngine` (and to the batched
+//! path) under the derived source — `tests/cluster_determinism.rs` pins
+//! this for replicas {1, 2, 4} × workers {1, 2} × permuted arrival orders.
+//!
+//! # Hot checkpoint swap
+//!
+//! [`ClusterEngine::hot_swap`] loads a new deployment (typically a kind-3
+//! checkpoint via [`ClusterEngine::hot_swap_from`]) into a **standby**
+//! engine while traffic keeps flowing, then enqueues a swap marker on the
+//! target replica's queue. The dispatcher drains every request queued
+//! ahead of the marker with the old engine, then atomically switches to
+//! the standby — no queued request is ever dropped or served twice, and
+//! requests submitted after the swap are answered by the new version.
+//! [`ClusterEngine::rollout`] walks the swap across every replica for a
+//! versioned, no-downtime deployment.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use vibnn_bnn::replica_source;
+use vibnn_grng::{StreamFork, ZigguratGrng};
+use vibnn_nn::Matrix;
+
+use crate::serve::{ServeConfig, ServeEngine, ServeResult};
+use crate::{Vibnn, VibnnError};
+
+/// Sizing and policy knobs for a [`ClusterEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of serving replicas (default 2).
+    pub replicas: usize,
+    /// Maximum requests coalesced into one micro-batch per replica
+    /// (default 32).
+    pub max_batch: usize,
+    /// **Cluster-level** queue capacity across all replicas; submissions
+    /// beyond it get [`VibnnError::QueueFull`] backpressure (default 1024).
+    pub max_queue: usize,
+    /// Worker threads for each replica's Monte Carlo micro-batch
+    /// (`0` honours `VIBNN_THREADS`; default 0). Never affects results.
+    pub workers: usize,
+    /// Allow least-loaded spill: when the home replica is busier than an
+    /// *equivalent* replica (same checkpoint fingerprint), route the
+    /// request there instead (default `true`). Spill never crosses a
+    /// checkpoint boundary, so it can never change a result.
+    pub spill: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            max_batch: 32,
+            max_queue: 1024,
+            workers: 0,
+            spill: true,
+        }
+    }
+}
+
+/// The outcome of one completed [`ClusterEngine::hot_swap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapReport {
+    /// The replica that was swapped.
+    pub replica: usize,
+    /// The checkpoint version now serving on that replica.
+    pub version: u64,
+    /// Requests that were queued ahead of the swap marker and drained
+    /// through the old engine before the switch.
+    pub drained: u64,
+}
+
+/// A live snapshot of one replica's state, from
+/// [`ClusterEngine::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaMetrics {
+    /// Requests queued on this replica, not yet dispatched.
+    pub queue_depth: usize,
+    /// Requests this replica has served since the cluster started.
+    pub served: u64,
+    /// Checkpoint version the replica is currently serving with (starts
+    /// at 0; each hot swap increments it — a per-replica rollout
+    /// counter, not a checkpoint identity).
+    pub version: u64,
+    /// Fingerprint of the checkpoint the replica is currently serving
+    /// with (FNV-1a over the kind-3 serialization). Replicas with equal
+    /// fingerprints answer identically, which is the equivalence spill
+    /// routing is restricted to.
+    pub checkpoint_fingerprint: u64,
+    /// Whether a swap marker is queued but not yet applied (the replica
+    /// is draining the old version's requests).
+    pub swap_pending: bool,
+    /// Whether the dispatcher thread is running (`false` after shutdown,
+    /// or if the replica panicked).
+    pub alive: bool,
+    /// Micro-batch size histogram: entry `b - 1` counts dispatched
+    /// micro-batches of exactly `b` requests (length = `max_batch`).
+    pub batch_histogram: Vec<u64>,
+}
+
+/// A live snapshot of the whole cluster, from [`ClusterEngine::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMetrics {
+    /// Per-replica snapshots, indexed by replica id.
+    pub replicas: Vec<ReplicaMetrics>,
+    /// Requests queued cluster-wide, not yet dispatched.
+    pub queued: usize,
+    /// The configured cluster-level queue capacity.
+    pub capacity: usize,
+    /// Requests accepted since the cluster started.
+    pub submitted: u64,
+    /// Requests served since the cluster started.
+    pub served: u64,
+    /// Accepted requests that were routed away from their home replica to
+    /// a less-loaded equivalent one.
+    pub spilled: u64,
+    /// Submissions refused with [`VibnnError::QueueFull`].
+    pub rejected: u64,
+    /// Hot swaps applied since the cluster started.
+    pub swaps_completed: u64,
+    /// Whether any replica is draining: a swap marker is pending behind
+    /// queued requests, or shutdown was requested while queues still
+    /// hold work.
+    pub draining: bool,
+}
+
+/// FNV-1a over the deployment's kind-3 serialization: two deployments
+/// share a fingerprint exactly when they were loaded from the same
+/// checkpoint bytes — the cluster's criterion for replicas that answer
+/// identically (and may therefore absorb each other's spill).
+fn checkpoint_fingerprint(vibnn: &Vibnn) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &vibnn.to_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One queued unit of work for a replica dispatcher: a request, or a
+/// swap marker carrying the standby engine that takes over once
+/// everything ahead of it has drained.
+enum Work<S: StreamFork + Sync> {
+    Request {
+        id: u64,
+        features: Vec<f32>,
+    },
+    /// Boxed: a standby engine (deployment clone + simulator) dwarfs a
+    /// request, and markers are rare.
+    Swap {
+        engine: Box<ServeEngine<S>>,
+        version: u64,
+        fingerprint: u64,
+    },
+}
+
+struct ReplicaState<S: StreamFork + Sync> {
+    queue: VecDeque<Work<S>>,
+    /// `Request` items currently in `queue` (markers excluded).
+    pending: usize,
+    served: u64,
+    /// Version the dispatcher is currently serving with.
+    version: u64,
+    /// Version a request submitted *now* would be served by (`> version`
+    /// while a swap marker is queued).
+    queued_version: u64,
+    /// Fingerprint of the checkpoint the dispatcher is serving with.
+    fingerprint: u64,
+    /// Fingerprint a request submitted *now* would be answered under.
+    /// Spill equivalence is judged on this, since routing decides the
+    /// fate of future requests.
+    queued_fingerprint: u64,
+    batch_hist: Vec<u64>,
+    alive: bool,
+}
+
+struct ClusterState<S: StreamFork + Sync> {
+    replicas: Vec<ReplicaState<S>>,
+    results: HashMap<u64, ServeResult>,
+    next_id: u64,
+    /// Requests queued cluster-wide (the admission-control gauge).
+    queued_total: usize,
+    submitted: u64,
+    served_total: u64,
+    spilled: u64,
+    rejected: u64,
+    swaps_completed: u64,
+    stop: bool,
+}
+
+struct ClusterShared<S: StreamFork + Sync> {
+    state: Mutex<ClusterState<S>>,
+    /// Signalled on new work (and on stop); all dispatchers re-check
+    /// their own queue.
+    work_ready: Condvar,
+    /// Signalled when results are published or a dispatcher exits.
+    result_ready: Condvar,
+    /// Signalled when a dispatcher applies a swap marker.
+    swap_applied: Condvar,
+    max_queue: usize,
+    max_batch: usize,
+    spill: bool,
+    input_dim: usize,
+}
+
+impl<S: StreamFork + Sync> ClusterShared<S> {
+    fn lock(&self) -> MutexGuard<'_, ClusterState<S>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Clears the replica's `alive` flag and wakes every waiter when its
+/// dispatcher exits — by any path, including unwinding.
+struct AliveGuard<'a, S: StreamFork + Sync> {
+    shared: &'a ClusterShared<S>,
+    replica: usize,
+}
+
+impl<S: StreamFork + Sync> Drop for AliveGuard<'_, S> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.replicas[self.replica].alive = false;
+        drop(st);
+        self.shared.result_ready.notify_all();
+        self.shared.swap_applied.notify_all();
+    }
+}
+
+/// A pool of serving replicas behind one deterministic router.
+///
+/// Construction clones the deployment into `cfg.replicas` replicas, each
+/// with its own dispatcher thread and micro-batching [`ServeEngine`]
+/// whose ε source is derived from the cluster source by
+/// [`vibnn_bnn::replica_source`]. Submit single-row requests with
+/// [`submit`](Self::submit), collect by id with [`wait`](Self::wait) /
+/// [`try_take`](Self::try_take), observe with
+/// [`metrics`](Self::metrics), and roll out new checkpoints with
+/// [`hot_swap`](Self::hot_swap) — see the [module docs](self) for the
+/// determinism and swap contracts.
+///
+/// # Example
+///
+/// ```
+/// use vibnn::bnn::{Bnn, BnnConfig};
+/// use vibnn::cluster::{ClusterConfig, ClusterEngine};
+/// use vibnn::nn::Matrix;
+/// use vibnn::VibnnBuilder;
+///
+/// let bnn = Bnn::new(BnnConfig::new(&[4, 8, 3]), 7);
+/// let vibnn = VibnnBuilder::new(bnn.params())
+///     .mc_samples(4)
+///     .calibration(Matrix::zeros(2, 4))
+///     .build()?;
+/// let cluster = ClusterEngine::new(
+///     vibnn,
+///     ClusterConfig {
+///         replicas: 2,
+///         ..ClusterConfig::default()
+///     },
+/// )?;
+/// let id = cluster.submit(vec![0.0; 4])?;
+/// let result = cluster.wait(id)?;
+/// assert_eq!(result.proba.len(), 3);
+/// let metrics = cluster.metrics();
+/// assert_eq!(metrics.replicas.len(), 2);
+/// assert_eq!(metrics.served, 1);
+/// cluster.shutdown();
+/// # Ok::<(), vibnn::VibnnError>(())
+/// ```
+pub struct ClusterEngine<S: StreamFork + Sync + Send + 'static = ZigguratGrng> {
+    shared: Arc<ClusterShared<S>>,
+    /// The cluster ε source; standby engines for hot swaps derive their
+    /// substream from it exactly like the founding replicas did.
+    eps: S,
+    serve_cfg: ServeConfig,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl<S: StreamFork + Sync + Send> std::fmt::Debug for ClusterEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterEngine")
+            .field("replicas", &self.dispatchers.len())
+            .field("max_queue", &self.shared.max_queue)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterEngine<ZigguratGrng> {
+    /// Builds a cluster over `cfg.replicas` clones of the deployment with
+    /// a default software cluster source (`ZigguratGrng` seeded from a
+    /// fixed cluster constant). Use [`with_eps`](Self::with_eps) for a
+    /// specific generator.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::BadServeConfig`] if `replicas`, `max_batch`, or
+    /// `max_queue` is 0.
+    pub fn new(vibnn: Vibnn, cfg: ClusterConfig) -> Result<Self, VibnnError> {
+        Self::with_eps(vibnn, cfg, ZigguratGrng::new(0xC1D5_5EED))
+    }
+}
+
+impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
+    /// Builds a cluster with an explicit cluster ε source. Every replica
+    /// serves with [`vibnn_bnn::replica_source`]`(&eps)` — identical
+    /// streams, independently owned instances (see the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::BadServeConfig`] if `replicas`, `max_batch`, or
+    /// `max_queue` is 0.
+    pub fn with_eps(vibnn: Vibnn, cfg: ClusterConfig, eps: S) -> Result<Self, VibnnError> {
+        if cfg.replicas == 0 {
+            return Err(VibnnError::BadServeConfig("replicas must be positive"));
+        }
+        let serve_cfg = ServeConfig {
+            max_batch: cfg.max_batch,
+            max_queue: cfg.max_queue,
+            workers: cfg.workers,
+        };
+        let input_dim = vibnn.input_dim();
+        let fingerprint = checkpoint_fingerprint(&vibnn);
+        // Build every replica engine up front so a bad config fails before
+        // any thread spawns.
+        let mut engines = Vec::with_capacity(cfg.replicas);
+        for _ in 0..cfg.replicas {
+            engines.push(ServeEngine::with_eps(
+                vibnn.clone(),
+                serve_cfg,
+                replica_source(&eps),
+            )?);
+        }
+        let shared = Arc::new(ClusterShared {
+            state: Mutex::new(ClusterState {
+                replicas: (0..cfg.replicas)
+                    .map(|_| ReplicaState {
+                        queue: VecDeque::new(),
+                        pending: 0,
+                        served: 0,
+                        version: 0,
+                        queued_version: 0,
+                        fingerprint,
+                        queued_fingerprint: fingerprint,
+                        batch_hist: vec![0; cfg.max_batch],
+                        alive: true,
+                    })
+                    .collect(),
+                results: HashMap::new(),
+                next_id: 0,
+                queued_total: 0,
+                submitted: 0,
+                served_total: 0,
+                spilled: 0,
+                rejected: 0,
+                swaps_completed: 0,
+                stop: false,
+            }),
+            work_ready: Condvar::new(),
+            result_ready: Condvar::new(),
+            swap_applied: Condvar::new(),
+            max_queue: cfg.max_queue,
+            max_batch: cfg.max_batch,
+            spill: cfg.spill,
+            input_dim,
+        });
+        let dispatchers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(r, engine)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _alive = AliveGuard {
+                        shared: &shared,
+                        replica: r,
+                    };
+                    dispatcher_loop(r, engine, &shared);
+                })
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            eps,
+            serve_cfg,
+            dispatchers,
+        })
+    }
+
+    /// Number of replicas in the pool.
+    pub fn replicas(&self) -> usize {
+        self.dispatchers.len()
+    }
+
+    /// The ε source every replica serves with — the substream
+    /// [`vibnn_bnn::replica_source`] derives from the cluster source.
+    /// Feed this to a single [`ServeEngine`] or to
+    /// [`Vibnn::predict_proba_parallel`] to reproduce the cluster's
+    /// results bit for bit.
+    pub fn replica_eps(&self) -> S {
+        replica_source(&self.eps)
+    }
+
+    /// Submits one request (a single feature row) and returns its cluster
+    /// request id. The id also determines the home replica
+    /// (`id mod replicas`); with [`ClusterConfig::spill`] the request may
+    /// be placed on a less-loaded replica of the same checkpoint
+    /// fingerprint — which, by the determinism contract, serves it
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// - [`VibnnError::ShapeMismatch`] — the row is not
+    ///   [`Vibnn::input_dim`] values wide.
+    /// - [`VibnnError::QueueFull`] — cluster-level backpressure; carries
+    ///   the observed depth and configured capacity for informed backoff.
+    /// - [`VibnnError::EngineStopped`] — the cluster is shut down, or no
+    ///   replica equivalent to the home replica is alive.
+    pub fn submit(&self, features: Vec<f32>) -> Result<u64, VibnnError> {
+        if features.len() != self.shared.input_dim {
+            return Err(VibnnError::ShapeMismatch {
+                context: "request width",
+                expected: self.shared.input_dim,
+                got: features.len(),
+            });
+        }
+        let mut st = self.shared.lock();
+        if st.stop {
+            return Err(VibnnError::EngineStopped);
+        }
+        if st.queued_total >= self.shared.max_queue {
+            st.rejected += 1;
+            return Err(VibnnError::QueueFull {
+                depth: st.queued_total,
+                capacity: self.shared.max_queue,
+            });
+        }
+        let id = st.next_id;
+        let home = (id % st.replicas.len() as u64) as usize;
+        // Route: home replica, unless spill finds a strictly less-loaded
+        // *equivalent* replica (same queued checkpoint fingerprint —
+        // never across a checkpoint boundary).
+        let home_fp = st.replicas[home].queued_fingerprint;
+        let mut target = if st.replicas[home].alive {
+            Some((home, st.replicas[home].pending))
+        } else {
+            None
+        };
+        if self.shared.spill || target.is_none() {
+            for (i, rep) in st.replicas.iter().enumerate() {
+                if i == home || !rep.alive || rep.queued_fingerprint != home_fp {
+                    continue;
+                }
+                if target.map_or(true, |(_, pending)| rep.pending < pending) {
+                    target = Some((i, rep.pending));
+                }
+            }
+        }
+        let Some((target, _)) = target else {
+            // Nothing equivalent to the home replica is alive; serving
+            // elsewhere could change the result, so refuse instead.
+            return Err(VibnnError::EngineStopped);
+        };
+        st.next_id += 1;
+        st.submitted += 1;
+        st.queued_total += 1;
+        st.spilled += u64::from(target != home);
+        let rep = &mut st.replicas[target];
+        rep.pending += 1;
+        rep.queue.push_back(Work::Request { id, features });
+        drop(st);
+        self.shared.work_ready.notify_all();
+        Ok(id)
+    }
+
+    /// Takes a finished result without blocking, if it is ready.
+    pub fn try_take(&self, id: u64) -> Option<ServeResult> {
+        self.shared.lock().results.remove(&id)
+    }
+
+    /// Blocks until the result for `id` is ready and takes it.
+    ///
+    /// # Errors
+    ///
+    /// - [`VibnnError::UnknownRequest`] — `id` was never issued.
+    /// - [`VibnnError::EngineStopped`] — a dispatcher exited before the
+    ///   result was produced.
+    pub fn wait(&self, id: u64) -> Result<ServeResult, VibnnError> {
+        let mut st = self.shared.lock();
+        if id >= st.next_id {
+            return Err(VibnnError::UnknownRequest(id));
+        }
+        loop {
+            if let Some(r) = st.results.remove(&id) {
+                return Ok(r);
+            }
+            // Any dead replica may hold this request forever; error out
+            // instead of risking a hang. (Replicas die only on panic or
+            // shutdown.)
+            if st.replicas.iter().any(|r| !r.alive) {
+                return Err(VibnnError::EngineStopped);
+            }
+            st = self
+                .shared
+                .result_ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A consistent snapshot of cluster and per-replica state.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let st = self.shared.lock();
+        ClusterMetrics {
+            replicas: st
+                .replicas
+                .iter()
+                .map(|r| ReplicaMetrics {
+                    queue_depth: r.pending,
+                    served: r.served,
+                    version: r.version,
+                    checkpoint_fingerprint: r.fingerprint,
+                    swap_pending: r.queued_version > r.version,
+                    alive: r.alive,
+                    batch_histogram: r.batch_hist.clone(),
+                })
+                .collect(),
+            queued: st.queued_total,
+            capacity: self.shared.max_queue,
+            submitted: st.submitted,
+            served: st.served_total,
+            spilled: st.spilled,
+            rejected: st.rejected,
+            swaps_completed: st.swaps_completed,
+            draining: st
+                .replicas
+                .iter()
+                .any(|r| r.queued_version > r.version)
+                || (st.stop && st.queued_total > 0),
+        }
+    }
+
+    /// Hot-swaps `replica` to a new deployment: builds a **standby**
+    /// engine around `vibnn` (with the cluster's replica ε substream),
+    /// enqueues a swap marker, and blocks until the dispatcher has
+    /// drained every request queued ahead of the marker through the old
+    /// engine and switched to the standby. Requests keep flowing the
+    /// whole time — none are dropped, none are served twice; submissions
+    /// after this call returns are answered by the new version.
+    ///
+    /// # Errors
+    ///
+    /// - [`VibnnError::UnknownReplica`] — `replica` is out of range.
+    /// - [`VibnnError::ShapeMismatch`] — the new deployment's input width
+    ///   differs from the cluster's.
+    /// - [`VibnnError::BadServeConfig`] — never for a cluster-validated
+    ///   config (propagated from standby construction).
+    /// - [`VibnnError::EngineStopped`] — the cluster is shut down or the
+    ///   replica's dispatcher has exited.
+    pub fn hot_swap(&self, replica: usize, vibnn: Vibnn) -> Result<SwapReport, VibnnError> {
+        if replica >= self.dispatchers.len() {
+            return Err(VibnnError::UnknownReplica(replica));
+        }
+        if vibnn.input_dim() != self.shared.input_dim {
+            return Err(VibnnError::ShapeMismatch {
+                context: "replica input width",
+                expected: self.shared.input_dim,
+                got: vibnn.input_dim(),
+            });
+        }
+        // Standby construction (quantization, simulator setup) happens
+        // before any queue mutation, so it never stalls the dispatcher.
+        let fingerprint = checkpoint_fingerprint(&vibnn);
+        let engine = ServeEngine::with_eps(vibnn, self.serve_cfg, replica_source(&self.eps))?;
+        let mut st = self.shared.lock();
+        if st.stop || !st.replicas[replica].alive {
+            return Err(VibnnError::EngineStopped);
+        }
+        let version = st.replicas[replica].queued_version + 1;
+        let drained = st.replicas[replica].pending as u64;
+        let rep = &mut st.replicas[replica];
+        rep.queued_version = version;
+        rep.queued_fingerprint = fingerprint;
+        rep.queue.push_back(Work::Swap {
+            engine: Box::new(engine),
+            version,
+            fingerprint,
+        });
+        drop(st);
+        self.shared.work_ready.notify_all();
+        let mut st = self.shared.lock();
+        while st.replicas[replica].version < version {
+            if !st.replicas[replica].alive {
+                return Err(VibnnError::EngineStopped);
+            }
+            st = self
+                .shared
+                .swap_applied
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        Ok(SwapReport {
+            replica,
+            version,
+            drained,
+        })
+    }
+
+    /// [`hot_swap`](Self::hot_swap) from a kind-3 deployment checkpoint
+    /// file (see [`Vibnn::load`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Vibnn::load`] error, plus every [`hot_swap`](Self::hot_swap)
+    /// error.
+    pub fn hot_swap_from(
+        &self,
+        replica: usize,
+        path: impl AsRef<Path>,
+    ) -> Result<SwapReport, VibnnError> {
+        self.hot_swap(replica, Vibnn::load(path)?)
+    }
+
+    /// Rolls a new deployment across every replica, one hot swap at a
+    /// time (replica 0 first). Traffic keeps flowing throughout; once
+    /// this returns, every replica serves the new checkpoint — and since
+    /// spill equivalence is judged on the checkpoint fingerprint (not
+    /// the per-replica version counters, which may differ), spill is
+    /// fully re-enabled across the pool.
+    ///
+    /// # Errors
+    ///
+    /// The first [`hot_swap`](Self::hot_swap) error; earlier replicas
+    /// stay swapped.
+    pub fn rollout(&self, vibnn: Vibnn) -> Result<Vec<SwapReport>, VibnnError> {
+        (0..self.dispatchers.len())
+            .map(|r| self.hot_swap(r, vibnn.clone()))
+            .collect()
+    }
+
+    /// Stops every dispatcher after it drains its queue, joins them, and
+    /// returns every unclaimed result sorted by request id.
+    pub fn shutdown(mut self) -> Vec<ServeResult> {
+        self.stop_and_join();
+        let mut leftover: Vec<ServeResult> =
+            self.shared.lock().results.drain().map(|(_, r)| r).collect();
+        leftover.sort_by_key(|r| r.id);
+        leftover
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.stop = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.dispatchers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<S: StreamFork + Sync + Send> Drop for ClusterEngine<S> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One replica's dispatcher: drain own queue → micro-batch through the
+/// serving engine → publish into the shared result map; apply swap
+/// markers in queue order; exit once asked to stop *and* the queue is
+/// fully drained.
+fn dispatcher_loop<S: StreamFork + Sync + Send>(
+    r: usize,
+    mut engine: ServeEngine<S>,
+    shared: &ClusterShared<S>,
+) {
+    loop {
+        let mut batch: Vec<(u64, Vec<f32>)> = Vec::new();
+        let mut swap: Option<Box<ServeEngine<S>>> = None;
+        {
+            let mut st = shared.lock();
+            loop {
+                if !st.replicas[r].queue.is_empty() {
+                    break;
+                }
+                if st.stop {
+                    // Queue fully drained (markers included): exit. The
+                    // `AliveGuard` clears `alive` and wakes waiters.
+                    return;
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            let rep = &mut st.replicas[r];
+            if matches!(rep.queue.front(), Some(Work::Swap { .. })) {
+                if let Some(Work::Swap {
+                    engine,
+                    version,
+                    fingerprint,
+                }) = rep.queue.pop_front()
+                {
+                    rep.version = version;
+                    rep.fingerprint = fingerprint;
+                    swap = Some(engine);
+                }
+                st.swaps_completed += 1;
+            } else {
+                // Drain up to max_batch requests; never across a swap
+                // marker, so a micro-batch is always served by one
+                // checkpoint version.
+                while batch.len() < shared.max_batch
+                    && matches!(rep.queue.front(), Some(Work::Request { .. }))
+                {
+                    if let Some(Work::Request { id, features }) = rep.queue.pop_front() {
+                        batch.push((id, features));
+                    }
+                }
+                rep.pending -= batch.len();
+                st.queued_total -= batch.len();
+            }
+        }
+        if let Some(standby) = swap {
+            engine = *standby;
+            shared.swap_applied.notify_all();
+            continue;
+        }
+        let mut x = Matrix::zeros(batch.len(), shared.input_dim);
+        for (row, (_, features)) in batch.iter().enumerate() {
+            x.row_mut(row).copy_from_slice(features);
+        }
+        // The synchronous serve path: one micro-batch, bit-identical to
+        // the one-shot batched inference call (row widths were validated
+        // at the cluster gate, so this cannot fail).
+        let results = engine.submit_batch(&x).expect("validated request width");
+        {
+            let mut st = shared.lock();
+            let n = batch.len();
+            for ((id, _), mut result) in batch.into_iter().zip(results) {
+                result.id = id;
+                st.results.insert(id, result);
+            }
+            st.served_total += n as u64;
+            let rep = &mut st.replicas[r];
+            rep.served += n as u64;
+            rep.batch_hist[n - 1] += 1;
+        }
+        shared.result_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VibnnBuilder;
+    use vibnn_bnn::{Bnn, BnnConfig};
+
+    fn tiny_vibnn(seed: u64) -> Vibnn {
+        let bnn = Bnn::new(BnnConfig::new(&[3, 6, 2]).with_sigma_init(0.1), seed);
+        VibnnBuilder::new(bnn.params())
+            .mc_samples(3)
+            .calibration(Matrix::zeros(2, 3))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_sized_configs_are_rejected() {
+        for cfg in [
+            ClusterConfig {
+                replicas: 0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                max_batch: 0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                max_queue: 0,
+                ..ClusterConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                ClusterEngine::new(tiny_vibnn(1), cfg),
+                Err(VibnnError::BadServeConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn submit_validates_and_routes() {
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 2,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            cluster.submit(vec![0.0; 5]),
+            Err(VibnnError::ShapeMismatch {
+                expected: 3,
+                got: 5,
+                ..
+            })
+        ));
+        let a = cluster.submit(vec![0.0; 3]).unwrap();
+        let b = cluster.submit(vec![0.5; 3]).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert!(cluster.wait(a).is_ok());
+        assert!(cluster.wait(b).is_ok());
+        assert!(matches!(
+            cluster.wait(99),
+            Err(VibnnError::UnknownRequest(99))
+        ));
+        let metrics = cluster.metrics();
+        assert_eq!(metrics.submitted, 2);
+        assert_eq!(metrics.served, 2);
+        assert_eq!(metrics.queued, 0);
+        let leftovers = cluster.shutdown();
+        assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn cluster_queue_full_carries_depth_and_capacity() {
+        // One replica, a 2-deep cluster queue, and a fast submit loop:
+        // the mutex push is far cheaper than a dispatched micro-batch, so
+        // the admission gate trips almost immediately.
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 1,
+                max_batch: 1,
+                max_queue: 2,
+                workers: 1,
+                spill: false,
+            },
+        )
+        .unwrap();
+        let mut accepted = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..2000 {
+            match cluster.submit(vec![0.1; 3]) {
+                Ok(id) => accepted.push(id),
+                Err(VibnnError::QueueFull { depth, capacity }) => {
+                    assert_eq!(capacity, 2);
+                    assert!(depth >= capacity, "{depth} < {capacity}");
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(saw_full, "queue never filled");
+        for id in accepted {
+            cluster.wait(id).unwrap();
+        }
+        assert_eq!(cluster.metrics().rejected, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_rejects_bad_targets() {
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 2,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            cluster.hot_swap(7, tiny_vibnn(2)),
+            Err(VibnnError::UnknownReplica(7))
+        ));
+        // A deployment with a different input width cannot join the pool.
+        let wide = Bnn::new(BnnConfig::new(&[5, 4, 2]), 3);
+        let wide = VibnnBuilder::new(wide.params())
+            .calibration(Matrix::zeros(2, 5))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            cluster.hot_swap(0, wide),
+            Err(VibnnError::ShapeMismatch {
+                context: "replica input width",
+                ..
+            })
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_tracks_versions_and_fingerprint_equivalence() {
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 2,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let m = cluster.metrics();
+        assert_eq!(
+            m.replicas[0].checkpoint_fingerprint,
+            m.replicas[1].checkpoint_fingerprint,
+            "founding replicas share one checkpoint"
+        );
+        let report = cluster.hot_swap(1, tiny_vibnn(9)).unwrap();
+        assert_eq!(report.replica, 1);
+        assert_eq!(report.version, 1);
+        let m = cluster.metrics();
+        assert_eq!(m.swaps_completed, 1);
+        assert_eq!(m.replicas[0].version, 0);
+        assert_eq!(m.replicas[1].version, 1);
+        assert!(!m.replicas[1].swap_pending);
+        // A different deployment breaks equivalence: spill between the
+        // two replicas is now forbidden.
+        assert_ne!(
+            m.replicas[0].checkpoint_fingerprint,
+            m.replicas[1].checkpoint_fingerprint
+        );
+        // Rolling one deployment across the pool restores equivalence
+        // even though the per-replica swap counters diverge — spill is
+        // judged on the fingerprint, not the version.
+        let reports = cluster.rollout(tiny_vibnn(9)).unwrap();
+        assert_eq!(reports.len(), 2);
+        let m = cluster.metrics();
+        assert_eq!(m.replicas[0].version, 1);
+        assert_eq!(m.replicas[1].version, 2);
+        assert_eq!(
+            m.replicas[0].checkpoint_fingerprint,
+            m.replicas[1].checkpoint_fingerprint,
+            "same checkpoint => equivalent, whatever the swap history"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_unclaimed_results_in_id_order() {
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 2,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let ids: Vec<u64> = (0..6)
+            .map(|i| cluster.submit(vec![i as f32 * 0.1; 3]).unwrap())
+            .collect();
+        let leftover = cluster.shutdown();
+        assert_eq!(
+            leftover.iter().map(|r| r.id).collect::<Vec<_>>(),
+            ids,
+            "graceful shutdown drains every queued request"
+        );
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_engine_stopped() {
+        let mut cluster = ClusterEngine::new(tiny_vibnn(1), ClusterConfig::default()).unwrap();
+        cluster.stop_and_join();
+        assert!(matches!(
+            cluster.submit(vec![0.0; 3]),
+            Err(VibnnError::EngineStopped)
+        ));
+    }
+}

@@ -52,9 +52,13 @@ pub enum VibnnError {
     Checkpoint(CheckpointError),
     /// The serving configuration is unusable (zero batch or queue size).
     BadServeConfig(&'static str),
-    /// The serving queue is at capacity — backpressure; retry after
-    /// results drain.
+    /// The serving queue is at capacity — backpressure. Carries the
+    /// observed depth and the configured limit so callers can implement
+    /// informed backoff (e.g. wait proportionally to `depth / capacity`)
+    /// instead of blind spinning.
     QueueFull {
+        /// Requests queued at the moment the submission was refused.
+        depth: usize,
         /// The configured `max_queue`.
         capacity: usize,
     },
@@ -63,6 +67,8 @@ pub enum VibnnError {
     EngineStopped,
     /// A result was requested for a request id that was never issued.
     UnknownRequest(u64),
+    /// A cluster operation named a replica index outside the pool.
+    UnknownReplica(usize),
 }
 
 impl std::fmt::Display for VibnnError {
@@ -83,11 +89,12 @@ impl std::fmt::Display for VibnnError {
             VibnnError::Config(e) => write!(f, "invalid accelerator configuration: {e}"),
             VibnnError::Checkpoint(e) => write!(f, "{e}"),
             VibnnError::BadServeConfig(why) => write!(f, "invalid serving configuration: {why}"),
-            VibnnError::QueueFull { capacity } => {
-                write!(f, "serving queue full (capacity {capacity})")
+            VibnnError::QueueFull { depth, capacity } => {
+                write!(f, "serving queue full ({depth} queued, capacity {capacity})")
             }
             VibnnError::EngineStopped => write!(f, "serving engine has stopped"),
             VibnnError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
+            VibnnError::UnknownReplica(i) => write!(f, "unknown replica index {i}"),
         }
     }
 }

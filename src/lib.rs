@@ -24,12 +24,14 @@
 
 mod accelerator;
 mod checkpoint;
+pub mod cluster;
 mod error;
 pub mod experiments;
 mod pipeline;
 pub mod serve;
 
 pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
+pub use cluster::{ClusterConfig, ClusterEngine, ClusterMetrics, ReplicaMetrics, SwapReport};
 pub use error::VibnnError;
 pub use pipeline::{Deployed, Pipeline, TrainedPipeline};
 pub use serve::{ServeConfig, ServeEngine, ServeHandle, ServeResult};

@@ -1,6 +1,6 @@
 //! The train → checkpoint → deploy pipeline builder.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use vibnn_bnn::{Bnn, BnnConfig, BnnTrainReport, EarlyStop, LrSchedule, ScheduledRun, TrainSchedule};
 use vibnn_nn::Matrix;
@@ -44,6 +44,7 @@ pub struct Pipeline {
     threads: usize,
     lr: LrSchedule,
     early_stop: Option<EarlyStop>,
+    checkpoint_every: Option<(usize, PathBuf)>,
 }
 
 impl Pipeline {
@@ -60,6 +61,7 @@ impl Pipeline {
             threads: 0,
             lr: LrSchedule::Const,
             early_stop: None,
+            checkpoint_every: None,
         }
     }
 
@@ -106,6 +108,22 @@ impl Pipeline {
         self
     }
 
+    /// Enables periodic auto-checkpointing: after every `n_epochs`
+    /// completed **lifetime** epochs, the full training state is written
+    /// to `path` as a resumable kind-2 checkpoint through the crash-safe
+    /// atomic writer (temp file + rename, so an interrupt mid-save leaves
+    /// the previous periodic checkpoint intact). [`Pipeline::resume`] from
+    /// the latest periodic checkpoint continues **bit-identically** to a
+    /// run that was never interrupted.
+    ///
+    /// `n_epochs == 0` is treated as 1 (checkpoint every epoch). The hook
+    /// never perturbs training — schedules, early stopping, and every
+    /// parameter are bit-identical with or without it.
+    pub fn checkpoint_every(mut self, n_epochs: usize, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_every = Some((n_epochs.max(1), path.into()));
+        self
+    }
+
     /// Runs training through the deterministic data-parallel engine.
     ///
     /// # Errors
@@ -115,10 +133,14 @@ impl Pipeline {
     ///   batch size is zero.
     /// - [`VibnnError::LabelOutOfRange`] — a label exceeds the configured
     ///   class count.
+    /// - [`VibnnError::Checkpoint`] — a periodic checkpoint
+    ///   ([`Pipeline::checkpoint_every`]) could not be written; training
+    ///   stops after the epoch that failed to persist.
     pub fn train(self, x: &Matrix, y: &[usize]) -> Result<TrainedPipeline, VibnnError> {
         validate_dataset(self.cfg.layer_sizes(), x, y, self.batch)?;
         let mut bnn = Bnn::new(self.cfg, self.seed);
-        let run = bnn.train_mc_scheduled(
+        let ckpt = self.checkpoint_every;
+        let run = bnn.train_mc_scheduled_with(
             x,
             y,
             self.batch,
@@ -129,7 +151,13 @@ impl Pipeline {
                 lr: self.lr,
                 early_stop: self.early_stop,
             },
-        );
+            |bnn, _report| match &ckpt {
+                Some((every, path)) if bnn.epochs_trained() % *every as u64 == 0 => {
+                    bnn.save(path).map_err(VibnnError::from)
+                }
+                _ => Ok(()),
+            },
+        )?;
         Ok(TrainedPipeline { bnn, run })
     }
 
@@ -384,6 +412,48 @@ mod tests {
             Pipeline::resume(&path, &x, &high, 1, 8, sched),
             Err(VibnnError::LabelOutOfRange { label: 9, classes: 2 })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn periodic_checkpoints_resume_bit_exactly() {
+        use vibnn_bnn::LrSchedule;
+        let (x, y) = toy_data(32, 8);
+        let sched = LrSchedule::StepDecay { every: 2, gamma: 0.5 };
+        let path = std::env::temp_dir().join(format!(
+            "vibnn_pipeline_periodic_{}.ckpt",
+            std::process::id()
+        ));
+        // Uninterrupted 6-epoch reference.
+        let full = Pipeline::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02))
+            .seed(4)
+            .epochs(6)
+            .batch(8)
+            .lr_schedule(sched)
+            .train(&x, &y)
+            .unwrap();
+        // 4 epochs with a checkpoint every 2: the file holds the epoch-4
+        // state (the latest periodic save overwrote the epoch-2 one).
+        let partial = Pipeline::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02))
+            .seed(4)
+            .epochs(4)
+            .batch(8)
+            .lr_schedule(sched)
+            .checkpoint_every(2, &path)
+            .train(&x, &y)
+            .unwrap();
+        // The periodic hook never perturbs training.
+        assert_eq!(partial.reports(), &full.reports()[..4]);
+        let saved = Bnn::load(&path).unwrap();
+        assert_eq!(saved.epochs_trained(), 4);
+        // Resuming from the latest periodic checkpoint continues
+        // bit-identically to the uninterrupted run.
+        let resumed = Pipeline::resume(&path, &x, &y, 2, 8, sched).unwrap();
+        assert_eq!(resumed.reports(), &full.reports()[4..]);
+        for (a, b) in full.bnn().layers().iter().zip(resumed.bnn().layers()) {
+            assert_eq!(a.mu().data(), b.mu().data());
+            assert_eq!(a.rho().data(), b.rho().data());
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -324,6 +324,7 @@ impl Shared {
         }
         if st.queue.len() >= self.max_queue {
             return Err(VibnnError::QueueFull {
+                depth: st.queue.len(),
                 capacity: self.max_queue,
             });
         }
@@ -535,7 +536,10 @@ mod tests {
         assert_eq!(shared.try_submit(vec![0.0; 3]).unwrap(), 1);
         assert!(matches!(
             shared.try_submit(vec![0.0; 3]),
-            Err(VibnnError::QueueFull { capacity: 2 })
+            Err(VibnnError::QueueFull {
+                depth: 2,
+                capacity: 2
+            })
         ));
         // Draining one slot re-opens the gate; ids keep increasing.
         shared.lock().queue.pop_front();

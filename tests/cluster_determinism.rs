@@ -1,0 +1,348 @@
+//! The cluster's determinism contract, pinned end to end:
+//!
+//! For any replica count (1/2/4), any per-replica worker count (1/2), and
+//! any arrival order, every request's mean probabilities are
+//! **bit-identical** to a single `ServeEngine` over the cluster's derived
+//! replica ε source — and therefore to the one-shot batched
+//! `Vibnn::predict_proba_parallel` call. Hot swaps mid-traffic lose no
+//! responses, duplicate none, and answer post-swap requests with the new
+//! checkpoint exactly as a fresh single engine on that checkpoint would.
+//!
+//! Run explicitly by `ci.sh`.
+
+use vibnn::bnn::{replica_source, Bnn, BnnConfig};
+use vibnn::cluster::{ClusterConfig, ClusterEngine};
+use vibnn::grng::ZigguratGrng;
+use vibnn::nn::{GaussianInit, Matrix};
+use vibnn::serve::{ServeConfig, ServeEngine};
+use vibnn::{Vibnn, VibnnBuilder, VibnnError};
+
+const CLUSTER_SEED: u64 = 0xC1_0FFEE;
+const FEATURES: usize = 4;
+const REQUESTS: usize = 12;
+
+/// A lightly trained deployment (training makes the probabilities
+/// non-degenerate, so bit-comparisons are meaningful).
+fn deployed(train_seed: u64) -> Vibnn {
+    let mut rng = GaussianInit::new(3);
+    let mut x = Matrix::zeros(64, FEATURES);
+    let mut y = Vec::new();
+    for r in 0..64 {
+        let mut s = 0.0;
+        for c in 0..FEATURES {
+            let v = rng.next_gaussian() as f32;
+            x[(r, c)] = v;
+            s += v;
+        }
+        y.push(usize::from(s > 0.0));
+    }
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&[FEATURES, 8, 2]).with_lr(0.02),
+        train_seed,
+    );
+    for _ in 0..3 {
+        bnn.train_epoch(&x, &y, 16);
+    }
+    VibnnBuilder::new(bnn.params())
+        .mc_samples(5)
+        .calibration(x.rows_slice(0, 16))
+        .build()
+        .expect("valid deployment")
+}
+
+fn request_rows() -> Matrix {
+    let mut rng = GaussianInit::new(29);
+    let mut x = Matrix::zeros(REQUESTS, FEATURES);
+    for v in x.data_mut() {
+        *v = rng.next_gaussian() as f32;
+    }
+    x
+}
+
+fn cluster(
+    vibnn: Vibnn,
+    replicas: usize,
+    workers: usize,
+    max_batch: usize,
+) -> ClusterEngine<ZigguratGrng> {
+    ClusterEngine::with_eps(
+        vibnn,
+        ClusterConfig {
+            replicas,
+            max_batch,
+            max_queue: 64,
+            workers,
+            spill: true,
+        },
+        ZigguratGrng::new(CLUSTER_SEED),
+    )
+    .expect("valid cluster config")
+}
+
+fn bits(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The reference every cluster configuration must reproduce: the raw
+/// batched path under the cluster's derived replica ε source — a pure
+/// function of the cluster seed (`replica_source` is exactly what
+/// `ClusterEngine::replica_eps` returns).
+fn reference_rows(vibnn: &Vibnn, x: &Matrix) -> Matrix {
+    let eps = replica_source(&ZigguratGrng::new(CLUSTER_SEED));
+    vibnn.predict_proba_parallel(x, &eps, 1)
+}
+
+#[test]
+fn cluster_matches_single_engine_and_batched_path() {
+    let x = request_rows();
+    let vibnn = deployed(5);
+    let reference = reference_rows(&vibnn, &x);
+    // `replica_eps` is the same derivation the reference uses, and the
+    // single-engine path over it agrees with the batched path (the PR 4
+    // contract, under the cluster's ε derivation).
+    let probe = cluster(vibnn.clone(), 1, 1, 4);
+    let probe_eps = probe.replica_eps();
+    probe.shutdown();
+    let single = ServeEngine::with_eps(
+        vibnn.clone(),
+        ServeConfig {
+            max_batch: 4,
+            max_queue: 64,
+            workers: 1,
+        },
+        probe_eps,
+    )
+    .expect("valid serve config")
+    .submit_batch(&x)
+    .expect("serve");
+    for (r, res) in single.iter().enumerate() {
+        assert_eq!(bits(&res.proba), bits(reference.row(r)), "engine row {r}");
+    }
+    // Every cluster shape reproduces the reference bit for bit.
+    for replicas in [1usize, 2, 4] {
+        for workers in [1usize, 2] {
+            for max_batch in [1usize, 3, 32] {
+                let c = cluster(vibnn.clone(), replicas, workers, max_batch);
+                let ids: Vec<u64> = (0..REQUESTS)
+                    .map(|r| c.submit(x.row(r).to_vec()).expect("submit"))
+                    .collect();
+                for (r, &id) in ids.iter().enumerate() {
+                    let res = c.wait(id).expect("result");
+                    assert_eq!(
+                        bits(&res.proba),
+                        bits(reference.row(r)),
+                        "row {r} diverged at replicas={replicas} workers={workers} \
+                         max_batch={max_batch}"
+                    );
+                }
+                let metrics = c.metrics();
+                assert_eq!(metrics.served, REQUESTS as u64);
+                assert_eq!(
+                    metrics.replicas.iter().map(|r| r.served).sum::<u64>(),
+                    REQUESTS as u64
+                );
+                assert!(c.shutdown().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn arrival_order_never_changes_results() {
+    let x = request_rows();
+    let vibnn = deployed(5);
+    let reference = reference_rows(&vibnn, &x);
+    let orders: [Vec<usize>; 3] = [
+        (0..REQUESTS).collect(),
+        (0..REQUESTS).rev().collect(),
+        vec![5, 0, 9, 2, 7, 11, 1, 8, 3, 10, 6, 4],
+    ];
+    for replicas in [1usize, 2, 4] {
+        for workers in [1usize, 2] {
+            for (o, order) in orders.iter().enumerate() {
+                let c = cluster(vibnn.clone(), replicas, workers, 4);
+                let mut ids = [0u64; REQUESTS];
+                for &row in order {
+                    ids[row] = loop {
+                        match c.submit(x.row(row).to_vec()) {
+                            Ok(id) => break id,
+                            Err(VibnnError::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    };
+                }
+                for (row, &id) in ids.iter().enumerate() {
+                    let res = c.wait(id).expect("result");
+                    assert_eq!(
+                        bits(&res.proba),
+                        bits(reference.row(row)),
+                        "order {o}, replicas {replicas}, workers {workers}, row {row} diverged"
+                    );
+                }
+                assert!(c.shutdown().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn spill_and_admission_preserve_bit_identity() {
+    // A tiny cluster queue forces constant backpressure and spill
+    // pressure; every accepted request must still resolve to the
+    // reference bits.
+    let x = request_rows();
+    let vibnn = deployed(5);
+    let reference = reference_rows(&vibnn, &x);
+    let c = ClusterEngine::with_eps(
+        vibnn,
+        ClusterConfig {
+            replicas: 2,
+            max_batch: 2,
+            max_queue: 3,
+            workers: 1,
+            spill: true,
+        },
+        ZigguratGrng::new(CLUSTER_SEED),
+    )
+    .expect("valid cluster config");
+    let mut accepted: Vec<(usize, u64)> = Vec::new();
+    for round in 0..5 {
+        for row in 0..REQUESTS {
+            match c.submit(x.row(row).to_vec()) {
+                Ok(id) => accepted.push((row, id)),
+                Err(VibnnError::QueueFull { depth, capacity }) => {
+                    assert_eq!(capacity, 3, "round {round}");
+                    assert!(depth >= capacity);
+                }
+                Err(e) => panic!("round {round}: unexpected error {e}"),
+            }
+        }
+    }
+    for &(row, id) in &accepted {
+        let res = c.wait(id).expect("result");
+        assert_eq!(bits(&res.proba), bits(reference.row(row)), "row {row}");
+    }
+    let metrics = c.metrics();
+    assert_eq!(metrics.submitted, accepted.len() as u64);
+    assert!(c.shutdown().is_empty());
+}
+
+#[test]
+fn hot_swap_mid_traffic_loses_and_duplicates_nothing() {
+    let x = request_rows();
+    let old_model = deployed(5);
+    let new_model = deployed(21); // genuinely different parameters
+    let old_reference = reference_rows(&old_model, &x);
+    let new_reference = reference_rows(&new_model, &x);
+    assert_ne!(
+        old_reference.data(),
+        new_reference.data(),
+        "the two checkpoints must disagree for the swap to be observable"
+    );
+    for replicas in [1usize, 2] {
+        let c = cluster(old_model.clone(), replicas, 1, 3);
+        // Phase 1: requests submitted before the swap — answered by the
+        // old checkpoint no matter when the dispatcher gets to them.
+        let pre: Vec<u64> = (0..REQUESTS)
+            .map(|r| c.submit(x.row(r).to_vec()).expect("submit"))
+            .collect();
+        // Roll the new checkpoint across every replica mid-traffic.
+        let reports = c.rollout(new_model.clone()).expect("rollout");
+        assert_eq!(reports.len(), replicas);
+        assert!(reports.iter().all(|r| r.version == 1));
+        // Phase 2: requests submitted after the rollout — answered by the
+        // new checkpoint.
+        let post: Vec<u64> = (0..REQUESTS)
+            .map(|r| c.submit(x.row(r).to_vec()).expect("submit"))
+            .collect();
+        // Exactly one response per request, with the right version's bits.
+        for (r, &id) in pre.iter().enumerate() {
+            let res = c.wait(id).expect("pre-swap result");
+            assert_eq!(
+                bits(&res.proba),
+                bits(old_reference.row(r)),
+                "replicas {replicas}: pre-swap row {r} not served by the old checkpoint"
+            );
+        }
+        for (r, &id) in post.iter().enumerate() {
+            let res = c.wait(id).expect("post-swap result");
+            assert_eq!(
+                bits(&res.proba),
+                bits(new_reference.row(r)),
+                "replicas {replicas}: post-swap row {r} not served by the new checkpoint"
+            );
+        }
+        // Double-claiming is impossible: the results were taken.
+        for &id in pre.iter().chain(&post) {
+            assert!(c.try_take(id).is_none());
+        }
+        let metrics = c.metrics();
+        assert_eq!(metrics.served, 2 * REQUESTS as u64);
+        assert_eq!(metrics.swaps_completed, replicas as u64);
+        assert!(c.shutdown().is_empty(), "no orphaned responses");
+    }
+}
+
+#[test]
+fn hot_swap_from_checkpoint_file_matches_a_fresh_engine() {
+    let x = request_rows();
+    let old_model = deployed(5);
+    let new_model = deployed(21);
+    let new_reference = reference_rows(&new_model, &x);
+    let path = std::env::temp_dir().join(format!(
+        "vibnn_cluster_swap_{}.ckpt",
+        std::process::id()
+    ));
+    new_model.save(&path).expect("save kind-3 checkpoint");
+    let c = cluster(old_model, 2, 1, 4);
+    c.hot_swap_from(0, &path).expect("swap replica 0");
+    c.hot_swap_from(1, &path).expect("swap replica 1");
+    let ids: Vec<u64> = (0..REQUESTS)
+        .map(|r| c.submit(x.row(r).to_vec()).expect("submit"))
+        .collect();
+    for (r, &id) in ids.iter().enumerate() {
+        let res = c.wait(id).expect("result");
+        assert_eq!(
+            bits(&res.proba),
+            bits(new_reference.row(r)),
+            "row {r}: checkpoint-loaded replica diverged from the fresh deployment"
+        );
+    }
+    assert!(c.shutdown().is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_track_batches_and_drain_state() {
+    let vibnn = deployed(5);
+    let c = cluster(vibnn, 2, 1, 4);
+    let x = request_rows();
+    let ids: Vec<u64> = (0..REQUESTS)
+        .map(|r| c.submit(x.row(r).to_vec()).expect("submit"))
+        .collect();
+    for id in ids {
+        c.wait(id).expect("result");
+    }
+    let m = c.metrics();
+    assert_eq!(m.capacity, 64);
+    assert_eq!(m.queued, 0);
+    assert!(!m.draining);
+    assert_eq!(m.submitted, REQUESTS as u64);
+    assert_eq!(m.served, REQUESTS as u64);
+    // Histogram mass equals the number of dispatched micro-batches, and
+    // weighted mass equals the requests served.
+    let mut batches = 0u64;
+    let mut weighted = 0u64;
+    for rep in &m.replicas {
+        assert_eq!(rep.batch_histogram.len(), 4);
+        assert!(rep.alive);
+        assert!(!rep.swap_pending);
+        for (i, &count) in rep.batch_histogram.iter().enumerate() {
+            batches += count;
+            weighted += count * (i as u64 + 1);
+        }
+    }
+    assert!(batches > 0);
+    assert_eq!(weighted, REQUESTS as u64);
+    assert!(c.shutdown().is_empty());
+}

@@ -115,7 +115,7 @@ fn arrival_order_never_changes_results() {
     for (o, order) in orders.iter().enumerate() {
         for workers in [1usize, 2, 4] {
             let handle = engine(deployed(), 4, workers).spawn();
-            let mut ids = vec![0u64; REQUESTS];
+            let mut ids = [0u64; REQUESTS];
             for &row in order {
                 let id = loop {
                     match handle.submit(x.row(row).to_vec()) {
@@ -126,8 +126,8 @@ fn arrival_order_never_changes_results() {
                 };
                 ids[row] = id;
             }
-            for row in 0..REQUESTS {
-                let res = handle.wait(ids[row]).expect("result");
+            for (row, &id) in ids.iter().enumerate() {
+                let res = handle.wait(id).expect("result");
                 assert_eq!(
                     bits(&res.proba),
                     bits(reference.row(row)),
@@ -179,7 +179,10 @@ fn backpressure_and_shutdown_are_well_behaved() {
         for row in 0..REQUESTS {
             match handle.submit(x.row(row).to_vec()) {
                 Ok(id) => accepted.push((row, id)),
-                Err(VibnnError::QueueFull { capacity: 1 }) => full_seen += 1,
+                Err(VibnnError::QueueFull {
+                    depth: 1,
+                    capacity: 1,
+                }) => full_seen += 1,
                 Err(e) => panic!("round {round}: unexpected error {e}"),
             }
         }
