@@ -32,6 +32,12 @@ cargo test -q --test serve_determinism
 echo "==> cluster-determinism suite (cluster == engine == batched, any replica count, hot swap)"
 cargo test -q --test cluster_determinism
 
+echo "==> ingest protocol suite (fault injection over live sockets; skips itself if sockets are unavailable)"
+cargo test -q --test ingest_protocol
+
+echo "==> ingest determinism suite (wire == direct submit, lanes/deadlines; skips itself if sockets are unavailable)"
+cargo test -q --test ingest_determinism
+
 echo "==> VIBNN_SCALE=quick smoke run (table1 + machine-readable GRNG bench)"
 VIBNN_SCALE=quick cargo run --release -p vibnn_bench --bin table1
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
@@ -48,5 +54,9 @@ VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_serve.json" \
 echo "==> VIBNN_SCALE=quick cluster bench (machine-readable, asserts cluster == batched)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_cluster.json" \
     cargo run --release -p vibnn_bench --bin bench_cluster
+
+echo "==> VIBNN_SCALE=quick ingest bench (real sockets, asserts wire == direct submit; writes a stub if sockets are unavailable)"
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_ingest.json" \
+    cargo run --release -p vibnn_bench --bin bench_ingest
 
 echo "CI green."

@@ -116,6 +116,7 @@ fn cluster(
             max_queue: 256,
             workers,
             spill: true,
+            batch_skip_bound: 4,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )

@@ -143,6 +143,84 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), Checkpoi
     Ok(())
 }
 
+/// Default cap on a framed message's length, in bytes (1 MiB). Generous
+/// for every message the workspace frames today; streams carrying a
+/// larger length prefix are treated as corrupt rather than trusted.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Writes one length-prefixed frame: a `u32` little-endian byte count
+/// followed by the envelope bytes, then flushes.
+///
+/// This is the unit of transfer for the root crate's ingestion protocol;
+/// the framed payload is a standard [`WireWriter`] envelope
+/// (magic/version/kind), so a stream of frames is self-describing the
+/// same way checkpoint files are.
+///
+/// # Errors
+///
+/// [`CheckpointError::Corrupt`] if `envelope` is empty or longer than
+/// `u32::MAX` bytes (neither is ever a valid frame);
+/// [`CheckpointError::Io`] if the underlying write or flush fails.
+pub fn write_frame<W: io::Write>(w: &mut W, envelope: &[u8]) -> Result<(), CheckpointError> {
+    let len = u32::try_from(envelope.len())
+        .map_err(|_| CheckpointError::Corrupt(format!("frame of {} bytes", envelope.len())))?;
+    if len == 0 {
+        return Err(CheckpointError::Corrupt("zero-length frame".into()));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(envelope)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame written by [`write_frame`].
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary, before any prefix byte) — the peer closed between messages.
+/// The length prefix is validated **before** any payload allocation:
+/// zero and anything above `max_len` are rejected as
+/// [`CheckpointError::Corrupt`], so a hostile prefix can never drive an
+/// allocation.
+///
+/// # Errors
+///
+/// - [`CheckpointError::Truncated`] — the stream ended mid-prefix or
+///   mid-payload.
+/// - [`CheckpointError::Corrupt`] — zero or oversized length prefix.
+/// - [`CheckpointError::Io`] — any other read failure (including read
+///   timeouts on sockets).
+pub fn read_frame<R: io::Read>(r: &mut R, max_len: u32) -> Result<Option<Vec<u8>>, CheckpointError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(CheckpointError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CheckpointError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(CheckpointError::Corrupt("zero-length frame".into()));
+    }
+    if len > max_len {
+        return Err(CheckpointError::Corrupt(format!(
+            "frame length {len} exceeds the {max_len}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::Io(e)
+        }
+    })?;
+    Ok(Some(buf))
+}
+
 /// Little-endian byte-stream writer producing one checkpoint envelope.
 ///
 /// Constructed with the envelope kind (which writes the magic, version,
@@ -211,6 +289,12 @@ impl WireWriter {
         }
     }
 
+    /// Appends raw bytes verbatim (no length prefix — lengths are implied
+    /// or written separately by the caller).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Finishes the envelope.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -232,6 +316,26 @@ impl<'a> WireReader<'a> {
     /// [`CheckpointError::BadMagic`], [`CheckpointError::UnsupportedVersion`],
     /// [`CheckpointError::WrongKind`], or [`CheckpointError::Truncated`].
     pub fn open(bytes: &'a [u8], expected_kind: u8) -> Result<Self, CheckpointError> {
+        let (kind, r) = Self::open_any(bytes)?;
+        if kind != expected_kind {
+            return Err(CheckpointError::WrongKind {
+                expected: expected_kind,
+                found: kind,
+            });
+        }
+        Ok(r)
+    }
+
+    /// Opens an envelope of any kind, verifying magic and version, and
+    /// returns the kind alongside the positioned reader — the dispatch
+    /// entry point for protocols multiplexing several kinds on one
+    /// stream (e.g. the root crate's ingestion protocol).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BadMagic`], [`CheckpointError::UnsupportedVersion`],
+    /// or [`CheckpointError::Truncated`].
+    pub fn open_any(bytes: &'a [u8]) -> Result<(u8, Self), CheckpointError> {
         let mut r = Self { buf: bytes, pos: 0 };
         let magic = r.bytes(4)?;
         if magic != MAGIC {
@@ -242,13 +346,7 @@ impl<'a> WireReader<'a> {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         let kind = r.u8()?;
-        if kind != expected_kind {
-            return Err(CheckpointError::WrongKind {
-                expected: expected_kind,
-                found: kind,
-            });
-        }
-        Ok(r)
+        Ok((kind, r))
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
@@ -299,6 +397,15 @@ impl<'a> WireReader<'a> {
     /// Reads a dimension written by [`WireWriter::dim`].
     pub fn dim(&mut self) -> Result<usize, CheckpointError> {
         Ok(self.u32()? as usize)
+    }
+
+    /// Reads `n` raw bytes (written by [`WireWriter::raw`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] if fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        self.bytes(n)
     }
 
     /// Reads `n` consecutive `f32` values.
@@ -726,6 +833,75 @@ mod tests {
         assert!(matches!(
             atomic_write(missing, b"x"),
             Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn frame_round_trip_and_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, &[0u8; 300]).unwrap();
+        let mut cur = io::Cursor::new(&buf);
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_LEN).unwrap().as_deref(),
+            Some(b"first".as_slice())
+        );
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_LEN).unwrap().as_deref(),
+            Some([0u8; 300].as_slice())
+        );
+        // EOF exactly at a frame boundary is a clean close, not an error.
+        assert!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_rejects_hostile_prefixes_before_allocating() {
+        // Empty frames cannot be written or read.
+        assert!(matches!(
+            write_frame(&mut Vec::new(), b""),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&zero[..]), MAX_FRAME_LEN),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // A length prefix above the cap is corrupt, even though the
+        // stream could never deliver the promised bytes anyway.
+        let huge = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&huge[..]), MAX_FRAME_LEN),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // Truncation mid-prefix and mid-payload are both typed.
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&[7u8, 0][..]), MAX_FRAME_LEN),
+            Err(CheckpointError::Truncated)
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cur = io::Cursor::new(&buf);
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME_LEN),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn open_any_dispatches_on_kind() {
+        let mut w = WireWriter::new(KIND_PARAMS);
+        w.u64(7);
+        w.raw(b"xyz");
+        let bytes = w.into_bytes();
+        let (kind, mut r) = WireReader::open_any(&bytes).unwrap();
+        assert_eq!(kind, KIND_PARAMS);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.raw(3).unwrap(), b"xyz");
+        r.finish().unwrap();
+        assert!(matches!(
+            WireReader::open_any(b"NOPE\x01\x00\x01"),
+            Err(CheckpointError::BadMagic)
         ));
     }
 

@@ -38,6 +38,7 @@ fn main() -> Result<(), VibnnError> {
             max_queue: 256,
             workers: 0,
             spill: true,
+            batch_skip_bound: 4,
         },
     )?;
 

@@ -35,6 +35,19 @@
 //! path) under the derived source — `tests/cluster_determinism.rs` pins
 //! this for replicas {1, 2, 4} × workers {1, 2} × permuted arrival orders.
 //!
+//! # Lanes and deadlines
+//!
+//! Admission accepts a [`Priority`] lane and an optional deadline per
+//! request ([`ClusterEngine::submit_with`]). Interactive traffic is
+//! dequeued ahead of batch traffic, but a batch request passed over
+//! [`ClusterConfig::batch_skip_bound`] times is promoted first — so
+//! neither lane starves, and the selection rule is a pure function of
+//! queue state (no timing dependence). Deadlines are enforced twice,
+//! both times **before** any replica work: an already-expired request is
+//! refused at admission, and one that expires while queued is failed
+//! with [`VibnnError::DeadlineExceeded`] at dequeue. Scheduling affects
+//! only *when* a request is served — never *what* it answers.
+//!
 //! # Hot checkpoint swap
 //!
 //! [`ClusterEngine::hot_swap`] loads a new deployment (typically a kind-3
@@ -78,6 +91,13 @@ pub struct ClusterConfig {
     /// request there instead (default `true`). Spill never crosses a
     /// checkpoint boundary, so it can never change a result.
     pub spill: bool,
+    /// Starvation bound for the batch lane: a queued
+    /// [`Priority::Batch`] request passed over by `batch_skip_bound`
+    /// micro-batch selections is promoted ahead of the interactive lane
+    /// on the next one (default 4). `0` disables lane priority — every
+    /// batch request counts as overdue immediately, degenerating to
+    /// queue-order dequeue.
+    pub batch_skip_bound: u32,
 }
 
 impl Default for ClusterConfig {
@@ -88,8 +108,40 @@ impl Default for ClusterConfig {
             max_queue: 1024,
             workers: 0,
             spill: true,
+            batch_skip_bound: 4,
         }
     }
+}
+
+/// The scheduling lane a request is admitted into.
+///
+/// Interactive requests are dequeued ahead of batch requests; a batch
+/// request skipped [`ClusterConfig::batch_skip_bound`] times is promoted
+/// ahead of the interactive lane, so neither lane can starve the other.
+/// Lane choice affects **when** a request is served, never **what** it
+/// answers — the determinism contract is lane-blind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic; dequeued first (default).
+    #[default]
+    Interactive,
+    /// Throughput traffic; yields to the interactive lane until its
+    /// skip bound is reached.
+    Batch,
+}
+
+/// Per-request admission options for
+/// [`ClusterEngine::submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Scheduling lane (default [`Priority::Interactive`]).
+    pub priority: Priority,
+    /// Latest useful service time. An already-expired deadline is
+    /// refused at admission with [`VibnnError::DeadlineExceeded`]; a
+    /// deadline that expires while queued is detected at dequeue and
+    /// the request is failed with the same error **before** it touches
+    /// a replica. `None` (the default) never expires.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// The outcome of one completed [`ClusterEngine::hot_swap`].
@@ -150,6 +202,17 @@ pub struct ClusterMetrics {
     pub spilled: u64,
     /// Submissions refused with [`VibnnError::QueueFull`].
     pub rejected: u64,
+    /// Requests failed with [`VibnnError::DeadlineExceeded`] — refused
+    /// at admission or expired in the queue; none of them cost any
+    /// Monte Carlo work.
+    pub deadline_expired: u64,
+    /// Accepted requests failed with [`VibnnError::EngineStopped`]
+    /// because shutdown found them queued behind a swap marker.
+    pub cancelled: u64,
+    /// Served requests admitted on the [`Priority::Interactive`] lane.
+    pub served_interactive: u64,
+    /// Served requests admitted on the [`Priority::Batch`] lane.
+    pub served_batch: u64,
     /// Hot swaps applied since the cluster started.
     pub swaps_completed: u64,
     /// Whether any replica is draining: a swap marker is pending behind
@@ -178,6 +241,12 @@ enum Work<S: StreamFork + Sync> {
     Request {
         id: u64,
         features: Vec<f32>,
+        lane: Priority,
+        deadline: Option<std::time::Instant>,
+        /// Micro-batch selections that passed this request over while it
+        /// was eligible; at `batch_skip_bound` the batch lane outranks
+        /// interactive traffic.
+        skips: u32,
     },
     /// Boxed: a standby engine (deployment clone + simulator) dwarfs a
     /// request, and markers are rare.
@@ -186,6 +255,57 @@ enum Work<S: StreamFork + Sync> {
         version: u64,
         fingerprint: u64,
     },
+}
+
+/// What became of an accepted request, held in the shared result map
+/// until the submitter collects it.
+enum Outcome {
+    Served(ServeResult),
+    /// Deadline expired in the queue ⇒ [`VibnnError::DeadlineExceeded`].
+    Expired,
+    /// Stranded behind a swap marker at shutdown ⇒
+    /// [`VibnnError::EngineStopped`].
+    Cancelled,
+}
+
+impl Outcome {
+    fn into_result(self) -> Result<ServeResult, VibnnError> {
+        match self {
+            Outcome::Served(r) => Ok(r),
+            Outcome::Expired => Err(VibnnError::DeadlineExceeded),
+            Outcome::Cancelled => Err(VibnnError::EngineStopped),
+        }
+    }
+}
+
+/// The deterministic lane-aware micro-batch selection rule, as a pure
+/// function so the policy is testable without threads. `lanes` is the
+/// (lane, skip count) of each dequeueable request in queue order;
+/// returns which ones the next micro-batch takes (at most `max_batch`).
+///
+/// Three passes, each in queue order: overdue batch requests
+/// (`skips >= skip_bound`) first — the anti-starvation promise — then
+/// interactive, then fresh batch.
+fn select_microbatch(lanes: &[(Priority, u32)], max_batch: usize, skip_bound: u32) -> Vec<bool> {
+    let mut take = vec![false; lanes.len()];
+    let mut taken = 0usize;
+    let passes: [&dyn Fn(Priority, u32) -> bool; 3] = [
+        &|lane, skips| lane == Priority::Batch && skips >= skip_bound,
+        &|lane, _| lane == Priority::Interactive,
+        &|lane, _| lane == Priority::Batch,
+    ];
+    for pass in passes {
+        for (i, &(lane, skips)) in lanes.iter().enumerate() {
+            if taken == max_batch {
+                return take;
+            }
+            if !take[i] && pass(lane, skips) {
+                take[i] = true;
+                taken += 1;
+            }
+        }
+    }
+    take
 }
 
 struct ReplicaState<S: StreamFork + Sync> {
@@ -210,16 +330,52 @@ struct ReplicaState<S: StreamFork + Sync> {
 
 struct ClusterState<S: StreamFork + Sync> {
     replicas: Vec<ReplicaState<S>>,
-    results: HashMap<u64, ServeResult>,
+    results: HashMap<u64, Outcome>,
     next_id: u64,
     /// Requests queued cluster-wide (the admission-control gauge).
     queued_total: usize,
     submitted: u64,
     served_total: u64,
+    served_interactive: u64,
+    served_batch: u64,
     spilled: u64,
     rejected: u64,
+    deadline_expired: u64,
+    cancelled: u64,
     swaps_completed: u64,
     stop: bool,
+}
+
+/// Shutdown promises nothing to requests queued **behind** a swap
+/// marker (they were promised the *new* version, which will never
+/// serve), so fail them cleanly now instead of relying on dispatcher
+/// timing to drain them. Markers themselves stay queued, in order, so
+/// in-flight [`ClusterEngine::hot_swap`] waiters still resolve. Call
+/// with `stop` already set; the caller wakes the condvars.
+fn cancel_stranded_requests<S: StreamFork + Sync>(st: &mut ClusterState<S>) {
+    debug_assert!(st.stop);
+    for r in 0..st.replicas.len() {
+        let Some(marker) = st.replicas[r]
+            .queue
+            .iter()
+            .position(|w| matches!(w, Work::Swap { .. }))
+        else {
+            continue;
+        };
+        let mut i = marker + 1;
+        while i < st.replicas[r].queue.len() {
+            if matches!(st.replicas[r].queue[i], Work::Request { .. }) {
+                if let Some(Work::Request { id, .. }) = st.replicas[r].queue.remove(i) {
+                    st.results.insert(id, Outcome::Cancelled);
+                    st.replicas[r].pending -= 1;
+                    st.queued_total -= 1;
+                    st.cancelled += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 struct ClusterShared<S: StreamFork + Sync> {
@@ -233,6 +389,7 @@ struct ClusterShared<S: StreamFork + Sync> {
     swap_applied: Condvar,
     max_queue: usize,
     max_batch: usize,
+    skip_bound: u32,
     spill: bool,
     input_dim: usize,
 }
@@ -385,8 +542,12 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                 queued_total: 0,
                 submitted: 0,
                 served_total: 0,
+                served_interactive: 0,
+                served_batch: 0,
                 spilled: 0,
                 rejected: 0,
+                deadline_expired: 0,
+                cancelled: 0,
                 swaps_completed: 0,
                 stop: false,
             }),
@@ -395,6 +556,7 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             swap_applied: Condvar::new(),
             max_queue: cfg.max_queue,
             max_batch: cfg.max_batch,
+            skip_bound: cfg.batch_skip_bound,
             spill: cfg.spill,
             input_dim,
         });
@@ -450,6 +612,18 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
     /// - [`VibnnError::EngineStopped`] — the cluster is shut down, or no
     ///   replica equivalent to the home replica is alive.
     pub fn submit(&self, features: Vec<f32>) -> Result<u64, VibnnError> {
+        self.submit_with(features, SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with an explicit lane and deadline.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`submit`](Self::submit) can return, plus
+    /// [`VibnnError::DeadlineExceeded`] when `opts.deadline` has already
+    /// passed — the request is refused at the admission gate, before an
+    /// id is issued or a replica touched.
+    pub fn submit_with(&self, features: Vec<f32>, opts: SubmitOptions) -> Result<u64, VibnnError> {
         if features.len() != self.shared.input_dim {
             return Err(VibnnError::ShapeMismatch {
                 context: "request width",
@@ -460,6 +634,13 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         let mut st = self.shared.lock();
         if st.stop {
             return Err(VibnnError::EngineStopped);
+        }
+        if opts
+            .deadline
+            .is_some_and(|d| d <= std::time::Instant::now())
+        {
+            st.deadline_expired += 1;
+            return Err(VibnnError::DeadlineExceeded);
         }
         if st.queued_total >= self.shared.max_queue {
             st.rejected += 1;
@@ -500,32 +681,48 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         st.spilled += u64::from(target != home);
         let rep = &mut st.replicas[target];
         rep.pending += 1;
-        rep.queue.push_back(Work::Request { id, features });
+        rep.queue.push_back(Work::Request {
+            id,
+            features,
+            lane: opts.priority,
+            deadline: opts.deadline,
+            skips: 0,
+        });
         drop(st);
         self.shared.work_ready.notify_all();
         Ok(id)
     }
 
-    /// Takes a finished result without blocking, if it is ready.
-    pub fn try_take(&self, id: u64) -> Option<ServeResult> {
-        self.shared.lock().results.remove(&id)
+    /// Takes a finished outcome without blocking, if it is ready:
+    /// `Ok` with the result, or the typed failure that consumed the
+    /// request ([`VibnnError::DeadlineExceeded`] for in-queue expiry,
+    /// [`VibnnError::EngineStopped`] for shutdown cancellation).
+    pub fn try_take(&self, id: u64) -> Option<Result<ServeResult, VibnnError>> {
+        self.shared
+            .lock()
+            .results
+            .remove(&id)
+            .map(Outcome::into_result)
     }
 
-    /// Blocks until the result for `id` is ready and takes it.
+    /// Blocks until the outcome for `id` is ready and takes it.
     ///
     /// # Errors
     ///
     /// - [`VibnnError::UnknownRequest`] — `id` was never issued.
-    /// - [`VibnnError::EngineStopped`] — a dispatcher exited before the
-    ///   result was produced.
+    /// - [`VibnnError::DeadlineExceeded`] — the deadline expired while
+    ///   the request was queued.
+    /// - [`VibnnError::EngineStopped`] — the request was cancelled at
+    ///   shutdown, or a dispatcher exited before the result was
+    ///   produced.
     pub fn wait(&self, id: u64) -> Result<ServeResult, VibnnError> {
         let mut st = self.shared.lock();
         if id >= st.next_id {
             return Err(VibnnError::UnknownRequest(id));
         }
         loop {
-            if let Some(r) = st.results.remove(&id) {
-                return Ok(r);
+            if let Some(out) = st.results.remove(&id) {
+                return out.into_result();
             }
             // Any dead replica may hold this request forever; error out
             // instead of risking a hang. (Replicas die only on panic or
@@ -564,6 +761,10 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             served: st.served_total,
             spilled: st.spilled,
             rejected: st.rejected,
+            deadline_expired: st.deadline_expired,
+            cancelled: st.cancelled,
+            served_interactive: st.served_interactive,
+            served_batch: st.served_batch,
             swaps_completed: st.swaps_completed,
             draining: st
                 .replicas
@@ -672,21 +873,61 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
     }
 
     /// Stops every dispatcher after it drains its queue, joins them, and
-    /// returns every unclaimed result sorted by request id.
+    /// returns every unclaimed **served** result sorted by request id.
+    /// Requests stranded behind a queued swap marker are failed with
+    /// [`VibnnError::EngineStopped`] rather than drained (their
+    /// submitters learn this from [`wait`](Self::wait) /
+    /// [`try_take`](Self::try_take) — or did already, before this call).
     pub fn shutdown(mut self) -> Vec<ServeResult> {
         self.stop_and_join();
-        let mut leftover: Vec<ServeResult> =
-            self.shared.lock().results.drain().map(|(_, r)| r).collect();
+        let mut leftover: Vec<ServeResult> = self
+            .shared
+            .lock()
+            .results
+            .drain()
+            .filter_map(|(_, o)| match o {
+                Outcome::Served(r) => Some(r),
+                Outcome::Expired | Outcome::Cancelled => None,
+            })
+            .collect();
         leftover.sort_by_key(|r| r.id);
         leftover
     }
 
-    fn stop_and_join(&mut self) {
+    /// Begins a graceful stop **without** consuming the engine: refuses
+    /// new submissions, cancels requests stranded behind queued swap
+    /// markers, and blocks until every live dispatcher has drained its
+    /// queue. Safe to call concurrently with submitters, waiters, and
+    /// in-flight [`hot_swap`](Self::hot_swap)s (whose markers still
+    /// apply, in order) — this is what makes shutdown-under-rollout
+    /// hang-free by construction instead of by dispatcher timing.
+    /// Idempotent; [`shutdown`](Self::shutdown) or drop still joins the
+    /// dispatcher threads afterwards.
+    pub fn drain(&self) {
+        self.request_stop();
+        let mut st = self.shared.lock();
+        while st.replicas.iter().any(|r| r.alive && !r.queue.is_empty()) {
+            st = self
+                .shared
+                .result_ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Sets `stop`, fails stranded requests, and wakes everyone.
+    fn request_stop(&self) {
         {
             let mut st = self.shared.lock();
             st.stop = true;
+            cancel_stranded_requests(&mut st);
         }
         self.shared.work_ready.notify_all();
+        self.shared.result_ready.notify_all();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.request_stop();
         for worker in self.dispatchers.drain(..) {
             let _ = worker.join();
         }
@@ -709,8 +950,9 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
     shared: &ClusterShared<S>,
 ) {
     loop {
-        let mut batch: Vec<(u64, Vec<f32>)> = Vec::new();
+        let mut batch: Vec<(u64, Vec<f32>, Priority)> = Vec::new();
         let mut swap: Option<Box<ServeEngine<S>>> = None;
+        let mut expired_any = false;
         {
             let mut st = shared.lock();
             loop {
@@ -727,8 +969,8 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
                     .wait(st)
                     .unwrap_or_else(PoisonError::into_inner);
             }
-            let rep = &mut st.replicas[r];
-            if matches!(rep.queue.front(), Some(Work::Swap { .. })) {
+            if matches!(st.replicas[r].queue.front(), Some(Work::Swap { .. })) {
+                let rep = &mut st.replicas[r];
                 if let Some(Work::Swap {
                     engine,
                     version,
@@ -741,27 +983,82 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
                 }
                 st.swaps_completed += 1;
             } else {
-                // Drain up to max_batch requests; never across a swap
-                // marker, so a micro-batch is always served by one
-                // checkpoint version.
-                while batch.len() < shared.max_batch
-                    && matches!(rep.queue.front(), Some(Work::Request { .. }))
-                {
-                    if let Some(Work::Request { id, features }) = rep.queue.pop_front() {
-                        batch.push((id, features));
+                // Expiry and selection are both restricted to the
+                // contiguous run of requests ahead of any swap marker, so
+                // a micro-batch is always served by one checkpoint
+                // version. Expiry first: a late request must never cost
+                // Monte Carlo work or a micro-batch slot.
+                let now = std::time::Instant::now();
+                let stm = &mut *st;
+                let rep = &mut stm.replicas[r];
+                let mut i = 0;
+                while i < rep.queue.len() {
+                    let late = match &rep.queue[i] {
+                        Work::Swap { .. } => break,
+                        Work::Request { deadline, .. } => {
+                            (*deadline).is_some_and(|d| d <= now)
+                        }
+                    };
+                    if late {
+                        if let Some(Work::Request { id, .. }) = rep.queue.remove(i) {
+                            stm.results.insert(id, Outcome::Expired);
+                            rep.pending -= 1;
+                            stm.queued_total -= 1;
+                            stm.deadline_expired += 1;
+                            expired_any = true;
+                        }
+                    } else {
+                        i += 1;
                     }
                 }
+                let lanes: Vec<(Priority, u32)> = rep
+                    .queue
+                    .iter()
+                    .take_while(|w| matches!(w, Work::Request { .. }))
+                    .map(|w| match w {
+                        Work::Request { lane, skips, .. } => (*lane, *skips),
+                        Work::Swap { .. } => unreachable!("take_while excludes markers"),
+                    })
+                    .collect();
+                let take = select_microbatch(&lanes, shared.max_batch, shared.skip_bound);
+                // Remove selected entries back-to-front so earlier
+                // indices stay valid; every passed-over request in the
+                // scan window accrues a skip.
+                for i in (0..take.len()).rev() {
+                    if take[i] {
+                        if let Some(Work::Request {
+                            id, features, lane, ..
+                        }) = rep.queue.remove(i)
+                        {
+                            batch.push((id, features, lane));
+                        }
+                    } else if let Some(Work::Request { skips, .. }) = rep.queue.get_mut(i) {
+                        *skips += 1;
+                    }
+                }
+                batch.reverse();
                 rep.pending -= batch.len();
-                st.queued_total -= batch.len();
+                stm.queued_total -= batch.len();
             }
+        }
+        if expired_any {
+            // Waiters on an expired id must learn its fate now, even if
+            // this round dispatches nothing else.
+            shared.result_ready.notify_all();
         }
         if let Some(standby) = swap {
             engine = *standby;
             shared.swap_applied.notify_all();
+            // `drain` watches queue emptiness on `result_ready`.
+            shared.result_ready.notify_all();
+            continue;
+        }
+        if batch.is_empty() {
+            // Everything eligible this round expired.
             continue;
         }
         let mut x = Matrix::zeros(batch.len(), shared.input_dim);
-        for (row, (_, features)) in batch.iter().enumerate() {
+        for (row, (_, features, _)) in batch.iter().enumerate() {
             x.row_mut(row).copy_from_slice(features);
         }
         // The synchronous serve path: one micro-batch, bit-identical to
@@ -771,9 +1068,13 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
         {
             let mut st = shared.lock();
             let n = batch.len();
-            for ((id, _), mut result) in batch.into_iter().zip(results) {
+            for ((id, _, lane), mut result) in batch.into_iter().zip(results) {
                 result.id = id;
-                st.results.insert(id, result);
+                st.results.insert(id, Outcome::Served(result));
+                match lane {
+                    Priority::Interactive => st.served_interactive += 1,
+                    Priority::Batch => st.served_batch += 1,
+                }
             }
             st.served_total += n as u64;
             let rep = &mut st.replicas[r];
@@ -870,6 +1171,7 @@ mod tests {
                 max_queue: 2,
                 workers: 1,
                 spill: false,
+                batch_skip_bound: 4,
             },
         )
         .unwrap();
@@ -1000,5 +1302,200 @@ mod tests {
             cluster.submit(vec![0.0; 3]),
             Err(VibnnError::EngineStopped)
         ));
+    }
+
+    const I: Priority = Priority::Interactive;
+    const B: Priority = Priority::Batch;
+
+    #[test]
+    fn microbatch_selection_prefers_interactive() {
+        // Interactive requests jump fresh batch traffic, in queue order.
+        let lanes = [(B, 0), (I, 0), (B, 0), (I, 0)];
+        assert_eq!(select_microbatch(&lanes, 2, 4), [false, true, false, true]);
+        // Capacity left over goes to fresh batch, earliest first.
+        assert_eq!(select_microbatch(&lanes, 3, 4), [true, true, false, true]);
+        // Plenty of room: everything goes.
+        assert_eq!(select_microbatch(&lanes, 8, 4), [true; 4]);
+    }
+
+    #[test]
+    fn microbatch_selection_promotes_overdue_batch() {
+        // A batch request at the skip bound outranks interactive traffic.
+        let lanes = [(I, 0), (B, 4), (I, 0), (B, 3)];
+        assert_eq!(select_microbatch(&lanes, 1, 4), [false, true, false, false]);
+        assert_eq!(select_microbatch(&lanes, 2, 4), [true, true, false, false]);
+        // Bound 0 makes every batch request overdue: queue-position order
+        // within the overdue pass, so batch can even outrank interactive.
+        assert_eq!(select_microbatch(&lanes, 2, 0), [false, true, false, true]);
+        // Empty window selects nothing.
+        assert_eq!(select_microbatch(&[], 4, 4), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn batch_lane_cannot_starve() {
+        // However long the interactive backlog, a batch request waits at
+        // most `skip_bound` selection rounds: simulate rounds with one
+        // slot and a fresh interactive arrival each time.
+        let bound = 3u32;
+        let mut batch_skips = 0u32;
+        let mut rounds_waited = 0;
+        loop {
+            let lanes = [(B, batch_skips), (I, 0)];
+            let take = select_microbatch(&lanes, 1, bound);
+            if take[0] {
+                break;
+            }
+            batch_skips += 1; // what the dispatcher does on pass-over
+            rounds_waited += 1;
+            assert!(rounds_waited <= bound, "batch request starved");
+        }
+        assert_eq!(rounds_waited, bound);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_at_admission() {
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 1,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        assert!(matches!(
+            cluster.submit_with(
+                vec![0.0; 3],
+                SubmitOptions {
+                    priority: Priority::Interactive,
+                    deadline: Some(past),
+                },
+            ),
+            Err(VibnnError::DeadlineExceeded)
+        ));
+        let m = cluster.metrics();
+        assert_eq!(m.deadline_expired, 1);
+        assert_eq!(m.submitted, 0, "no id issued for a dead-on-arrival request");
+        // A generous deadline sails through and is served normally.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let id = cluster
+            .submit_with(
+                vec![0.2; 3],
+                SubmitOptions {
+                    priority: Priority::Batch,
+                    deadline: Some(far),
+                },
+            )
+            .unwrap();
+        assert!(cluster.wait(id).is_ok());
+        let m = cluster.metrics();
+        assert_eq!((m.served_interactive, m.served_batch), (0, 1));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn in_queue_expiry_fails_request_before_any_replica_work() {
+        // Inject an already-expired request directly into the queue while
+        // holding the lock — deterministic, no timing dependence: the
+        // dispatcher cannot run until we release, and must then expire
+        // the request instead of serving it.
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 1,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        {
+            let mut st = cluster.shared.lock();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.submitted += 1;
+            st.queued_total += 1;
+            st.replicas[0].pending += 1;
+            st.replicas[0].queue.push_back(Work::Request {
+                id,
+                features: vec![0.0; 3],
+                lane: Priority::Interactive,
+                deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+                skips: 0,
+            });
+        }
+        cluster.shared.work_ready.notify_all();
+        assert!(matches!(cluster.wait(0), Err(VibnnError::DeadlineExceeded)));
+        let m = cluster.metrics();
+        assert_eq!(m.deadline_expired, 1);
+        assert_eq!(m.served, 0, "an expired request must cost no MC work");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_requests_stranded_behind_swap_marker() {
+        // Regression: requests queued *behind* a swap marker used to be
+        // drained only by dispatcher timing at shutdown. Build the exact
+        // queue shape [A, marker, B, C] and stop — all under one lock, so
+        // no interleaving can perturb it — then check A is served by the
+        // old engine, the marker still applies (hot_swap waiters resolve),
+        // and B, C fail cleanly instead of hanging or being served.
+        let mut cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 1,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let standby_vibnn = tiny_vibnn(9);
+        let fingerprint = checkpoint_fingerprint(&standby_vibnn);
+        let standby = ServeEngine::with_eps(
+            standby_vibnn,
+            cluster.serve_cfg,
+            replica_source(&cluster.eps),
+        )
+        .unwrap();
+        {
+            let mut st = cluster.shared.lock();
+            let stm = &mut *st;
+            let rep = &mut stm.replicas[0];
+            let request = |id| Work::Request {
+                id,
+                features: vec![0.1; 3],
+                lane: Priority::Interactive,
+                deadline: None,
+                skips: 0,
+            };
+            rep.queue.push_back(request(0));
+            rep.queue.push_back(Work::Swap {
+                engine: Box::new(standby),
+                version: 1,
+                fingerprint,
+            });
+            rep.queue.push_back(request(1));
+            rep.queue.push_back(request(2));
+            rep.pending = 3;
+            rep.queued_version = 1;
+            rep.queued_fingerprint = fingerprint;
+            stm.queued_total = 3;
+            stm.submitted = 3;
+            stm.next_id = 3;
+            stm.stop = true;
+            cancel_stranded_requests(stm);
+            assert_eq!(stm.cancelled, 2, "B and C cancelled, A untouched");
+            assert_eq!(stm.queued_total, 1);
+        }
+        cluster.shared.work_ready.notify_all();
+        cluster.shared.result_ready.notify_all();
+        cluster.stop_and_join();
+        // A drained through the old engine; the marker applied; B and C
+        // failed cleanly.
+        assert!(cluster.wait(0).is_ok());
+        assert!(matches!(cluster.wait(1), Err(VibnnError::EngineStopped)));
+        assert!(matches!(cluster.wait(2), Err(VibnnError::EngineStopped)));
+        let m = cluster.metrics();
+        assert_eq!(m.swaps_completed, 1);
+        assert_eq!(m.replicas[0].version, 1);
+        assert_eq!(m.served, 1);
+        assert_eq!(m.cancelled, 2);
     }
 }

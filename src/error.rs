@@ -62,6 +62,14 @@ pub enum VibnnError {
         /// The configured `max_queue`.
         capacity: usize,
     },
+    /// The request's deadline passed before a replica computed it — at
+    /// admission, or while it sat in the queue. The request never
+    /// touches a replica once it is known to be late, so an expired
+    /// request costs no Monte Carlo work.
+    DeadlineExceeded,
+    /// A wire-protocol violation: a malformed, unexpected, or oversized
+    /// message on the ingestion socket. Carries a human-readable reason.
+    Protocol(String),
     /// The serving engine has shut down and can no longer accept or
     /// answer requests.
     EngineStopped,
@@ -92,6 +100,10 @@ impl std::fmt::Display for VibnnError {
             VibnnError::QueueFull { depth, capacity } => {
                 write!(f, "serving queue full ({depth} queued, capacity {capacity})")
             }
+            VibnnError::DeadlineExceeded => {
+                write!(f, "request deadline expired before it was served")
+            }
+            VibnnError::Protocol(why) => write!(f, "wire protocol violation: {why}"),
             VibnnError::EngineStopped => write!(f, "serving engine has stopped"),
             VibnnError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
             VibnnError::UnknownReplica(i) => write!(f, "unknown replica index {i}"),

@@ -1,0 +1,1436 @@
+//! Network ingestion: a blocking TCP front-end for the
+//! [`ClusterEngine`] speaking a length-prefixed binary protocol.
+//!
+//! The paper's accelerator serves one caller in one process; the
+//! ROADMAP's scale target is external traffic. This module is the wire
+//! between them: an [`IngestServer`] accepts TCP connections, decodes
+//! requests, admits them into the cluster (lane and deadline included),
+//! and streams typed replies back — including typed errors such as
+//! [`VibnnError::QueueFull`] with its depth/capacity payload, so remote
+//! clients can do informed backoff exactly like in-process callers.
+//!
+//! # Frame format
+//!
+//! Every message — request or reply — is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────────────────────┐
+//! │ u32 LE len │ envelope: "VIBN" magic, u16 version, u8 kind, │
+//! │            │ kind-specific payload (all little-endian)     │
+//! └────────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! The envelope is the same `WireWriter`/`WireReader` format the
+//! checkpoint files use ([`vibnn_bnn::checkpoint`]); the frame layer
+//! ([`vibnn_bnn::checkpoint::write_frame`] /
+//! [`vibnn_bnn::checkpoint::read_frame`]) adds the length prefix,
+//! validated against a cap before any allocation. Request kinds are
+//! `0x10..=0x13`, reply kinds `0x20..=0x23` plus `0x2F` for typed
+//! errors — see the `KIND_*` constants.
+//!
+//! # Deadlines and lanes
+//!
+//! A request carries a [`Priority`] lane byte and a deadline in
+//! microseconds **relative to server receipt** (`0` = no deadline); the
+//! server converts it to an absolute instant and the cluster enforces it
+//! at admission and at dequeue, always before any Monte Carlo work
+//! ([`VibnnError::DeadlineExceeded`]). Lane scheduling is the cluster's
+//! deterministic bounded-skip rule — see [`crate::cluster`].
+//!
+//! # Determinism
+//!
+//! The wire changes *transport*, never *answers*: `f32`/`f64` fields
+//! travel as exact little-endian bytes, so a prediction served over TCP
+//! is bit-identical to [`ClusterEngine::submit`] in-process
+//! (`tests/ingest_determinism.rs` and `bench_ingest` both assert this).
+//!
+//! # Robustness
+//!
+//! A malformed frame (bad magic, zero or oversized length prefix,
+//! truncation, unknown kind) gets a typed error reply where the stream
+//! is still synchronized, or a clean disconnect where it is not; a
+//! stalled client is dropped after the configured read timeout. One
+//! misbehaving connection never affects another —
+//! `tests/ingest_protocol.rs` is the fault-injection suite pinning this.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vibnn_bnn::checkpoint::{read_frame, write_frame, WireReader, WireWriter, MAX_FRAME_LEN};
+use vibnn_bnn::CheckpointError;
+use vibnn_grng::{StreamFork, ZigguratGrng};
+
+use crate::cluster::{ClusterEngine, Priority, SubmitOptions};
+use crate::serve::ServeResult;
+use crate::VibnnError;
+
+/// Request kind: one feature row ([`Request::Predict`]).
+pub const KIND_PREDICT: u8 = 0x10;
+/// Request kind: several feature rows ([`Request::PredictBatch`]).
+pub const KIND_PREDICT_BATCH: u8 = 0x11;
+/// Request kind: server + cluster metrics snapshot ([`Request::Metrics`]).
+pub const KIND_METRICS: u8 = 0x12;
+/// Request kind: stop accepting and wind the server down
+/// ([`Request::Shutdown`]).
+pub const KIND_SHUTDOWN: u8 = 0x13;
+/// Reply kind: one served prediction ([`Reply::Predict`]).
+pub const KIND_PREDICT_REPLY: u8 = 0x20;
+/// Reply kind: per-row outcomes for a batch ([`Reply::PredictBatch`]).
+pub const KIND_PREDICT_BATCH_REPLY: u8 = 0x21;
+/// Reply kind: metrics snapshot ([`Reply::Metrics`]).
+pub const KIND_METRICS_REPLY: u8 = 0x22;
+/// Reply kind: shutdown acknowledged ([`Reply::Shutdown`]).
+pub const KIND_SHUTDOWN_REPLY: u8 = 0x23;
+/// Reply kind: typed failure for the whole request ([`Reply::Error`]).
+pub const KIND_ERROR_REPLY: u8 = 0x2F;
+
+const LANE_INTERACTIVE: u8 = 0;
+const LANE_BATCH: u8 = 1;
+
+fn lane_code(p: Priority) -> u8 {
+    match p {
+        Priority::Interactive => LANE_INTERACTIVE,
+        Priority::Batch => LANE_BATCH,
+    }
+}
+
+fn lane_from_code(code: u8) -> Result<Priority, VibnnError> {
+    match code {
+        LANE_INTERACTIVE => Ok(Priority::Interactive),
+        LANE_BATCH => Ok(Priority::Batch),
+        other => Err(VibnnError::Protocol(format!("unknown lane byte {other}"))),
+    }
+}
+
+fn protocol(e: CheckpointError) -> VibnnError {
+    VibnnError::Protocol(e.to_string())
+}
+
+/// One decoded client request. `tag` is an opaque client-chosen
+/// correlation value echoed verbatim in the matching reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict one feature row.
+    Predict {
+        /// Client correlation tag, echoed in the reply.
+        tag: u64,
+        /// Scheduling lane.
+        priority: Priority,
+        /// Deadline in microseconds after server receipt; `0` = none.
+        deadline_micros: u64,
+        /// The feature row.
+        features: Vec<f32>,
+    },
+    /// Predict several rows in one request; the server pipelines the
+    /// submissions so the cluster can micro-batch them.
+    PredictBatch {
+        /// Client correlation tag, echoed in the reply.
+        tag: u64,
+        /// Scheduling lane shared by every row.
+        priority: Priority,
+        /// Deadline in microseconds after server receipt; `0` = none.
+        deadline_micros: u64,
+        /// Row width; `features.len()` is a multiple of it.
+        dim: usize,
+        /// Row-major feature rows.
+        features: Vec<f32>,
+    },
+    /// Fetch an [`IngestMetrics`] snapshot.
+    Metrics {
+        /// Client correlation tag, echoed in the reply.
+        tag: u64,
+    },
+    /// Ask the server to stop accepting connections and wind down.
+    Shutdown {
+        /// Client correlation tag, echoed in the reply.
+        tag: u64,
+    },
+}
+
+impl Request {
+    /// The client correlation tag.
+    pub fn tag(&self) -> u64 {
+        match self {
+            Request::Predict { tag, .. }
+            | Request::PredictBatch { tag, .. }
+            | Request::Metrics { tag }
+            | Request::Shutdown { tag } => *tag,
+        }
+    }
+}
+
+/// One server reply, correlated to its request by `tag`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The served prediction for a [`Request::Predict`].
+    Predict {
+        /// Echo of the request tag.
+        tag: u64,
+        /// The prediction, bit-identical to the in-process path.
+        result: ServeResult,
+    },
+    /// Per-row outcomes for a [`Request::PredictBatch`]: rows fail
+    /// individually (e.g. [`WireError::QueueFull`] under backpressure)
+    /// without failing the whole batch.
+    PredictBatch {
+        /// Echo of the request tag.
+        tag: u64,
+        /// One outcome per submitted row, in row order.
+        rows: Vec<Result<ServeResult, WireError>>,
+    },
+    /// Snapshot for a [`Request::Metrics`].
+    Metrics {
+        /// Echo of the request tag.
+        tag: u64,
+        /// The snapshot.
+        metrics: IngestMetrics,
+    },
+    /// Acknowledgement of a [`Request::Shutdown`]; the server stops
+    /// accepting once this is sent.
+    Shutdown {
+        /// Echo of the request tag.
+        tag: u64,
+    },
+    /// The whole request failed with a typed error.
+    Error {
+        /// Echo of the request tag (`0` when the request was too
+        /// malformed to recover it).
+        tag: u64,
+        /// What went wrong.
+        error: WireError,
+    },
+}
+
+impl Reply {
+    /// The echoed correlation tag.
+    pub fn tag(&self) -> u64 {
+        match self {
+            Reply::Predict { tag, .. }
+            | Reply::PredictBatch { tag, .. }
+            | Reply::Metrics { tag, .. }
+            | Reply::Shutdown { tag }
+            | Reply::Error { tag, .. } => *tag,
+        }
+    }
+}
+
+/// A [`VibnnError`] as it travels over the wire — the variants a remote
+/// client can act on, each with its payload intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Cluster backpressure; carries depth and capacity for informed
+    /// backoff, exactly like [`VibnnError::QueueFull`].
+    QueueFull {
+        /// Requests queued when the submission was refused.
+        depth: u64,
+        /// The configured cluster queue capacity.
+        capacity: u64,
+    },
+    /// The deadline expired before the request was served.
+    DeadlineExceeded,
+    /// The cluster (or server) has stopped serving.
+    EngineStopped,
+    /// The feature row has the wrong width.
+    ShapeMismatch {
+        /// The width the deployment requires.
+        expected: u64,
+        /// The width the request carried.
+        got: u64,
+    },
+    /// The peer violated the wire protocol.
+    Protocol(String),
+    /// Any other server-side failure, as display text.
+    Other(String),
+}
+
+impl From<&VibnnError> for WireError {
+    fn from(e: &VibnnError) -> Self {
+        match e {
+            VibnnError::QueueFull { depth, capacity } => WireError::QueueFull {
+                depth: *depth as u64,
+                capacity: *capacity as u64,
+            },
+            VibnnError::DeadlineExceeded => WireError::DeadlineExceeded,
+            VibnnError::EngineStopped => WireError::EngineStopped,
+            VibnnError::ShapeMismatch { expected, got, .. } => WireError::ShapeMismatch {
+                expected: *expected as u64,
+                got: *got as u64,
+            },
+            VibnnError::Protocol(why) => WireError::Protocol(why.clone()),
+            other => WireError::Other(other.to_string()),
+        }
+    }
+}
+
+impl WireError {
+    /// Converts back to the in-process error type on the client side.
+    /// [`WireError::Other`] has no structured counterpart and maps to
+    /// [`VibnnError::Protocol`] carrying the server's display text.
+    pub fn into_vibnn(self) -> VibnnError {
+        match self {
+            WireError::QueueFull { depth, capacity } => VibnnError::QueueFull {
+                depth: depth as usize,
+                capacity: capacity as usize,
+            },
+            WireError::DeadlineExceeded => VibnnError::DeadlineExceeded,
+            WireError::EngineStopped => VibnnError::EngineStopped,
+            WireError::ShapeMismatch { expected, got } => VibnnError::ShapeMismatch {
+                context: "request width",
+                expected: expected as usize,
+                got: got as usize,
+            },
+            WireError::Protocol(why) => VibnnError::Protocol(why),
+            WireError::Other(why) => VibnnError::Protocol(format!("server-side error: {why}")),
+        }
+    }
+}
+
+/// A point-in-time server + cluster counters snapshot, served over the
+/// wire by [`Request::Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IngestMetrics {
+    /// Requests queued cluster-wide right now.
+    pub queued: u64,
+    /// The cluster queue capacity.
+    pub capacity: u64,
+    /// Requests the cluster accepted since start.
+    pub submitted: u64,
+    /// Requests served since start.
+    pub served: u64,
+    /// Served requests admitted on the interactive lane.
+    pub served_interactive: u64,
+    /// Served requests admitted on the batch lane.
+    pub served_batch: u64,
+    /// Submissions refused with queue-full backpressure.
+    pub rejected: u64,
+    /// Requests failed by an expired deadline.
+    pub deadline_expired: u64,
+    /// Requests cancelled at shutdown.
+    pub cancelled: u64,
+    /// Replicas with a live dispatcher.
+    pub replicas_alive: u64,
+    /// Client connections open right now.
+    pub connections_open: u64,
+    /// Client connections accepted since start.
+    pub connections_total: u64,
+    /// Frames decoded into well-formed requests since start.
+    pub requests_decoded: u64,
+    /// Malformed frames or envelopes seen since start.
+    pub protocol_errors: u64,
+}
+
+fn write_lane_deadline(w: &mut WireWriter, tag: u64, priority: Priority, deadline_micros: u64) {
+    w.u64(tag);
+    w.u8(lane_code(priority));
+    w.u64(deadline_micros);
+}
+
+fn write_result(w: &mut WireWriter, r: &ServeResult) {
+    w.u64(r.id);
+    w.dim(r.proba.len());
+    w.f32s(&r.proba);
+    w.u64(r.argmax as u64);
+    w.f64(r.entropy);
+    w.f64(r.mc_std);
+}
+
+fn read_result(r: &mut WireReader<'_>) -> Result<ServeResult, VibnnError> {
+    let id = r.u64().map_err(protocol)?;
+    let classes = r.dim().map_err(protocol)?;
+    let proba = r.f32_vec(classes).map_err(protocol)?;
+    let argmax = r.u64().map_err(protocol)? as usize;
+    let entropy = r.f64().map_err(protocol)?;
+    let mc_std = r.f64().map_err(protocol)?;
+    Ok(ServeResult {
+        id,
+        proba,
+        argmax,
+        entropy,
+        mc_std,
+    })
+}
+
+fn write_string(w: &mut WireWriter, s: &str) {
+    w.dim(s.len());
+    w.raw(s.as_bytes());
+}
+
+fn read_string(r: &mut WireReader<'_>) -> Result<String, VibnnError> {
+    let len = r.dim().map_err(protocol)?;
+    let bytes = r.raw(len).map_err(protocol)?;
+    Ok(String::from_utf8_lossy(bytes).into_owned())
+}
+
+fn write_wire_error(w: &mut WireWriter, e: &WireError) {
+    match e {
+        WireError::QueueFull { depth, capacity } => {
+            w.u8(1);
+            w.u64(*depth);
+            w.u64(*capacity);
+        }
+        WireError::DeadlineExceeded => w.u8(2),
+        WireError::EngineStopped => w.u8(3),
+        WireError::ShapeMismatch { expected, got } => {
+            w.u8(4);
+            w.u64(*expected);
+            w.u64(*got);
+        }
+        WireError::Protocol(why) => {
+            w.u8(5);
+            write_string(w, why);
+        }
+        WireError::Other(why) => {
+            w.u8(6);
+            write_string(w, why);
+        }
+    }
+}
+
+fn read_wire_error(r: &mut WireReader<'_>) -> Result<WireError, VibnnError> {
+    Ok(match r.u8().map_err(protocol)? {
+        1 => WireError::QueueFull {
+            depth: r.u64().map_err(protocol)?,
+            capacity: r.u64().map_err(protocol)?,
+        },
+        2 => WireError::DeadlineExceeded,
+        3 => WireError::EngineStopped,
+        4 => WireError::ShapeMismatch {
+            expected: r.u64().map_err(protocol)?,
+            got: r.u64().map_err(protocol)?,
+        },
+        5 => WireError::Protocol(read_string(r)?),
+        6 => WireError::Other(read_string(r)?),
+        code => return Err(VibnnError::Protocol(format!("unknown error code {code}"))),
+    })
+}
+
+/// Serializes a request into one wire envelope (without the frame
+/// length prefix — [`vibnn_bnn::checkpoint::write_frame`] adds it).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Predict {
+            tag,
+            priority,
+            deadline_micros,
+            features,
+        } => {
+            let mut w = WireWriter::new(KIND_PREDICT);
+            write_lane_deadline(&mut w, *tag, *priority, *deadline_micros);
+            w.dim(features.len());
+            w.f32s(features);
+            w.into_bytes()
+        }
+        Request::PredictBatch {
+            tag,
+            priority,
+            deadline_micros,
+            dim,
+            features,
+        } => {
+            let mut w = WireWriter::new(KIND_PREDICT_BATCH);
+            write_lane_deadline(&mut w, *tag, *priority, *deadline_micros);
+            w.dim(*dim);
+            let rows = if *dim == 0 { 0 } else { features.len() / dim };
+            w.dim(rows);
+            w.f32s(&features[..rows * *dim]);
+            w.into_bytes()
+        }
+        Request::Metrics { tag } => {
+            let mut w = WireWriter::new(KIND_METRICS);
+            w.u64(*tag);
+            w.into_bytes()
+        }
+        Request::Shutdown { tag } => {
+            let mut w = WireWriter::new(KIND_SHUTDOWN);
+            w.u64(*tag);
+            w.into_bytes()
+        }
+    }
+}
+
+/// Parses one wire envelope into a [`Request`]. Never panics on
+/// arbitrary input: every malformation is a typed
+/// [`VibnnError::Protocol`] (`tests/property.rs` fuzzes this).
+pub fn decode_request(bytes: &[u8]) -> Result<Request, VibnnError> {
+    let (kind, mut r) = WireReader::open_any(bytes).map_err(protocol)?;
+    let req = match kind {
+        KIND_PREDICT => {
+            let tag = r.u64().map_err(protocol)?;
+            let priority = lane_from_code(r.u8().map_err(protocol)?)?;
+            let deadline_micros = r.u64().map_err(protocol)?;
+            let dim = r.dim().map_err(protocol)?;
+            let features = r.f32_vec(dim).map_err(protocol)?;
+            Request::Predict {
+                tag,
+                priority,
+                deadline_micros,
+                features,
+            }
+        }
+        KIND_PREDICT_BATCH => {
+            let tag = r.u64().map_err(protocol)?;
+            let priority = lane_from_code(r.u8().map_err(protocol)?)?;
+            let deadline_micros = r.u64().map_err(protocol)?;
+            let dim = r.dim().map_err(protocol)?;
+            let rows = r.dim().map_err(protocol)?;
+            if dim == 0 && rows > 0 {
+                return Err(VibnnError::Protocol("zero-width batch rows".into()));
+            }
+            let count = rows
+                .checked_mul(dim)
+                .ok_or_else(|| VibnnError::Protocol("batch size overflows".into()))?;
+            let features = r.f32_vec(count).map_err(protocol)?;
+            Request::PredictBatch {
+                tag,
+                priority,
+                deadline_micros,
+                dim,
+                features,
+            }
+        }
+        KIND_METRICS => Request::Metrics {
+            tag: r.u64().map_err(protocol)?,
+        },
+        KIND_SHUTDOWN => Request::Shutdown {
+            tag: r.u64().map_err(protocol)?,
+        },
+        other => {
+            return Err(VibnnError::Protocol(format!(
+                "unknown request kind {other:#04x}"
+            )))
+        }
+    };
+    r.finish().map_err(protocol)?;
+    Ok(req)
+}
+
+/// Serializes a reply into one wire envelope (no frame prefix).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Predict { tag, result } => {
+            let mut w = WireWriter::new(KIND_PREDICT_REPLY);
+            w.u64(*tag);
+            write_result(&mut w, result);
+            w.into_bytes()
+        }
+        Reply::PredictBatch { tag, rows } => {
+            let mut w = WireWriter::new(KIND_PREDICT_BATCH_REPLY);
+            w.u64(*tag);
+            w.dim(rows.len());
+            for row in rows {
+                match row {
+                    Ok(result) => {
+                        w.u8(1);
+                        write_result(&mut w, result);
+                    }
+                    Err(e) => {
+                        w.u8(0);
+                        write_wire_error(&mut w, e);
+                    }
+                }
+            }
+            w.into_bytes()
+        }
+        Reply::Metrics { tag, metrics } => {
+            let mut w = WireWriter::new(KIND_METRICS_REPLY);
+            w.u64(*tag);
+            for v in [
+                metrics.queued,
+                metrics.capacity,
+                metrics.submitted,
+                metrics.served,
+                metrics.served_interactive,
+                metrics.served_batch,
+                metrics.rejected,
+                metrics.deadline_expired,
+                metrics.cancelled,
+                metrics.replicas_alive,
+                metrics.connections_open,
+                metrics.connections_total,
+                metrics.requests_decoded,
+                metrics.protocol_errors,
+            ] {
+                w.u64(v);
+            }
+            w.into_bytes()
+        }
+        Reply::Shutdown { tag } => {
+            let mut w = WireWriter::new(KIND_SHUTDOWN_REPLY);
+            w.u64(*tag);
+            w.into_bytes()
+        }
+        Reply::Error { tag, error } => {
+            let mut w = WireWriter::new(KIND_ERROR_REPLY);
+            w.u64(*tag);
+            write_wire_error(&mut w, error);
+            w.into_bytes()
+        }
+    }
+}
+
+/// Parses one wire envelope into a [`Reply`]. Never panics on
+/// arbitrary input.
+pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
+    let (kind, mut r) = WireReader::open_any(bytes).map_err(protocol)?;
+    let reply = match kind {
+        KIND_PREDICT_REPLY => Reply::Predict {
+            tag: r.u64().map_err(protocol)?,
+            result: read_result(&mut r)?,
+        },
+        KIND_PREDICT_BATCH_REPLY => {
+            let tag = r.u64().map_err(protocol)?;
+            let count = r.dim().map_err(protocol)?;
+            // Each row is ≥ 2 bytes on the wire; reject impossible
+            // counts before reserving anything.
+            if count > bytes.len() {
+                return Err(VibnnError::Protocol(format!("{count} rows cannot fit")));
+            }
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(match r.u8().map_err(protocol)? {
+                    1 => Ok(read_result(&mut r)?),
+                    0 => Err(read_wire_error(&mut r)?),
+                    flag => {
+                        return Err(VibnnError::Protocol(format!("bad row flag {flag}")));
+                    }
+                });
+            }
+            Reply::PredictBatch { tag, rows }
+        }
+        KIND_METRICS_REPLY => {
+            let tag = r.u64().map_err(protocol)?;
+            let mut vals = [0u64; 14];
+            for v in &mut vals {
+                *v = r.u64().map_err(protocol)?;
+            }
+            Reply::Metrics {
+                tag,
+                metrics: IngestMetrics {
+                    queued: vals[0],
+                    capacity: vals[1],
+                    submitted: vals[2],
+                    served: vals[3],
+                    served_interactive: vals[4],
+                    served_batch: vals[5],
+                    rejected: vals[6],
+                    deadline_expired: vals[7],
+                    cancelled: vals[8],
+                    replicas_alive: vals[9],
+                    connections_open: vals[10],
+                    connections_total: vals[11],
+                    requests_decoded: vals[12],
+                    protocol_errors: vals[13],
+                },
+            }
+        }
+        KIND_SHUTDOWN_REPLY => Reply::Shutdown {
+            tag: r.u64().map_err(protocol)?,
+        },
+        KIND_ERROR_REPLY => Reply::Error {
+            tag: r.u64().map_err(protocol)?,
+            error: read_wire_error(&mut r)?,
+        },
+        other => {
+            return Err(VibnnError::Protocol(format!(
+                "unknown reply kind {other:#04x}"
+            )))
+        }
+    };
+    r.finish().map_err(protocol)?;
+    Ok(reply)
+}
+
+/// Sizing and defense knobs for an [`IngestServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Largest accepted frame payload in bytes; hostile length prefixes
+    /// beyond it are rejected before allocation (default
+    /// [`MAX_FRAME_LEN`], 1 MiB).
+    pub max_frame_len: u32,
+    /// A connection that goes this long without completing a frame read
+    /// is dropped — the slow-loris defense (default 5 s).
+    pub read_timeout: Duration,
+    /// Connections beyond this are refused at accept (default 64).
+    pub max_connections: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_len: MAX_FRAME_LEN,
+            read_timeout: Duration::from_secs(5),
+            max_connections: 64,
+        }
+    }
+}
+
+struct ServerShared<S: StreamFork + Sync + Send + 'static> {
+    cluster: ClusterEngine<S>,
+    cfg: IngestConfig,
+    stop: AtomicBool,
+    /// `try_clone`s of every live connection, so shutdown can unblock
+    /// handlers stuck in a read.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    connections_open: AtomicU64,
+    connections_total: AtomicU64,
+    requests_decoded: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl<S: StreamFork + Sync + Send> ServerShared<S> {
+    fn snapshot(&self) -> IngestMetrics {
+        let m = self.cluster.metrics();
+        IngestMetrics {
+            queued: m.queued as u64,
+            capacity: m.capacity as u64,
+            submitted: m.submitted,
+            served: m.served,
+            served_interactive: m.served_interactive,
+            served_batch: m.served_batch,
+            rejected: m.rejected,
+            deadline_expired: m.deadline_expired,
+            cancelled: m.cancelled,
+            replicas_alive: m.replicas.iter().filter(|r| r.alive).count() as u64,
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Removes the connection from the registry when its handler exits, by
+/// any path.
+struct ConnGuard<'a, S: StreamFork + Sync + Send + 'static> {
+    shared: &'a ServerShared<S>,
+    id: u64,
+}
+
+impl<S: StreamFork + Sync + Send> Drop for ConnGuard<'_, S> {
+    fn drop(&mut self) {
+        self.shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.id);
+        self.shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A blocking TCP server exposing a [`ClusterEngine`] over the ingest
+/// wire protocol (see the [module docs](self) for the frame format,
+/// deadline and lane semantics, and the robustness contract).
+///
+/// The server owns the cluster: requests decoded off the wire are
+/// admitted with [`ClusterEngine::submit_with`] and answered with
+/// bit-identical results. Each connection gets a handler thread; the
+/// accept loop and all handlers wind down on
+/// [`shutdown`](Self::shutdown), on drop, or after a client sends
+/// [`Request::Shutdown`].
+///
+/// # Example
+///
+/// ```
+/// use vibnn::bnn::{Bnn, BnnConfig};
+/// use vibnn::nn::Matrix;
+/// use vibnn::{
+///     ClusterConfig, ClusterEngine, IngestClient, IngestConfig, IngestServer, VibnnBuilder,
+/// };
+///
+/// let bnn = Bnn::new(BnnConfig::new(&[4, 8, 3]), 7);
+/// let vibnn = VibnnBuilder::new(bnn.params())
+///     .mc_samples(4)
+///     .calibration(Matrix::zeros(2, 4))
+///     .build()?;
+/// let cluster = ClusterEngine::new(vibnn, ClusterConfig::default())?;
+/// // Port 0 lets the OS pick a free loopback port.
+/// let server = match IngestServer::bind(cluster, "127.0.0.1:0", IngestConfig::default()) {
+///     Ok(server) => server,
+///     Err(_) => return Ok(()), // sandboxes may forbid sockets; skip
+/// };
+/// let mut client = IngestClient::connect(server.local_addr())?;
+/// let result = client.predict(&[0.0; 4])?;
+/// assert_eq!(result.proba.len(), 3);
+/// client.shutdown_server()?;
+/// server.shutdown();
+/// # Ok::<(), vibnn::VibnnError>(())
+/// ```
+pub struct IngestServer<S: StreamFork + Sync + Send + 'static = ZigguratGrng> {
+    shared: Arc<ServerShared<S>>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl<S: StreamFork + Sync + Send> std::fmt::Debug for IngestServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestServer")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: StreamFork + Sync + Send + 'static> IngestServer<S> {
+    /// Binds the listener and starts the accept loop. Bind to port `0`
+    /// to let the OS choose ([`local_addr`](Self::local_addr) reports
+    /// the choice).
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::Checkpoint`] wrapping the I/O error when the
+    /// address cannot be bound (e.g. sockets unavailable in a sandbox),
+    /// or [`VibnnError::BadServeConfig`] for a zero
+    /// [`IngestConfig::max_frame_len`] / `max_connections`.
+    pub fn bind(
+        cluster: ClusterEngine<S>,
+        addr: impl ToSocketAddrs,
+        cfg: IngestConfig,
+    ) -> Result<Self, VibnnError> {
+        if cfg.max_frame_len == 0 {
+            return Err(VibnnError::BadServeConfig("max_frame_len must be positive"));
+        }
+        if cfg.max_connections == 0 {
+            return Err(VibnnError::BadServeConfig(
+                "max_connections must be positive",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            cluster,
+            cfg,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            requests_decoded: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address — connect [`IngestClient`]s here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A metrics snapshot, same contents as the wire
+    /// [`Request::Metrics`] reply.
+    pub fn metrics(&self) -> IngestMetrics {
+        self.shared.snapshot()
+    }
+
+    /// Whether the server has begun winding down (a client sent
+    /// [`Request::Shutdown`], or shutdown/drop started).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, unblocks and joins every connection handler,
+    /// and returns the cluster (still running — callers can keep
+    /// serving in-process or shut it down for leftovers).
+    pub fn shutdown(mut self) -> ClusterEngine<S> {
+        self.stop_and_join();
+        let shared = Arc::clone(&self.shared);
+        drop(self);
+        match Arc::try_unwrap(shared) {
+            Ok(s) => s.cluster,
+            Err(_) => unreachable!("all server threads joined"),
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl<S: StreamFork + Sync + Send> Drop for IngestServer<S> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<S: StreamFork + Sync + Send + 'static>(
+    listener: TcpListener,
+    shared: &Arc<ServerShared<S>>,
+) {
+    let mut next_conn = 0u64;
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.connections_open.load(Ordering::Relaxed)
+                    >= shared.cfg.max_connections as u64
+                {
+                    drop(stream); // refuse by closing
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+                let conn_id = next_conn;
+                next_conn += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(conn_id, clone);
+                }
+                shared.connections_open.fetch_add(1, Ordering::Relaxed);
+                shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                let handler_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    let guard = ConnGuard {
+                        shared: &handler_shared,
+                        id: conn_id,
+                    };
+                    handle_connection(stream, guard.shared);
+                });
+                shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            // Nonblocking accept: poll the stop flag between attempts.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Unblock every handler still waiting in a read, then join them.
+    for (_, conn) in shared
+        .conns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain()
+    {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    let handles: Vec<_> = shared
+        .handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+        .collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Best-effort tag recovery from an envelope that failed to decode, so
+/// the error reply can still correlate (every request kind leads with
+/// the tag).
+fn peek_tag(envelope: &[u8]) -> u64 {
+    WireReader::open_any(envelope)
+        .ok()
+        .and_then(|(_, mut r)| r.u64().ok())
+        .unwrap_or(0)
+}
+
+fn handle_connection<S: StreamFork + Sync + Send + 'static>(
+    mut stream: TcpStream,
+    shared: &ServerShared<S>,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match read_frame(&mut reader, shared.cfg.max_frame_len) {
+            Ok(None) => break, // clean disconnect
+            Ok(Some(envelope)) => {
+                let received = Instant::now();
+                let reply = match decode_request(&envelope) {
+                    Ok(request) => {
+                        shared.requests_decoded.fetch_add(1, Ordering::Relaxed);
+                        serve_request(request, received, shared)
+                    }
+                    Err(e) => {
+                        // The frame layer was intact, so the stream is
+                        // still synchronized: answer the typed error and
+                        // keep serving this connection.
+                        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        Reply::Error {
+                            tag: peek_tag(&envelope),
+                            error: WireError::from(&e),
+                        }
+                    }
+                };
+                let stopping = matches!(reply, Reply::Shutdown { .. });
+                if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+                    break;
+                }
+                if stopping {
+                    break;
+                }
+            }
+            Err(CheckpointError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Read timeout: an idle or slow-loris connection. Drop it.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(e) => {
+                // Framing is broken (truncated prefix, zero/oversized
+                // length, hard I/O error): best-effort typed error, then
+                // a clean close — resynchronizing is impossible.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = Reply::Error {
+                    tag: 0,
+                    error: WireError::Protocol(e.to_string()),
+                };
+                let _ = write_frame(&mut stream, &encode_reply(&reply));
+                break;
+            }
+        }
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_request<S: StreamFork + Sync + Send + 'static>(
+    request: Request,
+    received: Instant,
+    shared: &ServerShared<S>,
+) -> Reply {
+    let deadline_of = |micros: u64| {
+        (micros > 0).then(|| received + Duration::from_micros(micros))
+    };
+    match request {
+        Request::Predict {
+            tag,
+            priority,
+            deadline_micros,
+            features,
+        } => {
+            let opts = SubmitOptions {
+                priority,
+                deadline: deadline_of(deadline_micros),
+            };
+            match shared
+                .cluster
+                .submit_with(features, opts)
+                .and_then(|id| shared.cluster.wait(id))
+            {
+                Ok(result) => Reply::Predict { tag, result },
+                Err(e) => Reply::Error {
+                    tag,
+                    error: WireError::from(&e),
+                },
+            }
+        }
+        Request::PredictBatch {
+            tag,
+            priority,
+            deadline_micros,
+            dim,
+            features,
+        } => {
+            if dim == 0 {
+                return Reply::PredictBatch {
+                    tag,
+                    rows: Vec::new(),
+                };
+            }
+            let opts = SubmitOptions {
+                priority,
+                deadline: deadline_of(deadline_micros),
+            };
+            // Submit every row before waiting on any, so the cluster
+            // sees the whole batch at once and can micro-batch it.
+            let submissions: Vec<Result<u64, VibnnError>> = features
+                .chunks_exact(dim)
+                .map(|row| shared.cluster.submit_with(row.to_vec(), opts))
+                .collect();
+            let rows = submissions
+                .into_iter()
+                .map(|submitted| {
+                    submitted
+                        .and_then(|id| shared.cluster.wait(id))
+                        .map_err(|e| WireError::from(&e))
+                })
+                .collect();
+            Reply::PredictBatch { tag, rows }
+        }
+        Request::Metrics { tag } => Reply::Metrics {
+            tag,
+            metrics: shared.snapshot(),
+        },
+        Request::Shutdown { tag } => {
+            shared.stop.store(true, Ordering::SeqCst);
+            Reply::Shutdown { tag }
+        }
+    }
+}
+
+/// A blocking client for the ingest protocol: one TCP connection, one
+/// in-flight request at a time, replies correlated by tag.
+///
+/// Prediction errors the *server* answered (backpressure, deadline,
+/// shape) come back as their in-process [`VibnnError`] counterparts via
+/// [`WireError::into_vibnn`], so remote and local callers handle
+/// failures with the same match arms.
+#[derive(Debug)]
+pub struct IngestClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_tag: u64,
+}
+
+impl IngestClient {
+    /// Connects to an [`IngestServer`].
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::Checkpoint`] wrapping the connect I/O error.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, VibnnError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            stream,
+            reader,
+            next_tag: 1,
+        })
+    }
+
+    fn tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        tag
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Reply, VibnnError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let Some(envelope) = read_frame(&mut self.reader, MAX_FRAME_LEN)? else {
+            return Err(VibnnError::Protocol(
+                "server closed the connection".into(),
+            ));
+        };
+        let reply = decode_reply(&envelope)?;
+        if reply.tag() != request.tag() && reply.tag() != 0 {
+            return Err(VibnnError::Protocol(format!(
+                "reply tag {} for request tag {}",
+                reply.tag(),
+                request.tag()
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Predicts one feature row on the interactive lane with no
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`VibnnError::Checkpoint`] /
+    /// [`VibnnError::Protocol`]; server-side refusals as their typed
+    /// counterparts (e.g. [`VibnnError::QueueFull`],
+    /// [`VibnnError::DeadlineExceeded`]).
+    pub fn predict(&mut self, features: &[f32]) -> Result<ServeResult, VibnnError> {
+        self.predict_with(features, Priority::Interactive, 0)
+    }
+
+    /// [`predict`](Self::predict) with an explicit lane and deadline
+    /// (microseconds after server receipt; `0` = none).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict`](Self::predict).
+    pub fn predict_with(
+        &mut self,
+        features: &[f32],
+        priority: Priority,
+        deadline_micros: u64,
+    ) -> Result<ServeResult, VibnnError> {
+        let request = Request::Predict {
+            tag: self.tag(),
+            priority,
+            deadline_micros,
+            features: features.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Reply::Predict { result, .. } => Ok(result),
+            Reply::Error { error, .. } => Err(error.into_vibnn()),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Predicts many equal-width rows in one request; each row succeeds
+    /// or fails independently (`Err` rows carry the typed refusal).
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::ShapeMismatch`] for ragged input rows, transport
+    /// failures, or a whole-request server error; per-row refusals come
+    /// back inside the `Ok` vector instead.
+    pub fn predict_batch_with(
+        &mut self,
+        rows: &[Vec<f32>],
+        priority: Priority,
+        deadline_micros: u64,
+    ) -> Result<Vec<Result<ServeResult, VibnnError>>, VibnnError> {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut features = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            if row.len() != dim {
+                return Err(VibnnError::ShapeMismatch {
+                    context: "batch row width",
+                    expected: dim,
+                    got: row.len(),
+                });
+            }
+            features.extend_from_slice(row);
+        }
+        let request = Request::PredictBatch {
+            tag: self.tag(),
+            priority,
+            deadline_micros,
+            dim,
+            features,
+        };
+        match self.roundtrip(&request)? {
+            Reply::PredictBatch { rows, .. } => Ok(rows
+                .into_iter()
+                .map(|row| row.map_err(WireError::into_vibnn))
+                .collect()),
+            Reply::Error { error, .. } => Err(error.into_vibnn()),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's typed error reply.
+    pub fn metrics(&mut self) -> Result<IngestMetrics, VibnnError> {
+        let request = Request::Metrics { tag: self.tag() };
+        match self.roundtrip(&request)? {
+            Reply::Metrics { metrics, .. } => Ok(metrics),
+            Reply::Error { error, .. } => Err(error.into_vibnn()),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Asks the server to wind down; returns once it acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's typed error reply.
+    pub fn shutdown_server(&mut self) -> Result<(), VibnnError> {
+        let request = Request::Shutdown { tag: self.tag() };
+        match self.roundtrip(&request)? {
+            Reply::Shutdown { .. } => Ok(()),
+            Reply::Error { error, .. } => Err(error.into_vibnn()),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+}
+
+fn unexpected_reply(reply: &Reply) -> VibnnError {
+    VibnnError::Protocol(format!("unexpected reply kind for request: {reply:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_fixture(id: u64) -> ServeResult {
+        ServeResult {
+            id,
+            proba: vec![0.25, 0.5, 0.25],
+            argmax: 1,
+            entropy: 1.04,
+            mc_std: 0.007,
+        }
+    }
+
+    #[test]
+    fn request_codec_round_trips() {
+        let requests = [
+            Request::Predict {
+                tag: 7,
+                priority: Priority::Interactive,
+                deadline_micros: 0,
+                features: vec![0.5, -1.0, 3.25],
+            },
+            Request::Predict {
+                tag: u64::MAX,
+                priority: Priority::Batch,
+                deadline_micros: 125_000,
+                features: vec![],
+            },
+            Request::PredictBatch {
+                tag: 8,
+                priority: Priority::Batch,
+                deadline_micros: 42,
+                dim: 2,
+                features: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            Request::Metrics { tag: 9 },
+            Request::Shutdown { tag: 10 },
+        ];
+        for request in requests {
+            let bytes = encode_request(&request);
+            assert_eq!(decode_request(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn reply_codec_round_trips() {
+        let replies = [
+            Reply::Predict {
+                tag: 1,
+                result: result_fixture(3),
+            },
+            Reply::PredictBatch {
+                tag: 2,
+                rows: vec![
+                    Ok(result_fixture(0)),
+                    Err(WireError::QueueFull {
+                        depth: 9,
+                        capacity: 8,
+                    }),
+                    Err(WireError::DeadlineExceeded),
+                ],
+            },
+            Reply::Metrics {
+                tag: 3,
+                metrics: IngestMetrics {
+                    queued: 1,
+                    capacity: 1024,
+                    submitted: 500,
+                    served: 499,
+                    served_interactive: 400,
+                    served_batch: 99,
+                    rejected: 1,
+                    deadline_expired: 2,
+                    cancelled: 0,
+                    replicas_alive: 2,
+                    connections_open: 3,
+                    connections_total: 11,
+                    requests_decoded: 510,
+                    protocol_errors: 4,
+                },
+            },
+            Reply::Shutdown { tag: 4 },
+            Reply::Error {
+                tag: 5,
+                error: WireError::Protocol("bad frame".into()),
+            },
+            Reply::Error {
+                tag: 6,
+                error: WireError::ShapeMismatch {
+                    expected: 4,
+                    got: 7,
+                },
+            },
+            Reply::Error {
+                tag: 7,
+                error: WireError::Other("poisoned lock".into()),
+            },
+        ];
+        for reply in replies {
+            let bytes = encode_reply(&reply);
+            assert_eq!(decode_reply(&bytes).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn wire_errors_round_trip_through_vibnn_error() {
+        let e = VibnnError::QueueFull {
+            depth: 12,
+            capacity: 8,
+        };
+        let back = WireError::from(&e).into_vibnn();
+        assert!(matches!(
+            back,
+            VibnnError::QueueFull {
+                depth: 12,
+                capacity: 8
+            }
+        ));
+        assert!(matches!(
+            WireError::from(&VibnnError::DeadlineExceeded).into_vibnn(),
+            VibnnError::DeadlineExceeded
+        ));
+        // Unstructured variants degrade to display text, not a panic.
+        let other = WireError::from(&VibnnError::MissingCalibration);
+        assert!(matches!(other, WireError::Other(_)));
+    }
+
+    #[test]
+    fn decoders_reject_garbage_with_typed_errors() {
+        assert!(matches!(
+            decode_request(b"not a frame at all"),
+            Err(VibnnError::Protocol(_))
+        ));
+        // A valid envelope of the wrong kind family.
+        let mut w = WireWriter::new(KIND_PREDICT_REPLY);
+        w.u64(1);
+        assert!(matches!(
+            decode_request(&w.into_bytes()),
+            Err(VibnnError::Protocol(_))
+        ));
+        // Trailing garbage after a well-formed request is rejected.
+        let mut bytes = encode_request(&Request::Metrics { tag: 1 });
+        bytes.push(0xFF);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(VibnnError::Protocol(_))
+        ));
+        // A lane byte outside {0, 1}.
+        let mut w = WireWriter::new(KIND_PREDICT);
+        w.u64(1);
+        w.u8(9);
+        w.u64(0);
+        w.dim(0);
+        assert!(matches!(
+            decode_request(&w.into_bytes()),
+            Err(VibnnError::Protocol(_))
+        ));
+        // A batch claiming zero-width rows.
+        let mut w = WireWriter::new(KIND_PREDICT_BATCH);
+        w.u64(1);
+        w.u8(0);
+        w.u64(0);
+        w.dim(0);
+        w.dim(5);
+        assert!(matches!(
+            decode_request(&w.into_bytes()),
+            Err(VibnnError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn peek_tag_recovers_when_possible() {
+        let bytes = encode_request(&Request::Metrics { tag: 77 });
+        assert_eq!(peek_tag(&bytes), 77);
+        assert_eq!(peek_tag(b"garbage"), 0);
+    }
+}

@@ -27,12 +27,17 @@ mod checkpoint;
 pub mod cluster;
 mod error;
 pub mod experiments;
+pub mod ingest;
 mod pipeline;
 pub mod serve;
 
 pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
-pub use cluster::{ClusterConfig, ClusterEngine, ClusterMetrics, ReplicaMetrics, SwapReport};
+pub use cluster::{
+    ClusterConfig, ClusterEngine, ClusterMetrics, Priority, ReplicaMetrics, SubmitOptions,
+    SwapReport,
+};
 pub use error::VibnnError;
+pub use ingest::{IngestClient, IngestConfig, IngestServer};
 pub use pipeline::{Deployed, Pipeline, TrainedPipeline};
 pub use serve::{ServeConfig, ServeEngine, ServeHandle, ServeResult};
 

@@ -73,6 +73,7 @@ fn cluster(
             max_queue: 64,
             workers,
             spill: true,
+            batch_skip_bound: 4,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -201,6 +202,7 @@ fn spill_and_admission_preserve_bit_identity() {
             max_queue: 3,
             workers: 1,
             spill: true,
+            batch_skip_bound: 4,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -345,4 +347,58 @@ fn metrics_track_batches_and_drain_state() {
     assert!(batches > 0);
     assert_eq!(weighted, REQUESTS as u64);
     assert!(c.shutdown().is_empty());
+}
+
+#[test]
+fn shutdown_under_queued_swap_never_hangs() {
+    // Regression: with traffic queued and a rollout in flight, a
+    // graceful stop used to depend on dispatcher timing to drain the
+    // requests stranded behind the swap marker. `drain` must return
+    // promptly — cancelling the stranded requests, still applying the
+    // marker so the swapper resolves — and every accepted id must
+    // settle as served, cancelled, or (when the race stops the cluster
+    // first) refuse the swap; nothing may hang or be left unanswered.
+    let x = request_rows();
+    let old_model = deployed(5);
+    let new_model = deployed(21);
+    for round in 0..3u64 {
+        let c = cluster(old_model.clone(), 1, 1, 2);
+        let ids: Vec<u64> = (0..REQUESTS)
+            .map(|r| c.submit(x.row(r).to_vec()).expect("submit"))
+            .collect();
+        std::thread::scope(|s| {
+            let swapper = s.spawn(|| c.hot_swap(0, new_model.clone()));
+            // Vary the interleaving a little across rounds; correctness
+            // must not depend on who wins the race.
+            if round > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(round));
+            }
+            c.drain();
+            match swapper.join().expect("swapper panicked") {
+                Ok(report) => assert_eq!(report.replica, 0),
+                Err(VibnnError::EngineStopped) => {}
+                Err(e) => panic!("unexpected hot_swap error: {e}"),
+            }
+        });
+        // Every accepted request resolves with a definite outcome.
+        let reference = reference_rows(&old_model, &x);
+        for (r, &id) in ids.iter().enumerate() {
+            match c.wait(id) {
+                Ok(res) => assert_eq!(
+                    bits(&res.proba),
+                    bits(reference.row(r)),
+                    "round {round}: pre-swap row {r} served by the wrong checkpoint"
+                ),
+                Err(VibnnError::EngineStopped) => {}
+                Err(e) => panic!("round {round}, id {id}: unexpected outcome {e}"),
+            }
+        }
+        let m = c.metrics();
+        assert_eq!(
+            m.served + m.cancelled,
+            REQUESTS as u64,
+            "round {round}: every accepted request must be served or cancelled"
+        );
+        assert!(c.shutdown().is_empty());
+    }
 }

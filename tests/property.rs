@@ -1,10 +1,25 @@
 //! Property-based tests (proptest) on the core invariants.
 
+use std::io::Cursor;
+
 use proptest::prelude::*;
+use vibnn::bnn::checkpoint::{read_frame, write_frame, MAX_FRAME_LEN};
 use vibnn::fixed::{choose_format, MacAccumulator, QFormat};
 use vibnn::grng::WallaceUnit;
 use vibnn::hw::{AcceleratorConfig, Schedule};
+use vibnn::ingest::{decode_reply, decode_request, encode_reply, encode_request};
+use vibnn::ingest::{Reply, Request, WireError};
 use vibnn::rng::{BitVec, CircularLfsr, RlfLogic, RlfMode, SplitMix64};
+use vibnn::serve::ServeResult;
+use vibnn::Priority;
+
+fn lane(code: u8) -> Priority {
+    if code == 0 {
+        Priority::Interactive
+    } else {
+        Priority::Batch
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -162,5 +177,136 @@ proptest! {
         let mut seen = [false; 4];
         for &l in &sy { seen[l] = true; }
         prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+// Wire-protocol invariants: the frame layer and the ingest codecs must
+// round-trip every value exactly and must never panic on hostile bytes
+// (the fuzz-shaped counterpart to `tests/ingest_protocol.rs`).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `write_frame` → `read_frame` round-trips any payload, back to
+    /// back, with a clean `None` EOF exactly at the stream boundary.
+    #[test]
+    fn frame_codec_round_trips(payload in prop::collection::vec(0u8.., 1usize..600)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cur = Cursor::new(buf);
+        prop_assert_eq!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().unwrap(), payload.clone());
+        prop_assert_eq!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().unwrap(), payload);
+        prop_assert!(read_frame(&mut cur, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    /// Arbitrary bytes fed to the frame reader and both ingest decoders
+    /// return a typed error (or a valid value) — they never panic and
+    /// the frame reader always makes progress.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(0u8.., 0usize..300),
+    ) {
+        let mut cur = Cursor::new(bytes.clone());
+        while let Ok(Some(frame)) = read_frame(&mut cur, MAX_FRAME_LEN) {
+            // Any frame that parses is fed onward, like the server does.
+            let _ = decode_request(&frame);
+            let _ = decode_reply(&frame);
+        }
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+
+    /// Predict requests round-trip the codec exactly for any tag, lane,
+    /// deadline, and feature row (f32 bits preserved).
+    #[test]
+    fn predict_request_codec_round_trips(
+        tag in 0u64..,
+        lane_code in 0u8..2,
+        deadline_micros in 0u64..,
+        features in prop::collection::vec(-1e6f32..1e6, 0usize..40),
+    ) {
+        let req = Request::Predict {
+            tag,
+            priority: lane(lane_code),
+            deadline_micros,
+            features,
+        };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    /// Batch requests round-trip with the row-major layout and row width
+    /// intact, including the empty batch.
+    #[test]
+    fn batch_request_codec_round_trips(
+        tag in 0u64..,
+        lane_code in 0u8..2,
+        rows in 0usize..6,
+        dim in 1usize..8,
+        seed in 0u64..,
+    ) {
+        let features: Vec<f32> = (0..rows * dim)
+            .map(|i| (seed.wrapping_add(i as u64) % 4001) as f32 * 0.25 - 500.0)
+            .collect();
+        let req = Request::PredictBatch {
+            tag,
+            priority: lane(lane_code),
+            deadline_micros: seed,
+            dim,
+            features,
+        };
+        prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    /// Served predictions round-trip the reply codec bit-exactly —
+    /// f32/f64 travel as raw bits, so the wire cannot perturb them.
+    #[test]
+    fn predict_reply_codec_round_trips(
+        tag in 0u64..,
+        id in 0u64..,
+        p0 in 0.0f32..1.0,
+        entropy in 0.0f64..2.0,
+        mc_std in 0.0f64..1.0,
+    ) {
+        let result = ServeResult {
+            id,
+            proba: vec![p0, 1.0 - p0],
+            argmax: usize::from(p0 < 0.5),
+            entropy,
+            mc_std,
+        };
+        let single = Reply::Predict { tag, result: result.clone() };
+        prop_assert_eq!(decode_reply(&encode_reply(&single)).unwrap(), single);
+        // Batch replies carry per-row outcomes; Ok and Err rows mix.
+        let batch = Reply::PredictBatch {
+            tag,
+            rows: vec![
+                Ok(result),
+                Err(WireError::QueueFull { depth: id, capacity: tag }),
+            ],
+        };
+        prop_assert_eq!(decode_reply(&encode_reply(&batch)).unwrap(), batch);
+    }
+
+    /// Every typed wire-error variant survives the reply codec with its
+    /// payload intact.
+    #[test]
+    fn error_reply_codec_round_trips(
+        tag in 0u64..,
+        depth in 0u64..,
+        capacity in 0u64..,
+        expected in 0u64..,
+        got in 0u64..,
+    ) {
+        for error in [
+            WireError::QueueFull { depth, capacity },
+            WireError::DeadlineExceeded,
+            WireError::EngineStopped,
+            WireError::ShapeMismatch { expected, got },
+            WireError::Protocol("torn frame header".to_owned()),
+            WireError::Other("replica thread failure".to_owned()),
+        ] {
+            let reply = Reply::Error { tag, error };
+            prop_assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+        }
     }
 }
