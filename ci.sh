@@ -26,6 +26,12 @@ fi
 echo "==> train-determinism suite (bit-identity at 1/2/4 threads)"
 cargo test -q --test train_determinism
 
+echo "==> lane-determinism suite (LANES contract vs single-chain oracle, all float paths)"
+cargo test -q --test lane_determinism
+
+echo "==> steady-state zero-allocation suite (StepArena contract)"
+cargo test -q --test alloc_steady_state
+
 echo "==> serve-determinism suite (engine == batched inference, any order/worker count)"
 cargo test -q --test serve_determinism
 
@@ -46,6 +52,10 @@ VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
 echo "==> VIBNN_SCALE=quick training-engine bench (machine-readable, asserts bit-identity)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_train.json" \
     cargo run --release -p vibnn_bench --bin bench_train
+for field in phase_seconds allocations_per_step; do
+    grep -q "\"$field\"" target/BENCH_train.json \
+        || { echo "FAIL: BENCH_train.json lacks the $field breakdown"; exit 1; }
+done
 
 echo "==> VIBNN_SCALE=quick serving bench (machine-readable, asserts serve == batched)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_serve.json" \

@@ -7,8 +7,9 @@ use vibnn_nn::{
     Optimizer,
 };
 
-use crate::train::run_step;
-use crate::{parallel_mc_reduce, BnnParams, EpsScratch, GaussianPrior, LayerShared, VarDense};
+use crate::mc::{chunked_fold, TAIL_CHUNK};
+use crate::train::{run_step, StepArena, StepPhaseSeconds};
+use crate::{parallel_mc_reduce, BnnParams, EpsScratch, GaussianPrior, VarDense};
 
 /// Configuration for [`Bnn`].
 ///
@@ -165,6 +166,11 @@ pub struct Bnn {
     /// Completed training epochs. LR schedules index on this, so a
     /// checkpointed run resumes its schedule where it left off.
     pub(crate) epochs_trained: u64,
+    /// Pooled per-step tensors (a pure cache — carries no training state;
+    /// checkpoints ignore it).
+    pub(crate) arena: StepArena,
+    /// Cumulative per-phase wall-clock spend of the training engine.
+    pub(crate) phase_seconds: StepPhaseSeconds,
 }
 
 impl Bnn {
@@ -202,7 +208,17 @@ impl Bnn {
             seed,
             shuffle_draws: 0,
             epochs_trained: 0,
+            arena: StepArena::default(),
+            phase_seconds: StepPhaseSeconds::default(),
         }
+    }
+
+    /// Cumulative wall-clock seconds the training engine has spent in
+    /// each step phase (draw / shard passes / reduction / tail) since
+    /// construction, plus the step count — the source of `bench_train`'s
+    /// phase breakdown. Subtract two snapshots to profile a window.
+    pub fn phase_seconds(&self) -> StepPhaseSeconds {
+        self.phase_seconds
     }
 
     /// The configuration.
@@ -444,26 +460,77 @@ impl Bnn {
         assert_eq!(x.rows(), labels.len(), "batch size mismatch");
         assert!(x.rows() > 0, "empty batch");
         assert!(samples > 0, "need at least one Monte Carlo sample");
-        let shared: Vec<LayerShared> = self.layers.iter().map(VarDense::step_shared).collect();
+        // Tail (part 1): σ/σ′ precompute over fixed-boundary chunks.
+        let t_tail = std::time::Instant::now();
+        let num_layers = self.layers.len();
+        if self.arena.shared.len() != num_layers {
+            self.arena
+                .shared
+                .resize_with(num_layers, crate::LayerShared::default);
+        }
+        for (layer, sh) in self.layers.iter().zip(self.arena.shared.iter_mut()) {
+            layer.step_shared_into(sh, threads);
+        }
+        let mut tail_s = t_tail.elapsed().as_secs_f64();
         let step_src = self.train_eps.fork(self.step);
         self.step += 1;
-        let grads = run_step(&self.layers, &shared, x, labels, samples, threads, &step_src);
-        let nll = grads.nll_sum / (x.rows() as f64 * samples as f64);
+        let stats = run_step(
+            &self.layers,
+            x,
+            labels,
+            samples,
+            threads,
+            &step_src,
+            &mut self.arena,
+        );
+        let nll = stats.nll_sum / (x.rows() as f64 * samples as f64);
+        // Tail (part 2): gradient finish + optimizer, both chunk-parallel
+        // over the same fixed boundaries.
+        let t_tail = std::time::Instant::now();
         let prior_std = self.cfg.prior.std() as f32;
         let kl_weight = self.cfg.kl_weight;
         let mut kl = 0.0;
-        for ((layer, sh), lg) in self.layers.iter_mut().zip(&shared).zip(grads.layers) {
-            kl += layer.finish_step_grads(sh, prior_std, kl_weight, lg);
+        for ((layer, sh), lg) in self
+            .layers
+            .iter_mut()
+            .zip(&self.arena.shared)
+            .zip(self.arena.reduced.iter_mut())
+        {
+            kl += layer.finish_step_grads(sh, prior_std, kl_weight, lg, threads);
         }
         self.opt.tick();
+        let step = self.opt.step_params();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let [smu, srho, sbmu, sbrho] = self.slots[i];
             let ((mu, gmu), (rho, grho), (bmu, gbmu), (brho, gbrho)) = layer.params_mut();
-            self.opt.update_matrix(smu, mu, gmu);
-            self.opt.update_matrix(srho, rho, grho);
-            self.opt.update(sbmu, bmu, gbmu);
-            self.opt.update(sbrho, brho, gbrho);
+            for (slot, param, grad) in [
+                (smu, mu.data_mut(), gmu.data()),
+                (srho, rho.data_mut(), grho.data()),
+            ] {
+                let (m, v) = self.opt.slot_state_mut(slot);
+                // Adam is elementwise, so fixed-chunk parallelism cannot
+                // change any value.
+                let items = param
+                    .chunks_mut(TAIL_CHUNK)
+                    .zip(grad.chunks(TAIL_CHUNK))
+                    .zip(m.chunks_mut(TAIL_CHUNK))
+                    .zip(v.chunks_mut(TAIL_CHUNK));
+                chunked_fold(threads, items, |(((p, g), m), v)| {
+                    step.apply(p, g, m, v);
+                    0.0
+                });
+            }
+            let (m, v) = self.opt.slot_state_mut(sbmu);
+            step.apply(bmu, gbmu, m, v);
+            let (m, v) = self.opt.slot_state_mut(sbrho);
+            step.apply(brho, gbrho, m, v);
         }
+        tail_s += t_tail.elapsed().as_secs_f64();
+        self.phase_seconds.draw += stats.draw;
+        self.phase_seconds.shards += stats.shards;
+        self.phase_seconds.reduce += stats.reduce;
+        self.phase_seconds.tail += tail_s;
+        self.phase_seconds.steps += 1;
         let total = nll + f64::from(kl_weight) * kl;
         (total, nll, kl)
     }
@@ -532,7 +599,13 @@ impl Bnn {
         assert!(batch > 0, "batch size must be positive");
         assert_eq!(x.rows(), labels.len(), "dataset size mismatch");
         let n = x.rows();
-        let mut order: Vec<usize> = (0..n).collect();
+        // Pooled epoch scratch: take the buffers out of the arena so
+        // `step` can borrow `self` mutably, then put them back.
+        let mut order = std::mem::take(&mut self.arena.order);
+        let mut bx = std::mem::take(&mut self.arena.batch_x);
+        let mut by = std::mem::take(&mut self.arena.batch_y);
+        order.clear();
+        order.extend(0..n);
         for i in (1..n).rev() {
             let j = (self.shuffle_rng.next_uniform() * (i + 1) as f64) as usize;
             order.swap(i, j.min(i));
@@ -540,14 +613,18 @@ impl Bnn {
         self.shuffle_draws += n.saturating_sub(1) as u64;
         let (mut tl, mut tn, mut tk, mut b) = (0.0, 0.0, 0.0, 0u32);
         for chunk in order.chunks(batch) {
-            let bx = x.select_rows(chunk);
-            let by: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            x.select_rows_into(chunk, &mut bx);
+            by.clear();
+            by.extend(chunk.iter().map(|&i| labels[i]));
             let (l, nll, kl) = step(self, &bx, &by);
             tl += l;
             tn += nll;
             tk += kl;
             b += 1;
         }
+        self.arena.order = order;
+        self.arena.batch_x = bx;
+        self.arena.batch_y = by;
         self.epochs_trained += 1;
         let b = f64::from(b.max(1));
         BnnTrainReport {

@@ -29,6 +29,7 @@
 
 mod bnn;
 pub mod checkpoint;
+mod fastmath;
 mod mc;
 mod prior;
 mod schedule;
@@ -44,6 +45,7 @@ pub use mc::{
 pub use prior::{GaussianPrior, ScaleMixturePrior};
 pub use schedule::{EarlyStop, LrSchedule, ScheduledRun, TrainSchedule};
 pub use threads::vibnn_threads;
+pub use train::StepPhaseSeconds;
 pub use var_dense::{softplus, softplus_derivative, EpsScratch, LayerGrads, LayerShared, VarDense};
 
 /// A frozen snapshot of a trained BNN's variational parameters, expressed

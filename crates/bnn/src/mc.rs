@@ -17,9 +17,142 @@
 //! in exactly one place.
 
 use vibnn_grng::StreamFork;
-use vibnn_nn::Matrix;
+use vibnn_nn::{Matrix, LANES};
 
 use crate::vibnn_threads;
+
+/// Fixed chunk width (in elements) for the parallel step-tail passes
+/// (σ/σ′ precompute, KL gradients, Adam): flat tensors are partitioned at
+/// multiples of `TAIL_CHUNK` — a function of the tensor shape only, never
+/// of the thread count — and any per-chunk partial sums are folded in
+/// ascending chunk order, so tail results are bit-identical at every
+/// thread count. A multiple of both [`LANES`] and the `Σ ln σ` 16-element
+/// grouping so chunk boundaries never split a lane strip or an ln group.
+pub(crate) const TAIL_CHUNK: usize = 16_384;
+
+/// The worker count the harnesses actually use for `units` tasks:
+/// `requested` (0 ⇒ [`vibnn_threads`]) capped at `units` — spawning more
+/// workers than units only adds idle threads and, by the determinism
+/// contract, can never change the result.
+pub(crate) fn effective_threads(requested: usize, units: usize) -> usize {
+    let requested = if requested == 0 {
+        vibnn_threads()
+    } else {
+        requested
+    };
+    requested.min(units).max(1)
+}
+
+/// Folds `f` over a sequence of fixed-boundary work items (normally
+/// [`TAIL_CHUNK`]-element tensor chunks) across `threads` scoped workers,
+/// returning the per-item partials summed in **ascending item order**.
+///
+/// The mutable-view sibling of [`parallel_ordered_tasks`] for the step
+/// tail: each item owns disjoint `&mut` tensor chunks, `f` mutates them
+/// in place and returns an `f64` partial (0.0 when the pass has no
+/// reduction). Because item boundaries are fixed by the caller and the
+/// partial fold order is ascending, the result is independent of the
+/// thread count. `threads <= 1` runs inline without collecting or
+/// spawning — the training engine's allocation-free steady-state path.
+pub(crate) fn chunked_fold<T, I, F>(threads: usize, items: I, f: F) -> f64
+where
+    T: Send,
+    I: Iterator<Item = T>,
+    F: Fn(&mut T) -> f64 + Sync,
+{
+    if threads <= 1 {
+        let mut acc = 0.0f64;
+        for mut item in items {
+            acc += f(&mut item);
+        }
+        return acc;
+    }
+    let mut collected: Vec<T> = items.collect();
+    let n = collected.len();
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        let mut acc = 0.0f64;
+        for item in &mut collected {
+            acc += f(item);
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials = vec![0.0f64; n];
+    std::thread::scope(|scope| {
+        for (group, pgroup) in collected.chunks_mut(chunk).zip(partials.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, p) in group.iter_mut().zip(pgroup.iter_mut()) {
+                    *p = f(item);
+                }
+            });
+        }
+    });
+    // Same ascending fold as the inline path: 0.0 + p₀ + p₁ + …
+    let mut acc = 0.0f64;
+    for p in partials {
+        acc += p;
+    }
+    acc
+}
+
+/// [`parallel_ordered_tasks`] over caller-owned slots and worker
+/// workspaces: unit `u` mutates `slots[u]` in place instead of returning a
+/// value, and each worker borrows one entry of `workspaces` instead of
+/// building a fresh `W::default()`.
+///
+/// This is the training engine's pooled variant — with warm slots and
+/// workspaces a steady-state step performs no allocation at
+/// `threads == 1`, and the same unit→slot assignment keeps every
+/// order-sensitive downstream reduction schedule-independent.
+///
+/// # Panics
+///
+/// Panics if `workspaces` holds fewer entries than the effective worker
+/// count (see [`effective_threads`]).
+pub(crate) fn parallel_ordered_mut<S, W, F>(
+    slots: &mut [S],
+    threads: usize,
+    workspaces: &mut [W],
+    f: F,
+) where
+    S: Send,
+    W: Send,
+    F: Fn(usize, &mut S, &mut W) + Sync,
+{
+    if slots.is_empty() {
+        return;
+    }
+    let threads = effective_threads(threads, slots.len());
+    assert!(
+        workspaces.len() >= threads,
+        "need {threads} workspaces, have {}",
+        workspaces.len()
+    );
+    if threads == 1 {
+        let ws = &mut workspaces[0];
+        for (u, slot) in slots.iter_mut().enumerate() {
+            f(u, slot, ws);
+        }
+    } else {
+        let chunk = slots.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((t, group), ws) in slots
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(workspaces.iter_mut())
+            {
+                let f = &f;
+                scope.spawn(move || {
+                    for (off, slot) in group.iter_mut().enumerate() {
+                        f(t * chunk + off, slot, ws);
+                    }
+                });
+            }
+        });
+    }
+}
 
 /// Runs `units` independent tasks across `threads` `std::thread::scope`
 /// workers and returns the per-unit results in ascending unit order.
@@ -45,11 +178,7 @@ where
     if units == 0 {
         return Vec::new();
     }
-    let requested = if threads == 0 { vibnn_threads() } else { threads };
-    let hardware = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(requested);
-    let threads = requested.min(hardware).min(units).max(1);
+    let threads = effective_threads(threads, units);
     let mut slots: Vec<Option<T>> = (0..units).map(|_| None).collect();
     if threads == 1 {
         let mut worker_state = W::default();
@@ -153,9 +282,17 @@ pub fn replica_source<S: StreamFork>(cluster_eps: &S) -> S {
     cluster_eps.fork(REPLICA_STREAM)
 }
 
-/// The engine's order-deterministic mean reduction: accumulate the draws
-/// in ascending index order (`acc = draws[0]; acc += draws[i]`), then
-/// scale by `1/n`.
+/// The engine's order-deterministic mean reduction, following the
+/// fixed-lane accumulation contract ([`vibnn_nn::LANES`]): draw `k`
+/// belongs to lane `k % LANES`, each lane folds its draws in ascending
+/// `k`, and the lane totals are combined in ascending lane order before
+/// scaling by `1/n`.
+///
+/// For `n ≤ LANES` each lane holds at most one draw, so the lane fold
+/// degenerates to the plain ascending chain `draws[0] + draws[1] + …` —
+/// the default `mc_samples = 8` ensemble reduces exactly as it always
+/// has. Lane membership depends only on the draw index, never on
+/// scheduling, so the result is bit-identical at every thread count.
 ///
 /// This is the *only* reduction used by the parallel Monte Carlo paths —
 /// callers that need the per-sample members (e.g. the serving engine's
@@ -168,11 +305,34 @@ pub fn replica_source<S: StreamFork>(cluster_eps: &S) -> S {
 /// Panics if `draws` is empty.
 pub fn reduce_mean(draws: &[Matrix]) -> Matrix {
     assert!(!draws.is_empty(), "need at least one Monte Carlo sample");
+    let n = draws.len();
     let mut acc = draws[0].clone();
-    for m in &draws[1..] {
-        acc.axpy(1.0, m);
+    if n <= LANES {
+        for m in &draws[1..] {
+            acc.axpy(1.0, m);
+        }
+    } else {
+        // Lane 0 accumulates directly into `acc` (seeded with draws[0]);
+        // lanes 1.. build in one reusable temp and fold in ascending lane
+        // order.
+        let mut k = LANES;
+        while k < n {
+            acc.axpy(1.0, &draws[k]);
+            k += LANES;
+        }
+        let mut lane = Matrix::zeros(0, 0);
+        for l in 1..LANES {
+            lane.resize(draws[0].rows(), draws[0].cols());
+            lane.data_mut().copy_from_slice(draws[l].data());
+            let mut k = l + LANES;
+            while k < n {
+                lane.axpy(1.0, &draws[k]);
+                k += LANES;
+            }
+            acc.axpy(1.0, &lane);
+        }
     }
-    acc.scale(1.0 / draws.len() as f32);
+    acc.scale(1.0 / n as f32);
     acc
 }
 
@@ -234,6 +394,97 @@ mod tests {
             let mut sample = cluster.fork(s);
             let first = sample.next_gaussian().to_bits();
             assert_ne!(first, draws_a[0], "replica stream collides with fork({s})");
+        }
+    }
+
+    #[test]
+    fn worker_spawn_is_capped_by_unit_count() {
+        // Oversubscribing (threads ≫ units) must not spawn idle workers:
+        // with 3 units and 16 requested threads at most 3 distinct threads
+        // may run tasks.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        assert_eq!(effective_threads(16, 3), 3);
+        assert_eq!(effective_threads(16, 1), 1);
+        let ids = Mutex::new(HashSet::new());
+        let out = parallel_ordered_tasks(3, 16, |u, _: &mut ()| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            u
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(
+            ids.lock().unwrap().len() <= 3,
+            "spawned more workers than units"
+        );
+    }
+
+    #[test]
+    fn reduce_mean_follows_lane_rule_beyond_lane_count() {
+        // 11 draws > LANES: lane l folds draws l, l+8, … and lanes combine
+        // in ascending order.
+        let draws: Vec<Matrix> = (0..11)
+            .map(|k| {
+                let mut m = Matrix::zeros(2, 2);
+                for (i, v) in m.data_mut().iter_mut().enumerate() {
+                    *v = ((k * 7 + i * 3) as f32).sin();
+                }
+                m
+            })
+            .collect();
+        let got = reduce_mean(&draws);
+        for i in 0..4 {
+            let mut lanes = [0.0f32; LANES];
+            for (k, d) in draws.iter().enumerate() {
+                lanes[k % LANES] += d.data()[i];
+            }
+            let mut want = lanes[0];
+            for &l in &lanes[1..] {
+                want += l;
+            }
+            want *= 1.0 / draws.len() as f32;
+            assert_eq!(got.data()[i].to_bits(), want.to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_fold_is_thread_count_independent() {
+        let data: Vec<f32> = (0..70_000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let run = |threads: usize| {
+            let mut out = vec![0.0f32; data.len()];
+            let partial = chunked_fold(
+                threads,
+                data.chunks(TAIL_CHUNK).zip(out.chunks_mut(TAIL_CHUNK)),
+                |(src, dst)| {
+                    let mut s = 0.0f64;
+                    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+                        *d = v * v;
+                        s += f64::from(v);
+                    }
+                    s
+                },
+            );
+            (partial, out)
+        };
+        let (p1, o1) = run(1);
+        for threads in [2usize, 3, 8] {
+            let (p, o) = run(threads);
+            assert_eq!(p.to_bits(), p1.to_bits(), "{threads} threads partial");
+            assert_eq!(o, o1, "{threads} threads output");
+        }
+    }
+
+    #[test]
+    fn ordered_mut_fills_slots_in_unit_order() {
+        for threads in [1usize, 2, 5] {
+            let mut slots = vec![0usize; 13];
+            let mut workspaces = vec![0u32; 8];
+            parallel_ordered_mut(&mut slots, threads, &mut workspaces, |u, slot, ws| {
+                *slot = u * 3;
+                *ws += 1;
+            });
+            assert_eq!(slots, (0..13).map(|u| u * 3).collect::<Vec<_>>());
+            let done: u32 = workspaces.iter().sum();
+            assert_eq!(done, 13, "{threads} threads");
         }
     }
 

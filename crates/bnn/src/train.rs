@@ -14,9 +14,14 @@
 //!    count — and each unit runs the forward/backward pass of its shard's
 //!    rows against its sample's weights, producing per-layer likelihood
 //!    gradients on reusable workspace buffers.
-//! 3. **Ordered reduction** (serial): unit gradients are folded in
-//!    ascending `(sample, shard)` order — one fixed float accumulation
-//!    chain — so the result is **bit-identical at any thread count**.
+//! 3. **Ordered reduction** (serial): unit gradients are folded with the
+//!    fixed-lane accumulation rule ([`vibnn_nn::LANES`]) in each fold
+//!    dimension — shard `m` belongs to lane `m % LANES` within its
+//!    sample, sample `s` to lane `s % LANES` overall, lanes combine in
+//!    ascending lane order — so the result is **bit-identical at any
+//!    thread count**. At the paper scales (≤ 8 shards, ≤ 8 samples) every
+//!    lane holds at most one term and the rule degenerates to the plain
+//!    ascending fold.
 //!
 //! The ρ-gradient trick: within a sample every shard shares ε, so the
 //! likelihood ρ-gradient is `(Σ_shards ∂L/∂w) ∘ ε_s ∘ σ′`. The engine
@@ -25,11 +30,20 @@
 //! [`VarDense::finish_step_grads`] — the seed path recomputed
 //! `softplus`/`sigmoid` per weight up to six times per batch, which
 //! dominated its CPU profile.
+//!
+//! Every tensor a step touches lives in the engine-owned [`StepArena`]:
+//! draws, unit gradients, worker workspaces, shard views, and the reduced
+//! gradients are all capacity-preserving pools keyed by shape, so a
+//! steady-state step at one thread performs **zero heap allocations**
+//! (pinned by `tests/alloc_steady_state.rs`).
+
+use std::time::Instant;
 
 use vibnn_grng::StreamFork;
-use vibnn_nn::{relu, relu_backward, softmax_rows, Matrix};
+use vibnn_nn::{relu, relu_backward, softmax_rows, Matrix, LANES};
 
-use crate::{parallel_fork_map, parallel_ordered_tasks, LayerGrads, LayerShared, VarDense};
+use crate::mc::{effective_threads, parallel_ordered_mut};
+use crate::{LayerGrads, LayerShared, VarDense};
 
 /// Rows per gradient microbatch. A fixed constant (rather than
 /// `batch / threads`) so the shard partition — and therefore the gradient
@@ -39,6 +53,7 @@ use crate::{parallel_fork_map, parallel_ordered_tasks, LayerGrads, LayerShared, 
 pub(crate) const MICROBATCH_ROWS: usize = 16;
 
 /// One MC sample's drawn tensors, shared read-only by its shard units.
+#[derive(Debug, Clone, Default)]
 struct SampleDraw {
     w: Vec<Matrix>,
     b: Vec<Vec<f32>>,
@@ -46,7 +61,10 @@ struct SampleDraw {
     bias_eps: Vec<Vec<f32>>,
 }
 
-/// Likelihood gradients produced by one `(sample, shard)` unit.
+/// Likelihood gradients produced by one `(sample, shard)` unit. During
+/// the ordered reduction the first shard's tensors double as its sample's
+/// fold accumulator.
+#[derive(Debug, Clone, Default)]
 struct UnitGrads {
     w: Vec<Matrix>,
     b: Vec<Vec<f32>>,
@@ -54,7 +72,7 @@ struct UnitGrads {
 }
 
 /// Per-worker reusable buffers for the shard forward/backward pass.
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 struct ShardWorkspace {
     /// Post-activation output of every layer (`acts[last]` holds logits,
     /// then softmax probabilities).
@@ -65,26 +83,84 @@ struct ShardWorkspace {
     grad_next: Matrix,
 }
 
-/// The reduced likelihood gradients of one training step, still missing
-/// the `σ′` ρ-factor and the KL terms (both applied by
-/// [`VarDense::finish_step_grads`]).
-pub(crate) struct StepGrads {
-    /// One [`LayerGrads`] per layer.
-    pub layers: Vec<LayerGrads>,
-    /// `Σ −ln p[label]` over every `(sample, shard, row)`, accumulated in
-    /// unit order; divide by `batch × samples` for the reported NLL.
-    pub nll_sum: f64,
+/// The engine-owned pool of every per-step tensor: shared σ/σ′ tensors,
+/// sample draws, unit gradients, worker workspaces, shard views, reduced
+/// gradients, lane-fold temporaries, and the epoch driver's minibatch
+/// buffers.
+///
+/// All buffers grow to their steady-state shapes on the first step and
+/// are reused (capacity-preserving resizes) afterwards, making the
+/// steady-state training step allocation-free at one thread. The pool is
+/// a pure cache: its contents never carry state between steps, so
+/// checkpoints ignore it and a cloned network simply re-warms its own.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StepArena {
+    /// Per-layer σ/σ′/`Σ ln σ` tensors of the current step.
+    pub(crate) shared: Vec<LayerShared>,
+    draws: Vec<SampleDraw>,
+    units: Vec<UnitGrads>,
+    workspaces: Vec<ShardWorkspace>,
+    shard_x: Vec<Matrix>,
+    /// The reduced likelihood gradients, handed to
+    /// [`VarDense::finish_step_grads`] (which swaps its tensors back in).
+    pub(crate) reduced: Vec<LayerGrads>,
+    // Lane-fold temporaries for the > LANES cases.
+    lane_w: Matrix,
+    lane_b: Vec<f32>,
+    lane_mu: Matrix,
+    lane_rho: Matrix,
+    lane_bmu: Vec<f32>,
+    lane_brho: Vec<f32>,
+    // Epoch-driver minibatch pools (taken/restored around the batch loop).
+    pub(crate) order: Vec<usize>,
+    pub(crate) batch_x: Matrix,
+    pub(crate) batch_y: Vec<usize>,
 }
 
-/// Forward + backward over one shard with one sample's weights.
+/// What [`run_step`] hands back besides the reduced gradients (which land
+/// in [`StepArena::reduced`]): the NLL sum and the per-phase wall-clock
+/// spend.
+pub(crate) struct StepStats {
+    /// `Σ −ln p[label]` over every `(sample, shard, row)`, accumulated in
+    /// ascending unit order; divide by `batch × samples` for the NLL.
+    pub nll_sum: f64,
+    /// Seconds in phase 1 (ε draws).
+    pub draw: f64,
+    /// Seconds in phase 2 (shard forward/backward passes).
+    pub shards: f64,
+    /// Seconds in phase 3 (ordered gradient reduction).
+    pub reduce: f64,
+}
+
+/// Cumulative wall-clock seconds a network has spent in each phase of the
+/// training engine (see [`crate::Bnn::phase_seconds`]). `tail` covers
+/// everything outside the three `run_step` phases: the σ/σ′ precompute,
+/// `finish_step_grads`, and the optimizer update.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepPhaseSeconds {
+    /// Phase 1: reparameterized ε draws.
+    pub draw: f64,
+    /// Phase 2: shard forward/backward passes.
+    pub shards: f64,
+    /// Phase 3: ordered gradient reduction.
+    pub reduce: f64,
+    /// σ/σ′ precompute + gradient finish + optimizer update.
+    pub tail: f64,
+    /// Steps accounted for.
+    pub steps: u64,
+}
+
+/// Forward + backward over one shard with one sample's weights, writing
+/// the per-layer gradients into the pooled `out` slot.
 fn unit_pass(
     layers: &[VarDense],
     draw: &SampleDraw,
     x: &Matrix,
     labels: &[usize],
     inv_scale: f32,
+    out: &mut UnitGrads,
     ws: &mut ShardWorkspace,
-) -> UnitGrads {
+) {
     let num_layers = layers.len();
     let last = num_layers - 1;
     if ws.acts.len() != num_layers {
@@ -93,11 +169,11 @@ fn unit_pass(
     for l in 0..num_layers {
         let (done, rest) = ws.acts.split_at_mut(l);
         let input = if l == 0 { x } else { &done[l - 1] };
-        let out = &mut rest[0];
-        input.matmul_into(&draw.w[l], out);
-        out.add_row_broadcast(&draw.b[l]);
+        let act = &mut rest[0];
+        input.matmul_into(&draw.w[l], act);
+        act.add_row_broadcast(&draw.b[l]);
         if l < last {
-            relu(out);
+            relu(act);
         }
     }
     softmax_rows(&mut ws.acts[last]);
@@ -106,6 +182,7 @@ fn unit_pass(
     for (r, &label) in labels.iter().enumerate() {
         nll -= f64::from(probs[(r, label)]).max(1e-12).ln();
     }
+    out.nll = nll;
     // dL/dlogits = (probs − onehot) / (batch × samples).
     ws.grad.resize(probs.rows(), probs.cols());
     ws.grad.data_mut().copy_from_slice(probs.data());
@@ -113,15 +190,18 @@ fn unit_pass(
         ws.grad[(r, label)] -= 1.0;
     }
     ws.grad.scale(inv_scale);
-    let mut gw: Vec<Matrix> = (0..num_layers).map(|_| Matrix::default()).collect();
-    let mut gb: Vec<Vec<f32>> = vec![Vec::new(); num_layers];
+    if out.w.len() != num_layers {
+        out.w.resize_with(num_layers, Matrix::default);
+        out.b.resize_with(num_layers, Vec::new);
+    }
     for l in (0..num_layers).rev() {
         if l < last {
             relu_backward(&mut ws.grad, &ws.acts[l]);
         }
         let input = if l == 0 { x } else { &ws.acts[l - 1] };
-        gw[l] = input.t_matmul(&ws.grad);
-        gb[l] = ws.grad.col_sums();
+        input.t_matmul_into(&ws.grad, &mut out.w[l]);
+        out.b[l].resize(ws.grad.cols(), 0.0);
+        ws.grad.col_sums_into(&mut out.b[l]);
         if l > 0 {
             // dL/dx through the *sampled* weights; skipped for the first
             // layer, whose input gradient nobody consumes.
@@ -129,101 +209,257 @@ fn unit_pass(
             std::mem::swap(&mut ws.grad, &mut ws.grad_next);
         }
     }
-    UnitGrads { w: gw, b: gb, nll }
+}
+
+/// Folds the shard gradients of sample `s`, layer `l`, into the sample's
+/// first unit slot with the fixed-lane rule: shard `m` belongs to lane
+/// `m % LANES`, lanes combine in ascending lane order. For
+/// `num_shards ≤ LANES` every lane holds at most one shard and the fold
+/// is the plain ascending chain.
+fn fold_sample_shards(
+    units: &mut [UnitGrads],
+    s: usize,
+    num_shards: usize,
+    l: usize,
+    lane_w: &mut Matrix,
+    lane_b: &mut Vec<f32>,
+) {
+    let (first, rest) = units[s * num_shards..(s + 1) * num_shards]
+        .split_first_mut()
+        .expect("at least one shard");
+    if num_shards <= LANES {
+        for u in rest.iter() {
+            first.w[l].axpy(1.0, &u.w[l]);
+            for (a, &v) in first.b[l].iter_mut().zip(&u.b[l]) {
+                *a += v;
+            }
+        }
+    } else {
+        // Lane 0 accumulates into the first unit's tensors; lanes 1..
+        // build in the pooled temporaries and fold in ascending order.
+        let mut m = LANES;
+        while m < num_shards {
+            first.w[l].axpy(1.0, &rest[m - 1].w[l]);
+            for (a, &v) in first.b[l].iter_mut().zip(&rest[m - 1].b[l]) {
+                *a += v;
+            }
+            m += LANES;
+        }
+        for lane in 1..LANES {
+            let seed = &rest[lane - 1];
+            lane_w.resize(seed.w[l].rows(), seed.w[l].cols());
+            lane_w.data_mut().copy_from_slice(seed.w[l].data());
+            lane_b.resize(seed.b[l].len(), 0.0);
+            lane_b.copy_from_slice(&seed.b[l]);
+            let mut m = lane + LANES;
+            while m < num_shards {
+                lane_w.axpy(1.0, &rest[m - 1].w[l]);
+                for (a, &v) in lane_b.iter_mut().zip(&rest[m - 1].b[l]) {
+                    *a += v;
+                }
+                m += LANES;
+            }
+            first.w[l].axpy(1.0, lane_w);
+            for (a, &v) in first.b[l].iter_mut().zip(lane_b.iter()) {
+                *a += v;
+            }
+        }
+    }
 }
 
 /// Runs the draw / shard-pass / ordered-reduction phases of one training
-/// step. `threads == 0` resolves through [`crate::vibnn_threads`].
+/// step on the pooled arena tensors. `arena.shared` must already hold
+/// this step's per-layer σ tensors; the reduced gradients land in
+/// `arena.reduced`. `threads == 0` resolves through
+/// [`crate::vibnn_threads`].
 pub(crate) fn run_step<S: StreamFork + Sync>(
     layers: &[VarDense],
-    shared: &[LayerShared],
     x: &Matrix,
     labels: &[usize],
     samples: usize,
     threads: usize,
     step_src: &S,
-) -> StepGrads {
+    arena: &mut StepArena,
+) -> StepStats {
     let num_layers = layers.len();
     let batch = x.rows();
     let num_shards = batch.div_ceil(MICROBATCH_ROWS).max(1);
-    let shard_x: Vec<Matrix> = (0..num_shards)
-        .map(|m| x.rows_slice(m * MICROBATCH_ROWS, ((m + 1) * MICROBATCH_ROWS).min(batch)))
-        .collect();
-    let shard_y: Vec<&[usize]> = labels.chunks(MICROBATCH_ROWS).collect();
+    let StepArena {
+        shared,
+        draws,
+        units,
+        workspaces,
+        shard_x,
+        reduced,
+        lane_w,
+        lane_b,
+        lane_mu,
+        lane_rho,
+        lane_bmu,
+        lane_brho,
+        ..
+    } = arena;
+    let shared: &[LayerShared] = shared;
+
+    let need_ws = effective_threads(threads, samples)
+        .max(effective_threads(threads, samples * num_shards));
+    if workspaces.len() < need_ws {
+        workspaces.resize_with(need_ws, ShardWorkspace::default);
+    }
+    if shard_x.len() < num_shards {
+        shard_x.resize_with(num_shards, Matrix::default);
+    }
+    for (m, sx) in shard_x.iter_mut().enumerate().take(num_shards) {
+        x.rows_slice_into(
+            m * MICROBATCH_ROWS,
+            ((m + 1) * MICROBATCH_ROWS).min(batch),
+            sx,
+        );
+    }
 
     // Phase 1: one forked ε substream per MC sample.
-    let draws: Vec<SampleDraw> =
-        parallel_fork_map(samples, threads, step_src, |_, src, _: &mut ()| {
-            let mut w = Vec::with_capacity(num_layers);
-            let mut b = Vec::with_capacity(num_layers);
-            let mut eps = Vec::with_capacity(num_layers);
-            let mut bias_eps = Vec::with_capacity(num_layers);
-            for (layer, sh) in layers.iter().zip(shared) {
-                let (wi, bi, ei, bei) = layer.draw_sample(sh, src);
-                w.push(wi);
-                b.push(bi);
-                eps.push(ei);
-                bias_eps.push(bei);
-            }
-            SampleDraw { w, b, eps, bias_eps }
-        });
-
-    // Phase 2: (sample, shard) units on reusable worker workspaces.
-    let inv_scale = 1.0 / (batch as f32 * samples as f32);
-    let units = parallel_ordered_tasks(
-        samples * num_shards,
+    let t0 = Instant::now();
+    if draws.len() < samples {
+        draws.resize_with(samples, SampleDraw::default);
+    }
+    parallel_ordered_mut(
+        &mut draws[..samples],
         threads,
-        |u, ws: &mut ShardWorkspace| {
-            let s = u / num_shards;
-            let m = u % num_shards;
-            unit_pass(layers, &draws[s], &shard_x[m], shard_y[m], inv_scale, ws)
+        workspaces,
+        |s, draw, _ws| {
+            let mut src = step_src.fork(s as u64);
+            if draw.w.len() != num_layers {
+                draw.w.resize_with(num_layers, Matrix::default);
+                draw.b.resize_with(num_layers, Vec::new);
+                draw.eps.resize_with(num_layers, Matrix::default);
+                draw.bias_eps.resize_with(num_layers, Vec::new);
+            }
+            for (l, (layer, sh)) in layers.iter().zip(shared).enumerate() {
+                layer.draw_sample_into(
+                    sh,
+                    &mut src,
+                    &mut draw.w[l],
+                    &mut draw.b[l],
+                    &mut draw.eps[l],
+                    &mut draw.bias_eps[l],
+                );
+            }
         },
     );
+    let draw_s = t0.elapsed().as_secs_f64();
 
-    // Phase 3: ordered reduction — ascending shard order within each
-    // sample, ascending sample order overall.
-    let mut reduced: Vec<LayerGrads> = layers
-        .iter()
-        .map(|l| LayerGrads {
-            mu: Matrix::zeros(l.in_dim(), l.out_dim()),
-            rho_pre: Matrix::zeros(l.in_dim(), l.out_dim()),
-            bias_mu: vec![0.0; l.out_dim()],
-            bias_rho_pre: vec![0.0; l.out_dim()],
-        })
-        .collect();
-    let mut units = units;
-    for (s, draw) in draws.iter().enumerate() {
-        for (l, acc) in reduced.iter_mut().enumerate() {
-            // The first shard's gradient doubles as the per-sample
-            // accumulator (taken by move; later shards fold in ascending
-            // order).
-            let mut sample_sum = std::mem::take(&mut units[s * num_shards].w[l]);
-            for m in 1..num_shards {
-                sample_sum.axpy(1.0, &units[s * num_shards + m].w[l]);
+    // Phase 2: (sample, shard) units on reusable worker workspaces.
+    let t1 = Instant::now();
+    let inv_scale = 1.0 / (batch as f32 * samples as f32);
+    let num_units = samples * num_shards;
+    if units.len() < num_units {
+        units.resize_with(num_units, UnitGrads::default);
+    }
+    {
+        let draws: &[SampleDraw] = draws;
+        let shard_x: &[Matrix] = shard_x;
+        parallel_ordered_mut(
+            &mut units[..num_units],
+            threads,
+            workspaces,
+            |u, unit, ws| {
+                let s = u / num_shards;
+                let m = u % num_shards;
+                let rows = m * MICROBATCH_ROWS..((m + 1) * MICROBATCH_ROWS).min(batch);
+                unit_pass(
+                    layers,
+                    &draws[s],
+                    &shard_x[m],
+                    &labels[rows],
+                    inv_scale,
+                    unit,
+                    ws,
+                );
+            },
+        );
+    }
+    let shards_s = t1.elapsed().as_secs_f64();
+
+    // Phase 3: ordered lane-rule reduction (see the module docs).
+    let t2 = Instant::now();
+    let units = &mut units[..num_units];
+    let nll_sum: f64 = units.iter().map(|u| u.nll).sum();
+    if reduced.len() != num_layers {
+        reduced.resize_with(num_layers, LayerGrads::default);
+    }
+    for (l, (layer, acc)) in layers.iter().zip(reduced.iter_mut()).enumerate() {
+        let (di, dj) = (layer.in_dim(), layer.out_dim());
+        acc.mu.resize(di, dj);
+        acc.mu.data_mut().fill(0.0);
+        acc.rho_pre.resize(di, dj);
+        acc.rho_pre.data_mut().fill(0.0);
+        acc.bias_mu.resize(dj, 0.0);
+        acc.bias_mu.fill(0.0);
+        acc.bias_rho_pre.resize(dj, 0.0);
+        acc.bias_rho_pre.fill(0.0);
+        if samples <= LANES {
+            for (s, draw) in draws.iter().enumerate().take(samples) {
+                fold_sample_shards(units, s, num_shards, l, lane_w, lane_b);
+                let sum = &units[s * num_shards];
+                acc.mu.axpy(1.0, &sum.w[l]);
+                acc.rho_pre.fma_assign(&sum.w[l], &draw.eps[l]);
+                for (a, &v) in acc.bias_mu.iter_mut().zip(&sum.b[l]) {
+                    *a += v;
+                }
+                for (a, (&v, &e)) in acc
+                    .bias_rho_pre
+                    .iter_mut()
+                    .zip(sum.b[l].iter().zip(&draw.bias_eps[l]))
+                {
+                    *a += v * e;
+                }
             }
-            acc.mu.axpy(1.0, &sample_sum);
-            acc.rho_pre.fma_assign(&sample_sum, &draw.eps[l]);
-            let mut bias_sum = std::mem::take(&mut units[s * num_shards].b[l]);
-            for m in 1..num_shards {
-                for (a, &v) in bias_sum.iter_mut().zip(&units[s * num_shards + m].b[l]) {
+        } else {
+            // Sample lanes: sample s → lane s % LANES, folded through the
+            // pooled lane accumulators, lanes combined in ascending order.
+            for lane in 0..LANES {
+                lane_mu.resize(di, dj);
+                lane_mu.data_mut().fill(0.0);
+                lane_rho.resize(di, dj);
+                lane_rho.data_mut().fill(0.0);
+                lane_bmu.resize(dj, 0.0);
+                lane_bmu.fill(0.0);
+                lane_brho.resize(dj, 0.0);
+                lane_brho.fill(0.0);
+                let mut s = lane;
+                while s < samples {
+                    fold_sample_shards(units, s, num_shards, l, lane_w, lane_b);
+                    let sum = &units[s * num_shards];
+                    let draw = &draws[s];
+                    lane_mu.axpy(1.0, &sum.w[l]);
+                    lane_rho.fma_assign(&sum.w[l], &draw.eps[l]);
+                    for (a, &v) in lane_bmu.iter_mut().zip(&sum.b[l]) {
+                        *a += v;
+                    }
+                    for (a, (&v, &e)) in lane_brho
+                        .iter_mut()
+                        .zip(sum.b[l].iter().zip(&draw.bias_eps[l]))
+                    {
+                        *a += v * e;
+                    }
+                    s += LANES;
+                }
+                acc.mu.axpy(1.0, lane_mu);
+                acc.rho_pre.axpy(1.0, lane_rho);
+                for (a, &v) in acc.bias_mu.iter_mut().zip(lane_bmu.iter()) {
+                    *a += v;
+                }
+                for (a, &v) in acc.bias_rho_pre.iter_mut().zip(lane_brho.iter()) {
                     *a += v;
                 }
             }
-            for (a, &v) in acc.bias_mu.iter_mut().zip(&bias_sum) {
-                *a += v;
-            }
-            for (a, (&v, &e)) in acc
-                .bias_rho_pre
-                .iter_mut()
-                .zip(bias_sum.iter().zip(&draw.bias_eps[l]))
-            {
-                *a += v * e;
-            }
         }
     }
-    let nll_sum: f64 = units.iter().map(|u| u.nll).sum();
-    StepGrads {
-        layers: reduced,
+    let reduce_s = t2.elapsed().as_secs_f64();
+    StepStats {
         nll_sum,
+        draw: draw_s,
+        shards: shards_s,
+        reduce: reduce_s,
     }
 }

@@ -3,20 +3,22 @@
 use vibnn_grng::GaussianSource;
 use vibnn_nn::{GaussianInit, Matrix};
 
+use crate::fastmath::{softplus_sigmoid, softplus_sigmoid_slice};
+use crate::mc::{chunked_fold, TAIL_CHUNK};
+
 /// Softplus `ln(1 + exp(x))`, the paper's σ parameterization (equation 2).
+///
+/// Delegates to the crate's fused polynomial kernel
+/// (`fastmath::softplus_sigmoid`) — the same evaluation every training and
+/// serving path uses — so all σ call sites agree bitwise.
 pub fn softplus(x: f32) -> f32 {
-    if x > 20.0 {
-        x
-    } else if x < -20.0 {
-        x.exp()
-    } else {
-        x.exp().ln_1p()
-    }
+    softplus_sigmoid(x).0
 }
 
-/// Derivative of softplus: the logistic sigmoid.
+/// Derivative of softplus: the logistic sigmoid. Shares the fused kernel
+/// with [`softplus`], so σ and σ′ always come from the same evaluation.
 pub fn softplus_derivative(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+    softplus_sigmoid(x).1
 }
 
 /// Reusable ε-sampling buffers for repeated sampled-inference passes.
@@ -63,7 +65,7 @@ impl Default for EpsScratch {
 /// fused pass per step computes σ, σ′ = sigmoid(ρ), and `Σ ln σ` (the
 /// KL value's only transcendental), and everything downstream is
 /// fused-multiply-add arithmetic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LayerShared {
     /// Weight standard deviations `softplus(ρ)`.
     pub sigma: Matrix,
@@ -83,7 +85,7 @@ pub struct LayerShared {
 /// as produced by the engine's ordered reduction and consumed by
 /// [`VarDense::finish_step_grads`]. The ρ entries are "pre" gradients:
 /// `Σ_s ∂NLL/∂w_s ∘ ε_s`, still missing the shared `σ′` factor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LayerGrads {
     /// `Σ ∂NLL/∂w` (equals `∂NLL/∂µ`).
     pub mu: Matrix,
@@ -95,17 +97,80 @@ pub struct LayerGrads {
     pub bias_rho_pre: Vec<f32>,
 }
 
-/// One fused σ/σ′/ln σ evaluation (same branch structure as [`softplus`] /
-/// [`softplus_derivative`], sharing the single `exp`).
-#[inline]
-fn sigma_pair(rho: f32) -> (f32, f32) {
-    if rho > 20.0 {
-        (rho, 1.0 / (1.0 + (-rho).exp()))
-    } else {
-        let t = rho.exp();
-        let sigma = if rho < -20.0 { t } else { t.ln_1p() };
-        (sigma, t / (1.0 + t))
+/// `Σ ln vᵢ` accumulated as `ln` of short products — one `ln` per 16
+/// elements instead of per element — with an underflow guard that flushes
+/// early whenever the running product leaves comfortable f64 range, so
+/// pathologically tiny σ still contribute their (possibly `-inf`)
+/// logarithm instead of vanishing.
+///
+/// The step tail calls this **per [`TAIL_CHUNK`]-element chunk** and folds
+/// the chunk partials in ascending chunk order; `TAIL_CHUNK` is a multiple
+/// of 16, so without underflow flushes the 16-element groups are identical
+/// to a whole-tensor pass and only the f64 fold association differs.
+fn ln_product_sum(values: &[f32]) -> f64 {
+    let mut total = 0.0f64;
+    let mut prod = 1.0f64;
+    let mut pending = 0u32;
+    for &v in values {
+        prod *= f64::from(v);
+        pending += 1;
+        if pending == 16 || !(1e-270..=1e270).contains(&prod) {
+            total += prod.ln();
+            prod = 1.0;
+            pending = 0;
+        }
     }
+    if pending > 0 {
+        total += prod.ln();
+    }
+    total
+}
+
+/// One fixed chunk of the finish-step gradient pass: returns the chunk's
+/// `Σ(σ² + µ²)` partial (f64, ascending element order) and applies the
+/// KL/σ′ gradient updates in explicit [`vibnn_nn::LANES`]-wide strips
+/// (plus a scalar tail). The updates are elementwise, so the strip width
+/// cannot change any value — it only keeps the f32 loop free of the f64
+/// accumulator so it autovectorizes.
+fn finish_grads_chunk(
+    g_mu: &mut [f32],
+    g_rho: &mut [f32],
+    mu: &[f32],
+    sigma: &[f32],
+    sd: &[f32],
+    inv_ps2: f32,
+    kl_weight: f32,
+) -> f64 {
+    use vibnn_nn::LANES;
+    let mut quad = 0.0f64;
+    for (&s, &m) in sigma.iter().zip(mu) {
+        quad += f64::from(s * s + m * m);
+    }
+    let mut gm = g_mu.chunks_exact_mut(LANES);
+    let mut gr = g_rho.chunks_exact_mut(LANES);
+    let mut mc = mu.chunks_exact(LANES);
+    let mut sc = sigma.chunks_exact(LANES);
+    let mut dc = sd.chunks_exact(LANES);
+    for ((((gm, gr), m), s), d) in (&mut gm).zip(&mut gr).zip(&mut mc).zip(&mut sc).zip(&mut dc) {
+        for l in 0..LANES {
+            let dsigma = s[l] * inv_ps2 - 1.0 / s[l];
+            gm[l] += kl_weight * (m[l] * inv_ps2);
+            gr[l] = gr[l] * d[l] + kl_weight * dsigma * d[l];
+        }
+    }
+    for ((((gm, gr), &m), &s), &d) in gm
+        .into_remainder()
+        .iter_mut()
+        .zip(gr.into_remainder().iter_mut())
+        .zip(mc.remainder())
+        .zip(sc.remainder())
+        .zip(dc.remainder())
+    {
+        let dsigma = s * inv_ps2 - 1.0 / s;
+        *gm += kl_weight * (m * inv_ps2);
+        *gr = *gr * d + kl_weight * dsigma * d;
+    }
+    quad
 }
 
 /// A dense layer whose weights and biases are Gaussian posteriors
@@ -402,67 +467,40 @@ impl VarDense {
 
     /// Computes this step's [`LayerShared`] tensors (one fused pass over
     /// ρ; see the type docs for why this is hoisted out of the per-shard
-    /// hot path).
-    ///
-    /// `Σ ln σ` is accumulated as `ln` of short σ-products — one `ln` per
-    /// 16 elements instead of per element — with an underflow guard that
-    /// flushes early whenever the running product leaves comfortable f64
-    /// range, so pathologically tiny σ still contribute their (possibly
-    /// `-inf`) logarithm instead of vanishing.
+    /// hot path). Allocating convenience wrapper over
+    /// [`Self::step_shared_into`].
     pub fn step_shared(&self) -> LayerShared {
-        fn ln_product_sum(values: &[f32]) -> f64 {
-            let mut total = 0.0f64;
-            let mut prod = 1.0f64;
-            let mut pending = 0u32;
-            for &v in values {
-                prod *= f64::from(v);
-                pending += 1;
-                if pending == 16 || !(1e-270..=1e270).contains(&prod) {
-                    total += prod.ln();
-                    prod = 1.0;
-                    pending = 0;
-                }
-            }
-            if pending > 0 {
-                total += prod.ln();
-            }
-            total
-        }
-        let mut sigma = Matrix::zeros(self.mu.rows(), self.mu.cols());
-        let mut sig_deriv = Matrix::zeros(self.mu.rows(), self.mu.cols());
-        for ((&r, s), d) in self
-            .rho
-            .data()
-            .iter()
-            .zip(sigma.data_mut())
-            .zip(sig_deriv.data_mut())
-        {
-            let (sg, sd) = sigma_pair(r);
-            *s = sg;
-            *d = sd;
-        }
-        let ln_sigma_sum = ln_product_sum(sigma.data());
-        let mut bias_sigma = vec![0.0f32; self.bias_rho.len()];
-        let mut bias_sig_deriv = vec![0.0f32; self.bias_rho.len()];
-        for ((&r, s), d) in self
-            .bias_rho
-            .iter()
-            .zip(&mut bias_sigma)
-            .zip(&mut bias_sig_deriv)
-        {
-            let (sg, sd) = sigma_pair(r);
-            *s = sg;
-            *d = sd;
-        }
-        let bias_ln_sigma_sum = ln_product_sum(&bias_sigma);
-        LayerShared {
-            sigma,
-            sig_deriv,
-            bias_sigma,
-            bias_sig_deriv,
-            ln_sigma_sum,
-            bias_ln_sigma_sum,
-        }
+        let mut out = LayerShared::default();
+        self.step_shared_into(&mut out, 1);
+        out
+    }
+
+    /// Fills `out` with this step's σ, σ′ = sigmoid(ρ), and `Σ ln σ`
+    /// tensors on reusable buffers (capacity-preserving resizes — no
+    /// allocation once warm).
+    ///
+    /// The weight tensor is processed in fixed `TAIL_CHUNK`-element
+    /// chunks spread across `threads` workers: σ/σ′ are elementwise
+    /// (chunking cannot change them) and each chunk's `Σ ln σ` partial is
+    /// folded in ascending chunk order, so the result is bit-identical at
+    /// every thread count. The bias row is a single short pass.
+    pub fn step_shared_into(&self, out: &mut LayerShared, threads: usize) {
+        let (i, o) = (self.in_dim(), self.out_dim());
+        out.sigma.resize(i, o);
+        out.sig_deriv.resize(i, o);
+        let rho = self.rho.data();
+        let items = rho
+            .chunks(TAIL_CHUNK)
+            .zip(out.sigma.data_mut().chunks_mut(TAIL_CHUNK))
+            .zip(out.sig_deriv.data_mut().chunks_mut(TAIL_CHUNK));
+        out.ln_sigma_sum = chunked_fold(threads, items, |((r, s), d)| {
+            softplus_sigmoid_slice(r, s, d);
+            ln_product_sum(s)
+        });
+        out.bias_sigma.resize(o, 0.0);
+        out.bias_sig_deriv.resize(o, 0.0);
+        softplus_sigmoid_slice(&self.bias_rho, &mut out.bias_sigma, &mut out.bias_sig_deriv);
+        out.bias_ln_sigma_sum = ln_product_sum(&out.bias_sigma);
     }
 
     /// Draws one reparameterized sample of this layer against precomputed
@@ -474,20 +512,41 @@ impl VarDense {
         shared: &LayerShared,
         src: &mut impl GaussianSource,
     ) -> (Matrix, Vec<f32>, Matrix, Vec<f32>) {
-        let mut eps = Matrix::zeros(self.mu.rows(), self.mu.cols());
-        src.fill_f32(eps.data_mut());
-        let mut bias_eps = vec![0.0f32; self.bias_mu.len()];
-        src.fill_f32(&mut bias_eps);
-        let mut w = self.mu.clone();
-        w.fma_assign(&shared.sigma, &eps);
-        let b: Vec<f32> = self
-            .bias_mu
-            .iter()
-            .zip(&shared.bias_sigma)
-            .zip(&bias_eps)
-            .map(|((&m, &s), &e)| m + s * e)
-            .collect();
+        let (mut w, mut b, mut eps, mut bias_eps) =
+            (Matrix::default(), Vec::new(), Matrix::default(), Vec::new());
+        self.draw_sample_into(shared, src, &mut w, &mut b, &mut eps, &mut bias_eps);
         (w, b, eps, bias_eps)
+    }
+
+    /// [`Self::draw_sample`] onto reusable buffers (capacity-preserving
+    /// resizes): warm buffers make the per-sample draw allocation-free.
+    /// Same stream order — the weight ε block, then the bias ε block.
+    pub fn draw_sample_into(
+        &self,
+        shared: &LayerShared,
+        src: &mut impl GaussianSource,
+        w: &mut Matrix,
+        b: &mut Vec<f32>,
+        eps: &mut Matrix,
+        bias_eps: &mut Vec<f32>,
+    ) {
+        let (i, o) = (self.in_dim(), self.out_dim());
+        eps.resize(i, o);
+        src.fill_f32(eps.data_mut());
+        bias_eps.resize(o, 0.0);
+        src.fill_f32(bias_eps);
+        w.resize(i, o);
+        w.data_mut().copy_from_slice(self.mu.data());
+        w.fma_assign(&shared.sigma, eps);
+        b.resize(o, 0.0);
+        for (((bo, &m), &s), &e) in b
+            .iter_mut()
+            .zip(&self.bias_mu)
+            .zip(&shared.bias_sigma)
+            .zip(bias_eps.iter())
+        {
+            *bo = m + s * e;
+        }
     }
 
     /// Finalizes one training step's gradients from the reduced
@@ -496,60 +555,61 @@ impl VarDense {
     /// (`∂KL/∂µ = µ/σp²`, `∂KL/∂ρ = (σ/σp² − 1/σ)·σ′`), scaled by
     /// `kl_weight`, are added on top.
     ///
+    /// `grads` is taken by `&mut` and its tensors are **swapped** into the
+    /// layer's gradient slots (the layer's previous gradient buffers swap
+    /// back out), so a pooled `LayerGrads` keeps its allocations across
+    /// steps. The weight pass runs in fixed `TAIL_CHUNK`-element chunks
+    /// over `threads` workers: the gradient updates are elementwise and
+    /// the `Σ(σ² + µ²)` chunk partials fold in ascending chunk order, so
+    /// the result is bit-identical at every thread count.
+    ///
     /// Returns this layer's (unscaled) KL divergence to the
     /// `N(0, prior_std²)` prior, computed from the precomputed `Σ ln σ`
-    /// plus one fused pass accumulating `Σ (σ² + µ²)`.
+    /// plus the fused `Σ(σ² + µ²)` pass.
     pub fn finish_step_grads(
         &mut self,
         shared: &LayerShared,
         prior_std: f32,
         kl_weight: f32,
-        grads: LayerGrads,
+        grads: &mut LayerGrads,
+        threads: usize,
     ) -> f64 {
-        let LayerGrads {
-            mu: grad_mu,
-            rho_pre: mut grad_rho_pre,
-            bias_mu: grad_bias_mu,
-            bias_rho_pre: mut grad_bias_rho_pre,
-        } = grads;
+        std::mem::swap(&mut self.grad_mu, &mut grads.mu);
+        std::mem::swap(&mut self.grad_rho, &mut grads.rho_pre);
+        std::mem::swap(&mut self.grad_bias_mu, &mut grads.bias_mu);
+        std::mem::swap(&mut self.grad_bias_rho, &mut grads.bias_rho_pre);
         let ps2 = f64::from(prior_std) * f64::from(prior_std);
         let inv_ps2 = (1.0 / ps2) as f32;
         let n_w = self.mu.data().len();
         let n_b = self.bias_mu.len();
-        self.grad_mu = grad_mu;
         // f32 arithmetic throughout the gradient pass (it vectorizes; the
         // seed's per-element f64 divisions were a measurable cost), with
         // f64 only for the Σ(σ² + µ²) loss accumulator.
-        let mut quad = 0.0f64;
-        for (((g_mu, g_rho), &mu), (&sigma, &sd)) in self
-            .grad_mu
+        let Self {
+            mu,
+            grad_mu,
+            grad_rho,
+            ..
+        } = self;
+        let items = grad_mu
             .data_mut()
-            .iter_mut()
-            .zip(grad_rho_pre.data_mut())
-            .zip(self.mu.data())
-            .zip(shared.sigma.data().iter().zip(shared.sig_deriv.data()))
-        {
-            quad += f64::from(sigma * sigma + mu * mu);
-            let dsigma = sigma * inv_ps2 - 1.0 / sigma;
-            *g_mu += kl_weight * (mu * inv_ps2);
-            *g_rho = *g_rho * sd + kl_weight * dsigma * sd;
-        }
-        self.grad_rho = grad_rho_pre;
-        self.grad_bias_mu = grad_bias_mu;
-        let mut bias_quad = 0.0f64;
-        for (((g_mu, g_rho), &mu), (&sigma, &sd)) in self
-            .grad_bias_mu
-            .iter_mut()
-            .zip(&mut grad_bias_rho_pre)
-            .zip(&self.bias_mu)
-            .zip(shared.bias_sigma.iter().zip(&shared.bias_sig_deriv))
-        {
-            bias_quad += f64::from(sigma * sigma + mu * mu);
-            let dsigma = sigma * inv_ps2 - 1.0 / sigma;
-            *g_mu += kl_weight * (mu * inv_ps2);
-            *g_rho = *g_rho * sd + kl_weight * dsigma * sd;
-        }
-        self.grad_bias_rho = grad_bias_rho_pre;
+            .chunks_mut(TAIL_CHUNK)
+            .zip(grad_rho.data_mut().chunks_mut(TAIL_CHUNK))
+            .zip(mu.data().chunks(TAIL_CHUNK))
+            .zip(shared.sigma.data().chunks(TAIL_CHUNK))
+            .zip(shared.sig_deriv.data().chunks(TAIL_CHUNK));
+        let quad = chunked_fold(threads, items, |((((g_mu, g_rho), mu), sigma), sd)| {
+            finish_grads_chunk(g_mu, g_rho, mu, sigma, sd, inv_ps2, kl_weight)
+        });
+        let bias_quad = finish_grads_chunk(
+            &mut self.grad_bias_mu,
+            &mut self.grad_bias_rho,
+            &self.bias_mu,
+            &shared.bias_sigma,
+            &shared.bias_sig_deriv,
+            inv_ps2,
+            kl_weight,
+        );
         let ln_prior = f64::from(prior_std).ln();
         (n_w + n_b) as f64 * ln_prior - shared.ln_sigma_sum - shared.bias_ln_sigma_sum
             + (quad + bias_quad) / (2.0 * ps2)
@@ -736,17 +796,13 @@ mod tests {
         let kl_a = a.accumulate_kl(0.7, 0.3);
         let shared = b.step_shared();
         let (i, o) = (b.in_dim(), b.out_dim());
-        let kl_b = b.finish_step_grads(
-            &shared,
-            0.7,
-            0.3,
-            LayerGrads {
-                mu: Matrix::zeros(i, o),
-                rho_pre: Matrix::zeros(i, o),
-                bias_mu: vec![0.0; o],
-                bias_rho_pre: vec![0.0; o],
-            },
-        );
+        let mut zero_grads = LayerGrads {
+            mu: Matrix::zeros(i, o),
+            rho_pre: Matrix::zeros(i, o),
+            bias_mu: vec![0.0; o],
+            bias_rho_pre: vec![0.0; o],
+        };
+        let kl_b = b.finish_step_grads(&shared, 0.7, 0.3, &mut zero_grads, 1);
         assert!((kl_a - kl_b).abs() < 1e-6 * kl_a.abs().max(1.0), "{kl_a} vs {kl_b}");
         for (x, y) in a.grad_mu.data().iter().zip(b.grad_mu.data()) {
             assert!((x - y).abs() < 1e-6, "{x} vs {y}");

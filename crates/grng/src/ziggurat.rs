@@ -63,15 +63,41 @@ impl ZigguratGrng {
         }
     }
 
-    fn sample_tail(&mut self) -> f64 {
+    fn sample_tail(rng: &mut Xoshiro256) -> f64 {
         // Marsaglia's tail algorithm for x > R.
         loop {
-            let u1 = self.uniform.next_f64().max(f64::MIN_POSITIVE);
-            let u2 = self.uniform.next_f64().max(f64::MIN_POSITIVE);
+            let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+            let u2 = rng.next_f64().max(f64::MIN_POSITIVE);
             let x = -u1.ln() / R;
             let y = -u2.ln();
             if 2.0 * y > x * x {
                 return R + x;
+            }
+        }
+    }
+
+    /// One draw from explicit state — shared by the scalar and block
+    /// paths so they consume the identical uniform stream.
+    #[inline(always)]
+    fn draw(x_tab: &[f64; LAYERS + 1], y_tab: &[f64; LAYERS], rng: &mut Xoshiro256) -> f64 {
+        loop {
+            let bits = rng.next_u64();
+            let layer = (bits & (LAYERS as u64 - 1)) as usize;
+            let sign = if bits & LAYERS as u64 != 0 { 1.0 } else { -1.0 };
+            let u = ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+            let x = u * x_tab[layer];
+            if x < x_tab[layer + 1] {
+                return sign * x;
+            }
+            if layer == 0 {
+                return sign * Self::sample_tail(rng);
+            }
+            // Wedge: accept with probability proportional to pdf.
+            let y0 = y_tab[layer - 1];
+            let y1 = y_tab[layer];
+            let v = rng.next_f64();
+            if y0 + v * (y1 - y0) < pdf_unscaled(x) {
+                return sign * x;
             }
         }
     }
@@ -85,26 +111,22 @@ impl StreamFork for ZigguratGrng {
 
 impl GaussianSource for ZigguratGrng {
     fn next_gaussian(&mut self) -> f64 {
-        loop {
-            let bits = self.uniform.next_u64();
-            let layer = (bits & (LAYERS as u64 - 1)) as usize;
-            let sign = if bits & LAYERS as u64 != 0 { 1.0 } else { -1.0 };
-            let u = ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
-            let x = u * self.x[layer];
-            if x < self.x[layer + 1] {
-                return sign * x;
-            }
-            if layer == 0 {
-                return sign * self.sample_tail();
-            }
-            // Wedge: accept with probability proportional to pdf.
-            let y0 = self.y[layer - 1];
-            let y1 = self.y[layer];
-            let v = self.uniform.next_f64();
-            if y0 + v * (y1 - y0) < pdf_unscaled(x) {
-                return sign * x;
-            }
+        Self::draw(&self.x, &self.y, &mut self.uniform)
+    }
+
+    /// Writes each sample straight into the `f32` slice instead of
+    /// round-tripping 256-element `f64` chunks through the trait's default
+    /// (which cost ~10% block throughput versus the scalar path — the
+    /// `bench_train` ε fill-rate guard watches this). The uniform state is
+    /// hoisted into a local for the duration of the fill so the hot loop
+    /// keeps it in registers instead of round-tripping through `&mut self`
+    /// on every draw. Identical stream: one draw per slot, in order.
+    fn fill_f32(&mut self, out: &mut [f32]) {
+        let mut rng = self.uniform;
+        for slot in out {
+            *slot = Self::draw(&self.x, &self.y, &mut rng) as f32;
         }
+        self.uniform = rng;
     }
 }
 
@@ -141,6 +163,17 @@ mod tests {
             "tail mass {}",
             beyond3 / 500_000.0
         );
+    }
+
+    #[test]
+    fn fill_f32_matches_scalar_stream() {
+        let mut scalar = ZigguratGrng::new(44);
+        let mut block = ZigguratGrng::new(44);
+        let want: Vec<f32> = (0..1000).map(|_| scalar.next_gaussian() as f32).collect();
+        let mut got = vec![0.0f32; 1000];
+        block.fill_f32(&mut got[..300]);
+        block.fill_f32(&mut got[300..]);
+        assert_eq!(got, want);
     }
 
     #[test]

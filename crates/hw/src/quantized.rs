@@ -13,6 +13,14 @@
 //! 3. The final layer's logits are dequantized; softmax and Monte Carlo
 //!    averaging (equation 6) happen at full precision on the host, as they
 //!    would on the CPU collecting accelerator outputs.
+//!
+//! The host-side Monte Carlo mean goes through `vibnn_bnn::reduce_mean`
+//! and therefore inherits the workspace-wide fixed-lane accumulation
+//! contract (`vibnn_nn::LANES` partial-sum chains, element `k` in lane
+//! `k % LANES`, lanes folded in ascending order). The fixed-point MACs
+//! inside the datapath are integer arithmetic — exact and associative —
+//! so quantized forward passes themselves are unaffected by the lane
+//! rule; only the float averaging step follows it.
 
 use vibnn_bnn::{parallel_fork_map, reduce_mean, BnnParams};
 use vibnn_fixed::{choose_format, MacAccumulator, QFormat};

@@ -24,7 +24,7 @@
 mod activation;
 mod dense;
 mod init;
-mod matrix;
+pub mod matrix;
 mod metrics;
 mod mlp;
 mod optimizer;
@@ -32,7 +32,7 @@ mod optimizer;
 pub use activation::{relu, relu_backward, softmax_rows};
 pub use dense::Dense;
 pub use init::GaussianInit;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, LANES};
 pub use metrics::{accuracy, confusion_matrix, cross_entropy_loss};
 pub use mlp::{Mlp, MlpConfig, TrainReport};
-pub use optimizer::{update_matrix, Adam, Optimizer, Sgd};
+pub use optimizer::{update_matrix, Adam, AdamStep, Optimizer, Sgd};

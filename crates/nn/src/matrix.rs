@@ -1,13 +1,60 @@
 //! A minimal row-major `f32` matrix with the operations backprop needs.
+//!
+//! Every floating-point reduction in this module follows the workspace-wide
+//! **fixed-lane accumulation contract** (see [`LANES`] and the README's
+//! "The accumulation contract" section): a reduction over terms
+//! `t_0, t_1, …, t_{K-1}` is computed as [`LANES`] independent partial sums
+//! (term `k` belongs to lane `k % LANES`, accumulated in ascending `k`
+//! within its lane), combined in ascending lane order. Lane membership is a
+//! function of the data layout only — never of tiling, thread count, or
+//! schedule — so results are bit-identical on any machine configuration
+//! while the independent lanes autovectorize on stable Rust.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Number of independent accumulation lanes in the workspace-wide
+/// fixed-lane reduction contract.
+///
+/// Every `f32` reduction in the hot path — the [`Matrix`] matmul family,
+/// [`Matrix::col_sums`], the BNN's Monte-Carlo mean and ordered gradient
+/// folds — computes `Σ_k t_k` as `LANES` zero-seeded partial-sum chains:
+///
+/// ```text
+/// lane l  =  0.0 + t_l + t_{l+LANES} + t_{l+2·LANES} + …   (ascending k)
+/// result  =  ((…(lane 0 + lane 1) + lane 2)… + lane 7)     (ascending l)
+/// ```
+///
+/// Because the lane of term `k` is `k % LANES` — a function of the data
+/// index alone — the result is bit-identical at any thread count and any
+/// tiling, while the eight independent chains map directly onto SIMD
+/// registers under autovectorization (no intrinsics, no `unsafe`).
+///
+/// Two documented liberties keep the kernels allocation- and branch-free
+/// without observable effect:
+///
+/// * a lane may be *seeded* with its first term instead of `0.0 + term`,
+///   and an all-zero lane may be skipped during the combine. Both differ
+///   from the literal contract only in the sign of an exact zero
+///   (`0.0 + -0.0 == +0.0`), which `f32`/[`Matrix`] equality cannot
+///   distinguish;
+/// * [`Matrix::matmul`] and [`Matrix::t_matmul`] skip terms whose left
+///   coefficient is exactly zero (ReLU activations and MNIST pixels are
+///   zero-heavy). For finite inputs the skipped term contributes `±0.0`;
+///   with infinities or NaNs results can differ from the unskipped sum,
+///   exactly as in previous revisions.
+///
+/// The pre-lane single-chain kernels are retained as a cross-check oracle
+/// in `single_chain` (enabled under `cfg(test)` or the
+/// `single-chain-oracle` feature).
+pub const LANES: usize = 8;
 
 /// Row-major dense matrix of `f32`.
 ///
 /// Deliberately small: exactly the operations a fully-connected network
 /// needs (matmul with optional transposes, broadcast row add, column sums,
-/// elementwise maps), implemented with cache-friendly loops.
+/// elementwise maps), implemented with cache-friendly loops under the
+/// [`LANES`] fixed-lane accumulation contract.
 ///
 /// # Example
 ///
@@ -26,17 +73,102 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
-/// Reduction-dimension tile: a 512-byte `f32` segment of one operand row
-/// stays resident while its panel is consumed.
-const BLOCK_K: usize = 128;
-/// Column tile for [`Matrix::matmul`] / [`Matrix::t_matmul`]: the touched
-/// `BLOCK_K × BLOCK_J` panel of the right operand is ~128 KiB — L2-sized —
-/// while each 1 KiB output row segment stays in L1 across the k loop.
+/// Column tile for [`Matrix::matmul`] / [`Matrix::t_matmul`] and the width
+/// of the hot lane buffer: one 1 KiB output segment plus the streamed
+/// right-operand rows stay L1-resident across the reduction.
 const BLOCK_J: usize = 256;
-/// Row tile of the right operand for [`Matrix::matmul_t`]: a
-/// `BLOCK_J_T × BLOCK_K` panel is 32 KiB, so the dot-product kernel reads
-/// it from L1 for every row of the left operand.
+/// Row tile of the right operand for [`Matrix::matmul_t`]: the dot-product
+/// kernel re-reads a `BLOCK_J_T × k` panel of `other` for every row of
+/// `self` while it is cache-hot.
 const BLOCK_J_T: usize = 64;
+
+/// Accumulates `out_row[j] = Σ_k coeff(k) · b[k·b_stride + b_off + j]`
+/// under the [`LANES`] contract, skipping terms whose coefficient is
+/// exactly zero.
+///
+/// `lane_buf` is caller-owned scratch (hoisted so it is memset once per
+/// kernel call, not once per output row); each used lane fully overwrites
+/// it before reading. Lanes are seeded with their first surviving term and
+/// all-zero lanes are skipped in the combine — the two `±0.0`-only
+/// liberties documented on [`LANES`].
+#[inline]
+fn lane_accumulate(
+    out_row: &mut [f32],
+    lane_buf: &mut [f32; BLOCK_J],
+    terms: usize,
+    coeff: impl Fn(usize) -> f32,
+    b: &[f32],
+    b_stride: usize,
+    b_off: usize,
+) {
+    let jw = out_row.len();
+    debug_assert!(jw <= BLOCK_J);
+    let mut out_seeded = false;
+    for l in 0..LANES.min(terms) {
+        let mut lane_seeded = false;
+        let mut k = l;
+        while k < terms {
+            let a = coeff(k);
+            if a != 0.0 {
+                let start = k * b_stride + b_off;
+                let b_seg = &b[start..start + jw];
+                let lb = &mut lane_buf[..jw];
+                if lane_seeded {
+                    for (o, &bv) in lb.iter_mut().zip(b_seg) {
+                        *o += a * bv;
+                    }
+                } else {
+                    for (o, &bv) in lb.iter_mut().zip(b_seg) {
+                        *o = a * bv;
+                    }
+                    lane_seeded = true;
+                }
+            }
+            k += LANES;
+        }
+        if lane_seeded {
+            let lb = &lane_buf[..jw];
+            if out_seeded {
+                for (o, &v) in out_row.iter_mut().zip(lb) {
+                    *o += v;
+                }
+            } else {
+                out_row.copy_from_slice(lb);
+                out_seeded = true;
+            }
+        }
+    }
+    if !out_seeded {
+        out_row.fill(0.0);
+    }
+}
+
+/// Dot product `Σ_k a[k]·b[k]` under the [`LANES`] contract: chunk `c`
+/// element `l` is term `k = c·LANES + l`, so the per-chunk element-wise
+/// multiply-accumulate keeps exactly the eight contract lanes in a SIMD
+/// register, and the scalar tail lands in lanes `0..rem` unchanged. No
+/// zero-term skip (matching the historical `matmul_t` kernel).
+#[inline]
+fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let ac = a.chunks_exact(LANES);
+    let bc = b.chunks_exact(LANES);
+    let (ra, rb) = (ac.remainder(), bc.remainder());
+    for (ca, cb) in ac.zip(bc) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    for (l, (&x, &y)) in ra.iter().zip(rb).enumerate() {
+        acc[l] += x * y;
+    }
+    let mut s = acc[0];
+    for &v in &acc[1..] {
+        s += v;
+    }
+    s
+}
 
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
@@ -127,14 +259,14 @@ impl Matrix {
 
     /// Standard matrix product `self · other`.
     ///
-    /// Tiled over `k` (rows of `other`) and `j` (columns of `other`) so
-    /// that one `BLOCK_K × BLOCK_J` panel of `other` and the matching
-    /// output row segments stay cache-resident while every row of `self`
-    /// streams past — the i-k-j micro-kernel of the original code, wrapped
-    /// in L1/L2-sized blocks. For each output element the products are
-    /// accumulated in strictly ascending `k` with a single accumulator
-    /// chain, so results are bit-identical to the untiled kernel (and to
-    /// [`Self::matmul_t`] / [`Self::t_matmul`] on transposed operands).
+    /// Each output element reduces over `k` (rows of `other`) under the
+    /// [`LANES`] fixed-lane contract — term `k` in lane `k % LANES`,
+    /// lanes combined in ascending order — so the result is bit-identical
+    /// to [`Self::t_matmul`] / [`Self::matmul_t`] on transposed operands
+    /// and independent of tiling and thread count. Column tiles of
+    /// `BLOCK_J` keep the hot lane buffer and output segment L1-resident
+    /// while the `other` panel streams past once per row of `self`.
+    /// Terms with a zero left coefficient are skipped (see [`LANES`]).
     ///
     /// # Panics
     ///
@@ -156,34 +288,32 @@ impl Matrix {
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         out.resize(self.rows, other.cols);
-        out.data.fill(0.0);
         let n = other.cols;
+        let k_total = self.cols;
+        let mut lane_buf = [0.0f32; BLOCK_J];
         for jb in (0..n).step_by(BLOCK_J) {
             let j_hi = (jb + BLOCK_J).min(n);
-            for kb in (0..self.cols).step_by(BLOCK_K) {
-                let k_hi = (kb + BLOCK_K).min(self.cols);
-                for i in 0..self.rows {
-                    let a_row = &self.data[i * self.cols + kb..i * self.cols + k_hi];
-                    let o_row = &mut out.data[i * n + jb..i * n + j_hi];
-                    for (k, &a) in (kb..).zip(a_row) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[k * n + jb..k * n + j_hi];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
-                }
+            for i in 0..self.rows {
+                let a_row = &self.data[i * k_total..(i + 1) * k_total];
+                let o_row = &mut out.data[i * n + jb..i * n + j_hi];
+                lane_accumulate(
+                    o_row,
+                    &mut lane_buf,
+                    k_total,
+                    |k| a_row[k],
+                    &other.data,
+                    n,
+                    jb,
+                );
             }
         }
     }
 
     /// `selfᵀ · other` without materializing the transpose.
     ///
-    /// Same blocking and accumulation-order guarantees as
+    /// Same [`LANES`] lane assignment and combine order as
     /// [`Self::matmul`], with the reduction running over rows `r` of both
-    /// operands.
+    /// operands — bit-identical to `self.transpose().matmul(other)`.
     ///
     /// # Panics
     ///
@@ -203,39 +333,37 @@ impl Matrix {
     pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         out.resize(self.cols, other.cols);
-        out.data.fill(0.0);
         let n = other.cols;
+        let r_total = self.rows;
+        let a_cols = self.cols;
+        let mut lane_buf = [0.0f32; BLOCK_J];
         for jb in (0..n).step_by(BLOCK_J) {
             let j_hi = (jb + BLOCK_J).min(n);
-            for rb in (0..self.rows).step_by(BLOCK_K) {
-                let r_hi = (rb + BLOCK_K).min(self.rows);
-                for r in rb..r_hi {
-                    let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                    let b_row = &other.data[r * n + jb..r * n + j_hi];
-                    for (i, &a) in a_row.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let o_row = &mut out.data[i * n + jb..i * n + j_hi];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
-                }
+            for i in 0..a_cols {
+                let o_row = &mut out.data[i * n + jb..i * n + j_hi];
+                lane_accumulate(
+                    o_row,
+                    &mut lane_buf,
+                    r_total,
+                    |r| self.data[r * a_cols + i],
+                    &other.data,
+                    n,
+                    jb,
+                );
             }
         }
     }
 
     /// `self · otherᵀ` without materializing the transpose.
     ///
-    /// Blocked over rows of `other` and the shared `k` dimension so the
-    /// `other` panel is reused across every row of `self` while it is hot.
-    /// Each output element keeps one sequential accumulator chain over
-    /// ascending `k` (the partial resumes from the stored value), so for
-    /// finite operands the result is bit-identical to
-    /// `self.matmul(&other.transpose())`. (With infinities or NaNs the two
-    /// can differ: `matmul` skips zero left-operand terms, and
-    /// `0.0 × ±inf` is NaN.)
+    /// Each output element is a dot product over the shared `k` dimension
+    /// under the [`LANES`] contract (see `lane_dot`'s description on
+    /// [`LANES`]): chunking the operand rows eight-wide makes the eight
+    /// lanes literally one SIMD register of partial sums. Rows of `other`
+    /// are tiled `BLOCK_J_T` at a time so the panel is re-read hot for
+    /// every row of `self`. No zero-term skip, so with infinities or NaNs
+    /// the result can differ from `matmul` on the transpose, exactly as in
+    /// previous revisions; for finite operands the two agree.
     ///
     /// # Panics
     ///
@@ -255,23 +383,16 @@ impl Matrix {
     pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         out.resize(self.rows, other.rows);
-        out.data.fill(0.0);
         let m = other.rows;
+        let k_total = self.cols;
         for jb in (0..m).step_by(BLOCK_J_T) {
             let j_hi = (jb + BLOCK_J_T).min(m);
-            for kb in (0..self.cols).step_by(BLOCK_K) {
-                let k_hi = (kb + BLOCK_K).min(self.cols);
-                for i in 0..self.rows {
-                    let a_seg = &self.data[i * self.cols + kb..i * self.cols + k_hi];
-                    let o_row = &mut out.data[i * m + jb..i * m + j_hi];
-                    for (j, o) in (jb..).zip(o_row.iter_mut()) {
-                        let b_seg = &other.data[j * other.cols + kb..j * other.cols + k_hi];
-                        let mut acc = *o;
-                        for (&a, &b) in a_seg.iter().zip(b_seg) {
-                            acc += a * b;
-                        }
-                        *o = acc;
-                    }
+            for i in 0..self.rows {
+                let a_row = &self.data[i * k_total..(i + 1) * k_total];
+                let o_row = &mut out.data[i * m + jb..i * m + j_hi];
+                for (j, o) in (jb..).zip(o_row.iter_mut()) {
+                    let b_row = &other.data[j * k_total..(j + 1) * k_total];
+                    *o = lane_dot(a_row, b_row);
                 }
             }
         }
@@ -302,15 +423,35 @@ impl Matrix {
         }
     }
 
-    /// Column sums (used for bias gradients).
+    /// Column sums (used for bias gradients), reduced over rows under the
+    /// [`LANES`] contract: row `r` is term `r`, lanes combined ascending.
     pub fn col_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
-                *s += v;
-            }
-        }
+        self.col_sums_into(&mut sums);
         sums
+    }
+
+    /// [`Self::col_sums`] into a caller-owned buffer (must already have
+    /// length `cols`) — allocation-free for pooled bias-gradient vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != cols`.
+    pub fn col_sums_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "col_sums width mismatch");
+        let mut lane_buf = [0.0f32; BLOCK_J];
+        for jb in (0..self.cols).step_by(BLOCK_J) {
+            let j_hi = (jb + BLOCK_J).min(self.cols);
+            lane_accumulate(
+                &mut out[jb..j_hi],
+                &mut lane_buf,
+                self.rows,
+                |_| 1.0,
+                &self.data,
+                self.cols,
+                jb,
+            );
+        }
     }
 
     /// Elementwise in-place map.
@@ -388,21 +529,39 @@ impl Matrix {
     ///
     /// Panics if the range is invalid.
     pub fn rows_slice(&self, start: usize, end: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.rows_slice_into(start, end, &mut out);
+        out
+    }
+
+    /// [`Self::rows_slice`] into a caller-owned matrix (resized and
+    /// overwritten; allocation-free once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid.
+    pub fn rows_slice_into(&self, start: usize, end: usize, out: &mut Matrix) {
         assert!(start <= end && end <= self.rows, "invalid row range");
-        Matrix::from_vec(
-            end - start,
-            self.cols,
-            self.data[start * self.cols..end * self.cols].to_vec(),
-        )
+        out.resize(end - start, self.cols);
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..end * self.cols]);
     }
 
     /// Builds a matrix by selecting the given rows.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Self::select_rows`] into a caller-owned matrix (resized and
+    /// overwritten; allocation-free once warm) — the per-minibatch
+    /// row-gather of the training loop.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (k, &i) in indices.iter().enumerate() {
             out.row_mut(k).copy_from_slice(self.row(i));
         }
-        out
     }
 
     /// Frobenius norm.
@@ -441,6 +600,88 @@ impl fmt::Debug for Matrix {
             write!(f, " {:?}", self.data)?;
         }
         Ok(())
+    }
+}
+
+/// The pre-lane single-accumulator kernels, retained verbatim as the
+/// cross-check oracle for the [`LANES`] contract.
+///
+/// These compute every output element with **one** sequential accumulator
+/// chain over ascending `k` — the accumulation rule this workspace used
+/// before the fixed-lane contract. They are not part of the production
+/// path; `tests/lane_determinism.rs` (and the in-crate tests) pin the lane
+/// kernels against them within a documented tolerance. Enabled under
+/// `cfg(test)` or the `single-chain-oracle` feature.
+#[cfg(any(test, feature = "single-chain-oracle"))]
+pub mod single_chain {
+    use super::Matrix;
+
+    /// Single-chain `a · b` (ascending-`k` accumulation, zero-skip on the
+    /// left coefficient — the pre-lane `matmul`).
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let n = b.cols();
+        let mut out = Matrix::zeros(a.rows(), n);
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a[(i, k)];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += av * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-chain `aᵀ · b` (the pre-lane `t_matmul`).
+    pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "t_matmul shape mismatch");
+        let n = b.cols();
+        let mut out = Matrix::zeros(a.cols(), n);
+        for r in 0..a.rows() {
+            for i in 0..a.cols() {
+                let av = a[(r, i)];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += av * b[(r, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-chain `a · bᵀ` (ascending-`k` dot product, no zero-skip —
+    /// the pre-lane `matmul_t`).
+    pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(j, k)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Single-chain column sums (ascending-row accumulation — the
+    /// pre-lane `col_sums`).
+    pub fn col_sums(a: &Matrix) -> Vec<f32> {
+        let mut sums = vec![0.0f32; a.cols()];
+        for r in 0..a.rows() {
+            for (s, &v) in sums.iter_mut().zip(a.row(r)) {
+                *s += v;
+            }
+        }
+        sums
     }
 }
 
@@ -507,6 +748,19 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_reuse_warm_buffers() {
+        let a = Matrix::from_rows(&[&[0.0, 9.0], &[1.0, 8.0], &[2.0, 7.0], &[3.0, 6.0]]);
+        let mut out = Matrix::zeros(7, 7);
+        a.rows_slice_into(1, 3, &mut out);
+        assert_eq!(out, a.rows_slice(1, 3));
+        a.select_rows_into(&[3, 0, 0], &mut out);
+        assert_eq!(out, a.select_rows(&[3, 0, 0]));
+        let mut sums = vec![42.0f32; 2];
+        a.col_sums_into(&mut sums);
+        assert_eq!(sums, a.col_sums());
+    }
+
+    #[test]
     #[should_panic(expected = "matmul shape mismatch")]
     fn matmul_bad_shapes_panic() {
         let a = Matrix::zeros(2, 3);
@@ -514,19 +768,46 @@ mod tests {
         let _ = a.matmul(&b);
     }
 
-    /// Naive reference kernel with the same per-element accumulation
-    /// order the blocked kernels guarantee (ascending k, one chain).
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    /// Literal transcription of the [`LANES`] contract: zero-seeded lane
+    /// partial sums over ascending `k`, combined in ascending lane order.
+    /// `skip_zero` mirrors the matmul/t_matmul left-coefficient skip.
+    fn lane_reference(
+        terms: usize,
+        skip_zero: bool,
+        coeff: impl Fn(usize) -> (f32, f32),
+    ) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        for k in 0..terms {
+            let (a, b) = coeff(k);
+            if skip_zero && a == 0.0 {
+                continue;
+            }
+            lanes[k % LANES] += a * b;
+        }
+        let mut s = 0.0f32;
+        for &l in &lanes {
+            s += l;
+        }
+        s
+    }
+
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
             for j in 0..b.cols() {
-                let mut acc = 0.0f32;
-                for k in 0..a.cols() {
-                    if a[(i, k)] != 0.0 {
-                        acc += a[(i, k)] * b[(k, j)];
-                    }
-                }
-                out[(i, j)] = acc;
+                out[(i, j)] =
+                    lane_reference(a.cols(), true, |k| (a[(i, k)], b[(k, j)]));
+            }
+        }
+        out
+    }
+
+    fn reference_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                out[(i, j)] =
+                    lane_reference(a.cols(), false, |k| (a[(i, k)], b[(j, k)]));
             }
         }
         out
@@ -547,11 +828,12 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_is_bit_identical_across_tile_boundaries() {
-        // 130 × 300 × 290 straddles BLOCK_K = 128 and BLOCK_J = 256.
+    fn blocked_matmul_matches_lane_reference_across_tile_boundaries() {
+        // 130 × 300 × 290 straddles BLOCK_J = 256 and leaves lane tails
+        // (300 % 8 = 4, 290 % 256 = 34).
         let a = patterned(130, 300, 1);
         let b = patterned(300, 290, 2);
-        assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+        assert_eq!(a.matmul(&b), reference_matmul(&a, &b));
     }
 
     #[test]
@@ -560,10 +842,31 @@ mod tests {
         let b = patterned(140, 270, 4);
         assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
         let c = patterned(60, 150, 5);
-        // 150 cols crosses BLOCK_K only via the k tail; 90 rows of `d`
-        // cross BLOCK_J_T = 64.
+        // 90 rows of `d` cross BLOCK_J_T = 64; 150 shared cols leave a
+        // 6-element lane tail in the dot kernel.
         let d = patterned(90, 150, 6);
         assert_eq!(c.matmul_t(&d), c.matmul(&d.transpose()));
+        assert_eq!(c.matmul_t(&d), reference_matmul_t(&c, &d));
+    }
+
+    #[test]
+    fn small_reductions_match_lane_reference() {
+        // Fewer terms than lanes: every lane holds at most one term.
+        let a = patterned(3, 5, 11);
+        let b = patterned(5, 4, 12);
+        assert_eq!(a.matmul(&b), reference_matmul(&a, &b));
+        let c = patterned(6, 5, 13);
+        assert_eq!(a.matmul_t(&c), reference_matmul_t(&a, &c));
+    }
+
+    #[test]
+    fn col_sums_match_lane_reference() {
+        let a = patterned(37, 300, 14);
+        let got = a.col_sums();
+        for (j, &s) in got.iter().enumerate() {
+            let want = lane_reference(a.rows(), false, |r| (1.0, a[(r, j)]));
+            assert_eq!(s, want, "col {j}");
+        }
     }
 
     #[test]
@@ -580,6 +883,46 @@ mod tests {
         let c = patterned(20, 90, 10);
         a.matmul_t_into(&c, &mut out);
         assert_eq!(out, a.matmul_t(&c));
+    }
+
+    /// The lane kernels must stay numerically on top of the pre-lane
+    /// single-chain oracle: same terms, different association, so the
+    /// divergence is pure rounding — a few ulp on these magnitudes.
+    #[test]
+    fn lane_kernels_track_single_chain_oracle() {
+        let a = patterned(130, 300, 21);
+        let b = patterned(300, 290, 22);
+        let lane = a.matmul(&b);
+        let oracle = single_chain::matmul(&a, &b);
+        let mut max_abs = 0.0f32;
+        for (x, y) in lane.data().iter().zip(oracle.data()) {
+            max_abs = max_abs.max((x - y).abs());
+        }
+        // Inputs are ≤ 0.5 in magnitude with 300 terms: a 1e-4 absolute
+        // envelope is ~100× the observed worst case and still catches any
+        // dropped or duplicated term outright.
+        assert!(max_abs < 1e-4, "matmul diverged from oracle: {max_abs}");
+
+        let c = patterned(60, 150, 23);
+        let d = patterned(90, 150, 24);
+        let lane_t = c.matmul_t(&d);
+        let oracle_t = single_chain::matmul_t(&c, &d);
+        for (x, y) in lane_t.data().iter().zip(oracle_t.data()) {
+            assert!((x - y).abs() < 1e-4, "matmul_t diverged: {x} vs {y}");
+        }
+
+        let e = patterned(140, 150, 25);
+        let f = patterned(140, 270, 26);
+        let lane_tm = e.t_matmul(&f);
+        let oracle_tm = single_chain::t_matmul(&e, &f);
+        for (x, y) in lane_tm.data().iter().zip(oracle_tm.data()) {
+            assert!((x - y).abs() < 1e-4, "t_matmul diverged: {x} vs {y}");
+        }
+
+        let g = patterned(100, 260, 27);
+        for (x, y) in g.col_sums().iter().zip(single_chain::col_sums(&g)) {
+            assert!((x - y).abs() < 1e-4, "col_sums diverged: {x} vs {y}");
+        }
     }
 
     #[test]

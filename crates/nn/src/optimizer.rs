@@ -1,5 +1,6 @@
 //! Optimizers: SGD with momentum and Adam.
 
+use crate::matrix::LANES;
 use crate::Matrix;
 
 /// A gradient-descent update rule over (matrix, bias-vector) parameter
@@ -151,6 +152,38 @@ impl Adam {
         (&self.m[slot], &self.v[slot])
     }
 
+    /// Snapshot of this step's update coefficients as a stateless
+    /// [`AdamStep`] kernel.
+    ///
+    /// Because the Adam update is purely elementwise, a caller may split a
+    /// slot's `(param, grad, m, v)` slices at any consistent boundaries and
+    /// apply the same `AdamStep` to each chunk — possibly from different
+    /// threads — and the result is bitwise identical to one sequential
+    /// [`Optimizer::update`] call. The training engine's parallel step tail
+    /// relies on exactly this.
+    pub fn step_params(&self) -> AdamStep {
+        let t = (self.t.max(1)) as f32;
+        AdamStep {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bc1: 1.0 - self.beta1.powf(t),
+            bc2: 1.0 - self.beta2.powf(t),
+        }
+    }
+
+    /// Mutably borrows one slot's `(m, v)` moment vectors so a caller can
+    /// drive [`AdamStep::apply`] over chunks of them (the chunk-parallel
+    /// companion of [`Self::slot_moments`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_state_mut(&mut self, slot: usize) -> (&mut [f32], &mut [f32]) {
+        (&mut self.m[slot], &mut self.v[slot])
+    }
+
     /// Restores the optimizer to a checkpointed state: learning rate,
     /// step counter, and per-slot moment vectors. Slots must already be
     /// registered (via [`Optimizer::slot`]) with matching shapes — the
@@ -205,27 +238,78 @@ impl Optimizer for Adam {
 
     fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
         assert_eq!(param.len(), grad.len(), "param/grad size mismatch");
-        let t = (self.t.max(1)) as f32;
-        let bc1 = 1.0 - self.beta1.powf(t);
-        let bc2 = 1.0 - self.beta2.powf(t);
+        let step = self.step_params();
         let m = &mut self.m[slot];
         let v = &mut self.v[slot];
         assert_eq!(m.len(), param.len(), "slot/param size mismatch");
-        // Zipped iteration: bounds checks provably elided, so the
-        // moment/sqrt pipeline vectorizes (this runs once per parameter
-        // per minibatch — ~400k elements for the paper's MNIST net).
-        for (((p, &g), m), v) in param.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
-        {
-            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
-            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
-            let mhat = *m / bc1;
-            let vhat = *v / bc2;
-            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
-        }
+        step.apply(param, grad, m, v);
     }
 
     fn tick(&mut self) {
         self.t += 1;
+    }
+}
+
+/// One training step's Adam coefficients, detached from the optimizer's
+/// mutable state (see [`Adam::step_params`]).
+///
+/// [`AdamStep::apply`] is the lane-width inner kernel behind
+/// [`Optimizer::update`]: the update is elementwise, so any chunking of
+/// the four slices — including the training engine's thread-parallel
+/// fixed-boundary row chunks — produces bitwise-identical parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamStep {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+}
+
+impl AdamStep {
+    /// Applies the update to one chunk: moments advance and
+    /// `param -= lr·m̂/(√v̂+ε)`, all elementwise.
+    ///
+    /// The body walks the slices in [`LANES`]-wide strips (plus a scalar
+    /// tail) so the moment/sqrt pipeline maps straight onto SIMD registers;
+    /// being elementwise, the strip width cannot change any result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four slices have differing lengths.
+    pub fn apply(&self, param: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad size mismatch");
+        assert_eq!(param.len(), m.len(), "param/m size mismatch");
+        assert_eq!(param.len(), v.len(), "param/v size mismatch");
+        let (lr, b1, b2, eps, bc1, bc2) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.bc1, self.bc2);
+        let mut pc = param.chunks_exact_mut(LANES);
+        let mut gc = grad.chunks_exact(LANES);
+        let mut mc = m.chunks_exact_mut(LANES);
+        let mut vc = v.chunks_exact_mut(LANES);
+        for (((p, g), m), v) in (&mut pc).zip(&mut gc).zip(&mut mc).zip(&mut vc) {
+            for l in 0..LANES {
+                m[l] = b1 * m[l] + (1.0 - b1) * g[l];
+                v[l] = b2 * v[l] + (1.0 - b2) * g[l] * g[l];
+                let mhat = m[l] / bc1;
+                let vhat = v[l] / bc2;
+                p[l] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+        for (((p, &g), m), v) in pc
+            .into_remainder()
+            .iter_mut()
+            .zip(gc.remainder())
+            .zip(mc.into_remainder().iter_mut())
+            .zip(vc.into_remainder().iter_mut())
+        {
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        }
     }
 }
 
@@ -327,6 +411,36 @@ mod tests {
             .is_err());
         assert!(a.restore_state(-1.0, 1, vec![(vec![0.0; 4], vec![0.0; 4])]).is_err());
         assert!(a.restore_state(0.05, 1, vec![(vec![0.0; 4], vec![0.0; 4])]).is_ok());
+    }
+
+    #[test]
+    fn adam_step_chunked_apply_is_bitwise_identical() {
+        // The parallel step tail splits (param, grad, m, v) at arbitrary
+        // consistent boundaries; elementwise updates must not care.
+        let n = 37;
+        let grad: Vec<f32> = (0..n).map(|i| (i as f32 - 18.0) * 0.07).collect();
+        let mut a = Adam::new(0.02);
+        let s = a.slot(1, n);
+        let mut b = a.clone();
+        let mut pa: Vec<f32> = (0..n).map(|i| (i as f32) * 0.11).collect();
+        let mut pb = pa.clone();
+        a.tick();
+        b.tick();
+        a.update(s, &mut pa, &grad);
+        let step = b.step_params();
+        let (m, v) = b.slot_state_mut(s);
+        for (cut_lo, cut_hi) in [(0, 5), (5, 20), (20, n)] {
+            step.apply(
+                &mut pb[cut_lo..cut_hi],
+                &grad[cut_lo..cut_hi],
+                &mut m[cut_lo..cut_hi],
+                &mut v[cut_lo..cut_hi],
+            );
+        }
+        assert_eq!(pa, pb);
+        let (ma, va) = a.slot_moments(s);
+        assert_eq!(ma, &m[..]);
+        assert_eq!(va, &v[..]);
     }
 
     #[test]

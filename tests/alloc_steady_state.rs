@@ -1,0 +1,84 @@
+//! The `StepArena` zero-allocation contract (PR 7): once the engine's
+//! pools have grown to the workload's shapes, a steady-state
+//! `train_batch_mc_threads` step at one thread performs **zero** heap
+//! allocations. Measured with a counting `#[global_allocator]` installed
+//! in this test binary; the file holds exactly one test so no concurrent
+//! test can pollute the counter.
+//!
+//! Run explicitly by `ci.sh`.
+
+// `GlobalAlloc` is an `unsafe` trait; this test binary is a sanctioned
+// exception to the workspace's `unsafe_code = "deny"` lint, mirroring the
+// allocator in `bench_train`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vibnn::bnn::{Bnn, BnnConfig};
+use vibnn::nn::{GaussianInit, Matrix};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_training_step_allocates_nothing() {
+    // A workload that exercises every pool: 48 rows → 3 shards, 3 MC
+    // samples, two hidden layers.
+    let mut rng = GaussianInit::new(3);
+    let mut x = Matrix::zeros(48, 6);
+    let mut y = Vec::with_capacity(48);
+    for r in 0..48 {
+        let mut s = 0.0f32;
+        for c in 0..6 {
+            let v = rng.next_gaussian() as f32;
+            x[(r, c)] = v;
+            s += v;
+        }
+        y.push(usize::from(s > 0.0) + usize::from(s > 1.5));
+    }
+    let mut bnn = Bnn::new(
+        BnnConfig::new(&[6, 24, 16, 3]).with_lr(5e-3).with_kl_weight(1e-3),
+        11,
+    );
+
+    // Warm-up: the first steps grow the arena pools (and any lazily
+    // initialized process state, e.g. the VIBNN_THREADS cache).
+    for _ in 0..4 {
+        bnn.train_batch_mc_threads(&x, &y, 3, 1);
+    }
+
+    let steps = 8;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..steps {
+        bnn.train_batch_mc_threads(&x, &y, 3, 1);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state training made {} allocations over {} steps",
+        after - before,
+        steps
+    );
+}
