@@ -38,6 +38,9 @@ cargo test -q --test serve_determinism
 echo "==> cluster-determinism suite (cluster == engine == batched, any replica count, hot swap)"
 cargo test -q --test cluster_determinism
 
+echo "==> online-determinism suite (full loop bit-identical across thread counts and kill/resume)"
+cargo test -q --test online_determinism
+
 echo "==> ingest protocol suite (fault injection over live sockets; skips itself if sockets are unavailable)"
 cargo test -q --test ingest_protocol
 
@@ -68,5 +71,13 @@ VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_cluster.json" \
 echo "==> VIBNN_SCALE=quick ingest bench (real sockets, asserts wire == direct submit; writes a stub if sockets are unavailable)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_ingest.json" \
     cargo run --release -p vibnn_bench --bin bench_ingest
+
+echo "==> VIBNN_SCALE=quick online bench (drift loop, asserts report bit-identity and adaptive >= baseline)"
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_online.json" \
+    cargo run --release -p vibnn_bench --bin bench_online
+for field in drift_accuracy_adaptive drift_accuracy_baseline swaps_completed; do
+    grep -q "\"$field\"" target/BENCH_online.json \
+        || { echo "FAIL: BENCH_online.json lacks the $field field"; exit 1; }
+done
 
 echo "CI green."

@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod drift;
 mod mnist;
 mod split;
 mod synth;
 mod tabular;
 
+pub use drift::{Drift, DriftStage, DriftStream};
 pub use mnist::{mnist_like, mnist_like_with, MnistLikeSpec};
 pub use split::{stratified_fraction, train_fractions};
 pub use synth::SynthSpec;

@@ -184,8 +184,44 @@ pub struct ReplicaMetrics {
     pub batch_histogram: Vec<u64>,
 }
 
+/// Served requests the windowed uncertainty aggregates in
+/// [`UncertaintyStats`] cover (the most recent completions, cluster-wide).
+pub const UNCERTAINTY_WINDOW: usize = 256;
+
+/// Bucket count of the cumulative normalized-entropy histogram in
+/// [`UncertaintyStats`].
+pub const ENTROPY_BUCKETS: usize = 8;
+
+/// Uncertainty aggregates over served requests, from
+/// [`ClusterEngine::metrics`].
+///
+/// The windowed means cover the last [`UNCERTAINTY_WINDOW`] completions
+/// in **completion order** — an observability gauge whose exact value
+/// may vary with scheduling, unlike per-request results, which stay
+/// bit-identical. The histogram counts every served request since the
+/// cluster started, bucketed by entropy normalized to `ln(classes)` of
+/// the founding deployment; cumulative counts commute, so the histogram
+/// is deterministic in aggregate at any worker/replica count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UncertaintyStats {
+    /// Configured window length ([`UNCERTAINTY_WINDOW`]).
+    pub window: u64,
+    /// Served requests currently inside the window (saturates at
+    /// `window` once warm).
+    pub count: u64,
+    /// Mean predictive entropy (nats) over the window; `0` when empty.
+    pub entropy_mean: f64,
+    /// Mean Monte-Carlo spread (`mc_std`) over the window; `0` when
+    /// empty.
+    pub mc_std_mean: f64,
+    /// Cumulative histogram over normalized entropy
+    /// (`entropy / ln(classes)`), [`ENTROPY_BUCKETS`] equal buckets with
+    /// the last bucket absorbing the top edge and anything above it.
+    pub entropy_histogram: Vec<u64>,
+}
+
 /// A live snapshot of the whole cluster, from [`ClusterEngine::metrics`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterMetrics {
     /// Per-replica snapshots, indexed by replica id.
     pub replicas: Vec<ReplicaMetrics>,
@@ -219,6 +255,9 @@ pub struct ClusterMetrics {
     /// queued requests, or shutdown was requested while queues still
     /// hold work.
     pub draining: bool,
+    /// Windowed + cumulative uncertainty aggregates over served
+    /// requests.
+    pub uncertainty: UncertaintyStats,
 }
 
 /// FNV-1a over the deployment's kind-3 serialization: two deployments
@@ -343,6 +382,12 @@ struct ClusterState<S: StreamFork + Sync> {
     deadline_expired: u64,
     cancelled: u64,
     swaps_completed: u64,
+    /// `(entropy, mc_std)` of the last [`UNCERTAINTY_WINDOW`] served
+    /// requests, in completion order (the windowed-mean source).
+    uncertainty_recent: VecDeque<(f64, f64)>,
+    /// Cumulative normalized-entropy histogram over every served
+    /// request ([`ENTROPY_BUCKETS`] buckets).
+    entropy_hist: Vec<u64>,
     stop: bool,
 }
 
@@ -392,6 +437,10 @@ struct ClusterShared<S: StreamFork + Sync> {
     skip_bound: u32,
     spill: bool,
     input_dim: usize,
+    /// `ln(classes)` of the founding deployment — the normalizer for the
+    /// entropy histogram (hot swaps keep the founding scale so buckets
+    /// stay comparable across versions).
+    max_entropy: f64,
 }
 
 impl<S: StreamFork + Sync> ClusterShared<S> {
@@ -511,6 +560,7 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             workers: cfg.workers,
         };
         let input_dim = vibnn.input_dim();
+        let max_entropy = (vibnn.classes() as f64).ln();
         let fingerprint = checkpoint_fingerprint(&vibnn);
         // Build every replica engine up front so a bad config fails before
         // any thread spawns.
@@ -549,6 +599,8 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                 deadline_expired: 0,
                 cancelled: 0,
                 swaps_completed: 0,
+                uncertainty_recent: VecDeque::with_capacity(UNCERTAINTY_WINDOW),
+                entropy_hist: vec![0; ENTROPY_BUCKETS],
                 stop: false,
             }),
             work_ready: Condvar::new(),
@@ -559,6 +611,7 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             skip_bound: cfg.batch_skip_bound,
             spill: cfg.spill,
             input_dim,
+            max_entropy,
         });
         let dispatchers = engines
             .into_iter()
@@ -771,6 +824,20 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                 .iter()
                 .any(|r| r.queued_version > r.version)
                 || (st.stop && st.queued_total > 0),
+            uncertainty: {
+                let count = st.uncertainty_recent.len();
+                let (se, ss) = st
+                    .uncertainty_recent
+                    .iter()
+                    .fold((0.0f64, 0.0f64), |(ae, astd), (e, s)| (ae + e, astd + s));
+                UncertaintyStats {
+                    window: UNCERTAINTY_WINDOW as u64,
+                    count: count as u64,
+                    entropy_mean: if count == 0 { 0.0 } else { se / count as f64 },
+                    mc_std_mean: if count == 0 { 0.0 } else { ss / count as f64 },
+                    entropy_histogram: st.entropy_hist.clone(),
+                }
+            },
         }
     }
 
@@ -1070,6 +1137,20 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
             let n = batch.len();
             for ((id, _, lane), mut result) in batch.into_iter().zip(results) {
                 result.id = id;
+                // Uncertainty tap: a deque push + one histogram increment
+                // per request under the lock already held for publishing —
+                // no extra synchronization on the serve path.
+                if st.uncertainty_recent.len() == UNCERTAINTY_WINDOW {
+                    st.uncertainty_recent.pop_front();
+                }
+                st.uncertainty_recent.push_back((result.entropy, result.mc_std));
+                let bucket = if shared.max_entropy > 0.0 {
+                    ((result.entropy / shared.max_entropy * ENTROPY_BUCKETS as f64) as usize)
+                        .min(ENTROPY_BUCKETS - 1)
+                } else {
+                    0
+                };
+                st.entropy_hist[bucket] += 1;
                 st.results.insert(id, Outcome::Served(result));
                 match lane {
                     Priority::Interactive => st.served_interactive += 1,
@@ -1156,6 +1237,46 @@ mod tests {
         assert_eq!(metrics.queued, 0);
         let leftovers = cluster.shutdown();
         assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn uncertainty_tap_aggregates_served_requests() {
+        let cluster = ClusterEngine::new(
+            tiny_vibnn(1),
+            ClusterConfig {
+                replicas: 2,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let before = cluster.metrics().uncertainty;
+        assert_eq!(before.count, 0);
+        assert_eq!(before.entropy_mean, 0.0);
+        assert_eq!(before.entropy_histogram, vec![0; ENTROPY_BUCKETS]);
+        let n = 12usize;
+        let ids: Vec<u64> = (0..n)
+            .map(|i| cluster.submit(vec![0.1 * i as f32; 3]).unwrap())
+            .collect();
+        let results: Vec<ServeResult> =
+            ids.iter().map(|&id| cluster.wait(id).unwrap()).collect();
+        let u = cluster.metrics().uncertainty;
+        assert_eq!(u.window, UNCERTAINTY_WINDOW as u64);
+        assert_eq!(u.count, n as u64);
+        assert_eq!(u.entropy_histogram.len(), ENTROPY_BUCKETS);
+        assert_eq!(u.entropy_histogram.iter().sum::<u64>(), n as u64);
+        // The window holds exactly these n results, so the means match
+        // a direct aggregate (same f64 summation length, loose compare
+        // to stay order-agnostic).
+        let entropy_mean = results.iter().map(|r| r.entropy).sum::<f64>() / n as f64;
+        let mc_std_mean = results.iter().map(|r| r.mc_std).sum::<f64>() / n as f64;
+        assert!((u.entropy_mean - entropy_mean).abs() < 1e-12);
+        assert!((u.mc_std_mean - mc_std_mean).abs() < 1e-12);
+        // Entropies are bounded by ln(classes): the histogram never
+        // overflows its top bucket's edge case.
+        for r in &results {
+            assert!(r.entropy <= (2f64).ln() + 1e-9);
+        }
+        cluster.shutdown();
     }
 
     #[test]

@@ -292,7 +292,7 @@ impl WireError {
 
 /// A point-in-time server + cluster counters snapshot, served over the
 /// wire by [`Request::Metrics`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IngestMetrics {
     /// Requests queued cluster-wide right now.
     pub queued: u64,
@@ -322,6 +322,16 @@ pub struct IngestMetrics {
     pub requests_decoded: u64,
     /// Malformed frames or envelopes seen since start.
     pub protocol_errors: u64,
+    /// Served requests inside the cluster's uncertainty window right now
+    /// (see [`crate::cluster::UncertaintyStats`]).
+    pub uncertainty_count: u64,
+    /// Windowed mean predictive entropy (nats) of served requests.
+    pub entropy_mean: f64,
+    /// Windowed mean Monte-Carlo spread of served requests.
+    pub mc_std_mean: f64,
+    /// Cumulative normalized-entropy histogram,
+    /// [`crate::cluster::ENTROPY_BUCKETS`] buckets.
+    pub entropy_histogram: Vec<u64>,
 }
 
 fn write_lane_deadline(w: &mut WireWriter, tag: u64, priority: Priority, deadline_micros: u64) {
@@ -557,6 +567,13 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             ] {
                 w.u64(v);
             }
+            w.u64(metrics.uncertainty_count);
+            w.f64(metrics.entropy_mean);
+            w.f64(metrics.mc_std_mean);
+            // Fixed bucket count: no length prefix on the wire.
+            for b in 0..crate::cluster::ENTROPY_BUCKETS {
+                w.u64(metrics.entropy_histogram.get(b).copied().unwrap_or(0));
+            }
             w.into_bytes()
         }
         Reply::Shutdown { tag } => {
@@ -608,6 +625,13 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
             for v in &mut vals {
                 *v = r.u64().map_err(protocol)?;
             }
+            let uncertainty_count = r.u64().map_err(protocol)?;
+            let entropy_mean = r.f64().map_err(protocol)?;
+            let mc_std_mean = r.f64().map_err(protocol)?;
+            let mut entropy_histogram = vec![0u64; crate::cluster::ENTROPY_BUCKETS];
+            for b in &mut entropy_histogram {
+                *b = r.u64().map_err(protocol)?;
+            }
             Reply::Metrics {
                 tag,
                 metrics: IngestMetrics {
@@ -625,6 +649,10 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
                     connections_total: vals[11],
                     requests_decoded: vals[12],
                     protocol_errors: vals[13],
+                    uncertainty_count,
+                    entropy_mean,
+                    mc_std_mean,
+                    entropy_histogram,
                 },
             }
         }
@@ -701,6 +729,10 @@ impl<S: StreamFork + Sync + Send> ServerShared<S> {
             connections_total: self.connections_total.load(Ordering::Relaxed),
             requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            uncertainty_count: m.uncertainty.count,
+            entropy_mean: m.uncertainty.entropy_mean,
+            mc_std_mean: m.uncertainty.mc_std_mean,
+            entropy_histogram: m.uncertainty.entropy_histogram,
         }
     }
 }
@@ -1336,6 +1368,10 @@ mod tests {
                     connections_total: 11,
                     requests_decoded: 510,
                     protocol_errors: 4,
+                    uncertainty_count: 256,
+                    entropy_mean: 0.41,
+                    mc_std_mean: 0.07,
+                    entropy_histogram: vec![10, 20, 30, 40, 50, 60, 70, 19],
                 },
             },
             Reply::Shutdown { tag: 4 },

@@ -28,16 +28,18 @@ pub mod cluster;
 mod error;
 pub mod experiments;
 pub mod ingest;
+pub mod online;
 mod pipeline;
 pub mod serve;
 
 pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
 pub use cluster::{
     ClusterConfig, ClusterEngine, ClusterMetrics, Priority, ReplicaMetrics, SubmitOptions,
-    SwapReport,
+    SwapReport, UncertaintyStats,
 };
 pub use error::VibnnError;
 pub use ingest::{IngestClient, IngestConfig, IngestServer};
+pub use online::{OnlineConfig, OnlineEvent, OnlineEventKind, OnlineReport, OnlineRuntime, RoundReport};
 pub use pipeline::{Deployed, Pipeline, TrainedPipeline};
 pub use serve::{ServeConfig, ServeEngine, ServeHandle, ServeResult};
 

@@ -137,26 +137,20 @@ impl Pipeline {
     ///   ([`Pipeline::checkpoint_every`]) could not be written; training
     ///   stops after the epoch that failed to persist.
     pub fn train(self, x: &Matrix, y: &[usize]) -> Result<TrainedPipeline, VibnnError> {
-        validate_dataset(self.cfg.layer_sizes(), x, y, self.batch)?;
         let mut bnn = Bnn::new(self.cfg, self.seed);
-        let ckpt = self.checkpoint_every;
-        let run = bnn.train_mc_scheduled_with(
+        let run = train_round(
+            &mut bnn,
             x,
             y,
             self.batch,
-            self.train_mc.max(1),
+            self.train_mc,
             self.threads,
             &TrainSchedule {
                 epochs: self.epochs,
                 lr: self.lr,
                 early_stop: self.early_stop,
             },
-            |bnn, _report| match &ckpt {
-                Some((every, path)) if bnn.epochs_trained() % *every as u64 == 0 => {
-                    bnn.save(path).map_err(VibnnError::from)
-                }
-                _ => Ok(()),
-            },
+            self.checkpoint_every.as_ref(),
         )?;
         Ok(TrainedPipeline { bnn, run })
     }
@@ -186,8 +180,8 @@ impl Pipeline {
         sched: LrSchedule,
     ) -> Result<TrainedPipeline, VibnnError> {
         let mut bnn = Bnn::load(path)?;
-        validate_dataset(bnn.config().layer_sizes(), x, y, batch)?;
-        let run = bnn.train_mc_scheduled(
+        let run = train_round(
+            &mut bnn,
             x,
             y,
             batch,
@@ -198,9 +192,84 @@ impl Pipeline {
                 lr: sched,
                 early_stop: None,
             },
-        );
+            None,
+        )?;
         Ok(TrainedPipeline { bnn, run })
     }
+
+    /// [`Pipeline::resume`] with this pipeline's full knob set: loads the
+    /// kind-2 checkpoint at `path` and continues it through the shared
+    /// round machinery with **this** pipeline's epoch budget, batch size,
+    /// MC gradient samples, thread count, LR schedule, early stopping,
+    /// and periodic checkpointing — everything except `cfg`/`seed`, which
+    /// the checkpoint supersedes. With matching knobs the continuation is
+    /// bit-identical to a run that was never interrupted, including the
+    /// periodic [`Pipeline::checkpoint_every`] cadence (it indexes on
+    /// lifetime epochs).
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::Checkpoint`] on unreadable files, plus the same
+    /// validation errors as [`Pipeline::train`].
+    pub fn resume_from(
+        self,
+        path: impl AsRef<Path>,
+        x: &Matrix,
+        y: &[usize],
+    ) -> Result<TrainedPipeline, VibnnError> {
+        let mut bnn = Bnn::load(path)?;
+        let run = train_round(
+            &mut bnn,
+            x,
+            y,
+            self.batch,
+            self.train_mc,
+            self.threads,
+            &TrainSchedule {
+                epochs: self.epochs,
+                lr: self.lr,
+                early_stop: self.early_stop,
+            },
+            self.checkpoint_every.as_ref(),
+        )?;
+        Ok(TrainedPipeline { bnn, run })
+    }
+}
+
+/// The shared round machinery every training entry point runs on —
+/// [`Pipeline::train`], [`Pipeline::resume`], [`Pipeline::resume_from`],
+/// and each incremental round of [`crate::online::OnlineRuntime`]:
+/// validates the dataset against the network, then runs one scheduled
+/// round of the deterministic engine with the periodic kind-2 checkpoint
+/// observer attached. A round neither rebuilds optimizer state nor
+/// resets schedule position (both live in `bnn`), so chaining rounds is
+/// bit-identical to one long run with the same per-epoch LR sequence.
+#[allow(clippy::too_many_arguments)] // mirrors `train_mc_scheduled_with`'s knobs plus the observer's
+pub(crate) fn train_round(
+    bnn: &mut Bnn,
+    x: &Matrix,
+    y: &[usize],
+    batch: usize,
+    train_mc: usize,
+    threads: usize,
+    sched: &TrainSchedule,
+    checkpoint_every: Option<&(usize, PathBuf)>,
+) -> Result<ScheduledRun, VibnnError> {
+    validate_dataset(bnn.config().layer_sizes(), x, y, batch)?;
+    bnn.train_mc_scheduled_with(
+        x,
+        y,
+        batch,
+        train_mc.max(1),
+        threads,
+        sched,
+        |bnn, _report| match checkpoint_every {
+            Some((every, path)) if bnn.epochs_trained() % *every as u64 == 0 => {
+                bnn.save(path).map_err(VibnnError::from)
+            }
+            _ => Ok(()),
+        },
+    )
 }
 
 /// Shared dataset validation for [`Pipeline::train`] and
@@ -455,6 +524,58 @@ mod tests {
             assert_eq!(a.rho().data(), b.rho().data());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_and_resume_from_periodic_checkpoint_equals_uninterrupted_run() {
+        use vibnn_bnn::LrSchedule;
+        let (x, y) = toy_data(32, 12);
+        let sched = LrSchedule::Cosine { total_epochs: 8, min_lr: 1e-5 };
+        let dir = std::env::temp_dir();
+        let full_path = dir.join(format!("vibnn_killresume_full_{}.ckpt", std::process::id()));
+        let part_path = dir.join(format!("vibnn_killresume_part_{}.ckpt", std::process::id()));
+        let pipe = || {
+            Pipeline::new(BnnConfig::new(&[3, 4, 2]).with_lr(0.02))
+                .seed(6)
+                .batch(8)
+                .train_mc_samples(2)
+                .lr_schedule(sched)
+        };
+        // Uninterrupted 8-epoch reference, checkpointing every 3 epochs.
+        let full = pipe()
+            .epochs(8)
+            .checkpoint_every(3, &full_path)
+            .train(&x, &y)
+            .unwrap();
+        // "Killed" after 5 epochs: the latest periodic save is the
+        // epoch-3 state — a mid-cadence interrupt, not a round boundary.
+        let _ = pipe()
+            .epochs(5)
+            .checkpoint_every(3, &part_path)
+            .train(&x, &y)
+            .unwrap();
+        assert_eq!(Bnn::load(&part_path).unwrap().epochs_trained(), 3);
+        // Resuming with the pipeline's own knobs (including the periodic
+        // cadence) replays epochs 4..8 bit-identically.
+        let resumed = pipe()
+            .epochs(5)
+            .checkpoint_every(3, &part_path)
+            .resume_from(&part_path, &x, &y)
+            .unwrap();
+        assert_eq!(resumed.reports(), &full.reports()[3..]);
+        for (a, b) in full.bnn().layers().iter().zip(resumed.bnn().layers()) {
+            assert_eq!(a.mu().data(), b.mu().data());
+            assert_eq!(a.rho().data(), b.rho().data());
+        }
+        // The periodic cadence indexes on lifetime epochs: both runs
+        // last saved at lifetime epoch 6 (8 % 3 != 0), so the checkpoint
+        // files are byte-identical.
+        assert_eq!(
+            std::fs::read(&full_path).unwrap(),
+            std::fs::read(&part_path).unwrap()
+        );
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&part_path).ok();
     }
 
     #[test]

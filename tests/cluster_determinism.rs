@@ -350,6 +350,115 @@ fn metrics_track_batches_and_drain_state() {
 }
 
 #[test]
+fn rollout_under_sustained_traffic_with_concurrent_trainer() {
+    // The online-loop deployment story, exercised at the cluster seam: a
+    // trainer thread keeps producing checkpoints — saving each as a
+    // kind-3 file and rolling it across every replica via
+    // `hot_swap_from` — while a client pumps requests the whole time.
+    // Every accepted request must resolve exactly once, and every
+    // answer must be bit-attributable to exactly one of the known
+    // checkpoint versions (the references are pairwise distinct, so
+    // attribution is unambiguous). Traffic before the trainer starts is
+    // version 0; traffic after it finishes is the final version.
+    let x = request_rows();
+    let models: Vec<Vibnn> = [5u64, 21, 33, 47].iter().map(|&s| deployed(s)).collect();
+    let references: Vec<Matrix> = models.iter().map(|m| reference_rows(m, &x)).collect();
+    for a in 0..references.len() {
+        for b in (a + 1)..references.len() {
+            assert_ne!(
+                references[a].data(),
+                references[b].data(),
+                "checkpoints {a} and {b} must disagree for attribution to be unambiguous"
+            );
+        }
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "vibnn_cluster_trainer_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let replicas = 2usize;
+    let c = cluster(models[0].clone(), replicas, 2, 3);
+    // Wave 0, before any trainer activity: pure version-0 traffic.
+    let wave = |expect_rows: &Matrix| {
+        for r in 0..REQUESTS {
+            let id = loop {
+                match c.submit(x.row(r).to_vec()) {
+                    Ok(id) => break id,
+                    Err(VibnnError::QueueFull { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("submit failed: {e}"),
+                }
+            };
+            let res = c.wait(id).expect("result");
+            assert_eq!(bits(&res.proba), bits(expect_rows.row(r)));
+            assert!(c.try_take(id).is_none(), "result claimed twice");
+        }
+    };
+    wave(&references[0]);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let mut accepted = 0u64;
+    std::thread::scope(|s| {
+        let trainer = s.spawn(|| {
+            // Each "training round" lands a new checkpoint on disk and
+            // rolls it out replica by replica, mid-traffic.
+            for (v, model) in models.iter().enumerate().skip(1) {
+                let path = dir.join(format!("v{v}.ckpt"));
+                model.save(&path).expect("save kind-3 checkpoint");
+                for rep in 0..replicas {
+                    let report = c.hot_swap_from(rep, &path).expect("rollout from file");
+                    assert_eq!(report.replica, rep);
+                    assert_eq!(report.version, v as u64);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        });
+        // Sustained client traffic for the trainer's whole lifetime:
+        // every answer must match exactly one known version's bits for
+        // its row — never a torn or mixed response.
+        while !done.load(std::sync::atomic::Ordering::Acquire) {
+            for r in 0..REQUESTS {
+                let id = loop {
+                    match c.submit(x.row(r).to_vec()) {
+                        Ok(id) => break id,
+                        Err(VibnnError::QueueFull { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("submit failed: {e}"),
+                    }
+                };
+                accepted += 1;
+                let res = c.wait(id).expect("mid-rollout result");
+                let row_bits = bits(&res.proba);
+                let matches = references
+                    .iter()
+                    .filter(|reference| row_bits == bits(reference.row(r)))
+                    .count();
+                assert_eq!(
+                    matches, 1,
+                    "row {r} not attributable to exactly one checkpoint"
+                );
+                assert!(c.try_take(id).is_none(), "result claimed twice");
+            }
+        }
+        trainer.join().expect("trainer panicked");
+    });
+    // Wave after the trainer finished: everything serves the final
+    // checkpoint, and both replicas agree on its fingerprint.
+    wave(references.last().expect("final reference"));
+    let m = c.metrics();
+    assert_eq!(m.served, accepted + 2 * REQUESTS as u64);
+    assert_eq!(m.cancelled, 0, "sustained traffic must lose nothing");
+    assert_eq!(m.swaps_completed, ((models.len() - 1) * replicas) as u64);
+    let final_fp = m.replicas[0].checkpoint_fingerprint;
+    for rep in &m.replicas {
+        assert_eq!(rep.version, (models.len() - 1) as u64);
+        assert_eq!(rep.checkpoint_fingerprint, final_fp);
+        assert!(!rep.swap_pending);
+    }
+    assert!(c.shutdown().is_empty(), "no orphaned responses");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shutdown_under_queued_swap_never_hangs() {
     // Regression: with traffic queued and a rollout in flight, a
     // graceful stop used to depend on dispatcher timing to drain the

@@ -8,7 +8,7 @@ use vibnn::fixed::{choose_format, MacAccumulator, QFormat};
 use vibnn::grng::WallaceUnit;
 use vibnn::hw::{AcceleratorConfig, Schedule};
 use vibnn::ingest::{decode_reply, decode_request, encode_reply, encode_request};
-use vibnn::ingest::{Reply, Request, WireError};
+use vibnn::ingest::{IngestMetrics, Reply, Request, WireError};
 use vibnn::rng::{BitVec, CircularLfsr, RlfLogic, RlfMode, SplitMix64};
 use vibnn::serve::ServeResult;
 use vibnn::Priority;
@@ -285,6 +285,44 @@ proptest! {
             ],
         };
         prop_assert_eq!(decode_reply(&encode_reply(&batch)).unwrap(), batch);
+    }
+
+    /// Metrics snapshots — counters, uncertainty means, and the
+    /// fixed-width entropy histogram — round-trip the reply codec
+    /// exactly for arbitrary values (f64 means travel as raw bits).
+    #[test]
+    fn metrics_reply_codec_round_trips(
+        tag in 0u64..,
+        counters in prop::collection::vec(0u64.., 15usize..16),
+        entropy_mean in 0.0f64..10.0,
+        mc_std_mean in 0.0f64..10.0,
+        histogram in prop::collection::vec(
+            0u64..,
+            vibnn::cluster::ENTROPY_BUCKETS..vibnn::cluster::ENTROPY_BUCKETS + 1,
+        ),
+    ) {
+        let metrics = IngestMetrics {
+            queued: counters[0],
+            capacity: counters[1],
+            submitted: counters[2],
+            served: counters[3],
+            served_interactive: counters[4],
+            served_batch: counters[5],
+            rejected: counters[6],
+            deadline_expired: counters[7],
+            cancelled: counters[8],
+            replicas_alive: counters[9],
+            connections_open: counters[10],
+            connections_total: counters[11],
+            requests_decoded: counters[12],
+            protocol_errors: counters[13],
+            uncertainty_count: counters[14],
+            entropy_mean,
+            mc_std_mean,
+            entropy_histogram: histogram,
+        };
+        let reply = Reply::Metrics { tag, metrics };
+        prop_assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
     }
 
     /// Every typed wire-error variant survives the reply codec with its
