@@ -41,6 +41,9 @@ cargo test -q --test cluster_determinism
 echo "==> online-determinism suite (full loop bit-identical across thread counts and kill/resume)"
 cargo test -q --test online_determinism
 
+echo "==> backend-determinism suite (quantized == historical path, cycle == ticked model, mixed-pool attribution)"
+cargo test -q --test backend_determinism
+
 echo "==> ingest protocol suite (fault injection over live sockets; skips itself if sockets are unavailable)"
 cargo test -q --test ingest_protocol
 
@@ -71,6 +74,14 @@ VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_cluster.json" \
 echo "==> VIBNN_SCALE=quick ingest bench (real sockets, asserts wire == direct submit; writes a stub if sockets are unavailable)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_ingest.json" \
     cargo run --release -p vibnn_bench --bin bench_ingest
+
+echo "==> VIBNN_SCALE=quick backend bench (software/quantized/cycle, asserts determinism before timing)"
+VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_backend.json" \
+    cargo run --release -p vibnn_bench --bin bench_backend
+for field in cycles_per_request energy_nj_per_request; do
+    grep -q "\"$field\"" target/BENCH_backend.json \
+        || { echo "FAIL: BENCH_backend.json lacks the $field field"; exit 1; }
+done
 
 echo "==> VIBNN_SCALE=quick online bench (drift loop, asserts report bit-identity and adaptive >= baseline)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_online.json" \

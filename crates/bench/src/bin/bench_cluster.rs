@@ -117,6 +117,7 @@ fn cluster(
             workers,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -162,6 +163,7 @@ fn single_engine_rps(
             max_batch,
             max_queue: 256,
             workers,
+            backend: None,
         },
         eps,
     )

@@ -129,6 +129,7 @@ fn cluster(vibnn: Vibnn) -> ClusterEngine<ZigguratGrng> {
             workers: 1,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )

@@ -102,6 +102,7 @@ fn engine(vibnn: Vibnn, max_batch: usize, workers: usize) -> ServeEngine<Ziggura
             max_batch,
             max_queue: 256,
             workers,
+            backend: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )

@@ -1,7 +1,7 @@
 //! The full Bayesian MLP: stacked [`VarDense`] layers trained by
 //! Bayes-by-Backprop, with Monte Carlo inference (paper equations 4–6).
 
-use vibnn_grng::{GaussianSource, StreamFork, ZigguratGrng};
+use vibnn_grng::{BnnWallaceGrng, GaussianSource, ParallelRlfGrng, StreamFork, ZigguratGrng};
 use vibnn_nn::{
     accuracy, cross_entropy_loss, relu, relu_backward, softmax_rows, Adam, GaussianInit, Matrix,
     Optimizer,
@@ -131,6 +131,117 @@ pub struct BnnTrainReport {
     pub accuracy: f64,
 }
 
+/// Which generator family supplies training ε (the reparameterization
+/// noise of Bayes-by-Backprop).
+///
+/// The default is the software Ziggurat — the fastest high-quality
+/// generator in the workspace, and the stream every existing checkpoint
+/// and test was trained with. The two hardware-faithful families model
+/// the paper's GRNG designs feeding *training* instead of inference:
+/// RLF (RAM-based linear feedback, Section 4.1) and BNNWallace
+/// (Section 4.2). All three fork the same way (`seed → step → sample`),
+/// so swapping the source changes only the noise values, never the
+/// scheduling contract.
+///
+/// ```
+/// use vibnn_bnn::TrainEpsSource;
+/// assert_eq!(TrainEpsSource::default(), TrainEpsSource::Ziggurat);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TrainEpsSource {
+    /// Software Ziggurat (the default; bit-identical to historical runs).
+    #[default]
+    Ziggurat,
+    /// RLF-GRNG: the paper's RAM-based linear feedback design.
+    Rlf,
+    /// BNNWallace-GRNG: the paper's Wallace-transform design.
+    BnnWallace,
+}
+
+impl std::fmt::Display for TrainEpsSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrainEpsSource::Ziggurat => "ziggurat",
+            TrainEpsSource::Rlf => "rlf",
+            TrainEpsSource::BnnWallace => "bnnwallace",
+        })
+    }
+}
+
+/// The training ε generator behind [`TrainEpsSource`]: one concrete
+/// generator per family, all forked identically. Only ever forked,
+/// never consumed in place, so checkpoints persist nothing beyond the
+/// seed and the (runtime-only) source choice.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Ziggurat (table-heavy, the default) is
+// forked once per MC sample in the hot step loop; boxing it would trade a
+// stack copy for a per-fork heap allocation and break the allocation-free
+// steady-state contract (`tests/alloc_steady_state.rs`).
+pub(crate) enum TrainEps {
+    Ziggurat(ZigguratGrng),
+    Rlf(ParallelRlfGrng),
+    BnnWallace(BnnWallaceGrng),
+}
+
+impl TrainEps {
+    /// Builds the family's generator from the (already-mixed) seed. The
+    /// RLF and Wallace shapes follow the workspace idiom: 64 RLF lanes,
+    /// an 8-unit / 256-pool Wallace.
+    pub(crate) fn new(source: TrainEpsSource, seed: u64) -> Self {
+        match source {
+            TrainEpsSource::Ziggurat => TrainEps::Ziggurat(ZigguratGrng::new(seed)),
+            TrainEpsSource::Rlf => TrainEps::Rlf(ParallelRlfGrng::new(64, seed)),
+            TrainEpsSource::BnnWallace => {
+                TrainEps::BnnWallace(BnnWallaceGrng::new(8, 256, seed))
+            }
+        }
+    }
+
+    pub(crate) fn source(&self) -> TrainEpsSource {
+        match self {
+            TrainEps::Ziggurat(_) => TrainEpsSource::Ziggurat,
+            TrainEps::Rlf(_) => TrainEpsSource::Rlf,
+            TrainEps::BnnWallace(_) => TrainEpsSource::BnnWallace,
+        }
+    }
+}
+
+impl GaussianSource for TrainEps {
+    fn next_gaussian(&mut self) -> f64 {
+        match self {
+            TrainEps::Ziggurat(g) => g.next_gaussian(),
+            TrainEps::Rlf(g) => g.next_gaussian(),
+            TrainEps::BnnWallace(g) => g.next_gaussian(),
+        }
+    }
+
+    fn fill(&mut self, out: &mut [f64]) {
+        match self {
+            TrainEps::Ziggurat(g) => g.fill(out),
+            TrainEps::Rlf(g) => g.fill(out),
+            TrainEps::BnnWallace(g) => g.fill(out),
+        }
+    }
+
+    fn fill_f32(&mut self, out: &mut [f32]) {
+        match self {
+            TrainEps::Ziggurat(g) => g.fill_f32(out),
+            TrainEps::Rlf(g) => g.fill_f32(out),
+            TrainEps::BnnWallace(g) => g.fill_f32(out),
+        }
+    }
+}
+
+impl StreamFork for TrainEps {
+    fn fork(&self, stream_id: u64) -> Self {
+        match self {
+            TrainEps::Ziggurat(g) => TrainEps::Ziggurat(g.fork(stream_id)),
+            TrainEps::Rlf(g) => TrainEps::Rlf(g.fork(stream_id)),
+            TrainEps::BnnWallace(g) => TrainEps::BnnWallace(g.fork(stream_id)),
+        }
+    }
+}
+
 /// A Bayesian MLP with Gaussian variational posteriors over all weights.
 ///
 /// Training runs through the deterministic data-parallel engine (see
@@ -154,7 +265,9 @@ pub struct Bnn {
     ///
     /// `train_eps` is only ever *forked*, never consumed, so its state is
     /// fully determined by `seed` — checkpoints persist the seed alone.
-    pub(crate) train_eps: ZigguratGrng,
+    /// [`Bnn::set_train_eps_source`] swaps the generator family behind
+    /// the same forking discipline.
+    pub(crate) train_eps: TrainEps,
     pub(crate) shuffle_rng: GaussianInit,
     pub(crate) step: u64,
     /// The construction seed (all internal RNGs derive from it).
@@ -202,7 +315,7 @@ impl Bnn {
             layers,
             opt,
             slots,
-            train_eps: ZigguratGrng::new(seed ^ 0xBEEF),
+            train_eps: TrainEps::new(TrainEpsSource::Ziggurat, seed ^ 0xBEEF),
             shuffle_rng: GaussianInit::new(seed ^ 0xFACE),
             step: 0,
             seed,
@@ -211,6 +324,23 @@ impl Bnn {
             arena: StepArena::default(),
             phase_seconds: StepPhaseSeconds::default(),
         }
+    }
+
+    /// Selects which generator family supplies training ε from the next
+    /// step on, re-deriving the stream from the construction seed (the
+    /// same `seed ^ 0xBEEF` mixing every family uses). Setting
+    /// [`TrainEpsSource::Ziggurat`] restores the historical stream
+    /// bit-for-bit. The choice is runtime-only: checkpoints don't
+    /// persist it, and loads come back with the Ziggurat default —
+    /// re-apply it before resuming if a run trained with another
+    /// family.
+    pub fn set_train_eps_source(&mut self, source: TrainEpsSource) {
+        self.train_eps = TrainEps::new(source, self.seed ^ 0xBEEF);
+    }
+
+    /// Which generator family currently supplies training ε.
+    pub fn train_eps_source(&self) -> TrainEpsSource {
+        self.train_eps.source()
     }
 
     /// Cumulative wall-clock seconds the training engine has spent in

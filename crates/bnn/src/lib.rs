@@ -37,7 +37,7 @@ mod threads;
 mod train;
 mod var_dense;
 
-pub use bnn::{Bnn, BnnConfig, BnnTrainReport};
+pub use bnn::{Bnn, BnnConfig, BnnTrainReport, TrainEpsSource};
 pub use checkpoint::CheckpointError;
 pub use mc::{
     parallel_fork_map, parallel_mc_reduce, parallel_ordered_tasks, reduce_mean, replica_source,

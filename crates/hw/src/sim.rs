@@ -9,7 +9,7 @@
 //! tests.
 
 use vibnn_fixed::MacAccumulator;
-use vibnn_grng::GaussianSource;
+use vibnn_grng::{GaussianSource, StreamFork};
 
 use crate::controller::{LAYER_CONTROL, PIPELINE_FILL};
 use crate::{AcceleratorConfig, QuantizedBnn, Schedule};
@@ -30,6 +30,22 @@ pub struct SimStats {
     pub eps_consumed: u64,
     /// MAC operations executed.
     pub macs: u64,
+}
+
+/// One request's share of the simulated hardware cost: the clock cycles
+/// the accelerator spent on it and the energy those cycles dissipate at
+/// the configured clock under the [`crate::power`] system model.
+///
+/// Produced per row by [`CycleAccelerator::infer_batch_costed`] and
+/// [`CycleAccelerator::infer_forked`]; the per-request cycle counts sum
+/// exactly to the batch-level [`SimStats::cycles`] delta (pinned by a
+/// regression test), so serve-side cost attribution is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RequestCost {
+    /// Clock cycles charged to this request (all its MC samples).
+    pub cycles: u64,
+    /// Energy in nanojoules for those cycles at the configured clock.
+    pub energy_nj: f64,
 }
 
 /// The ticking accelerator model.
@@ -104,14 +120,94 @@ impl CycleAccelerator {
         inputs: &vibnn_nn::Matrix,
         eps_src: &mut impl GaussianSource,
     ) -> vibnn_nn::Matrix {
+        self.infer_batch_costed(inputs, eps_src).0
+    }
+
+    /// [`Self::infer_batch`] with exact per-request cost attribution:
+    /// alongside the probability matrix it returns one [`RequestCost`]
+    /// per input row. Outputs are bit-identical to `infer_batch` (same
+    /// loop, same ε stream order), and the per-row cycle counts sum to
+    /// the batch's total [`SimStats::cycles`] delta exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has zero rows or the feature width mismatches.
+    pub fn infer_batch_costed(
+        &mut self,
+        inputs: &vibnn_nn::Matrix,
+        eps_src: &mut impl GaussianSource,
+    ) -> (vibnn_nn::Matrix, Vec<RequestCost>) {
         assert!(inputs.rows() > 0, "need at least one image");
         let classes = *self.qbnn.layer_sizes().last().expect("sizes");
         let mut out = vibnn_nn::Matrix::zeros(inputs.rows(), classes);
+        let mut costs = Vec::with_capacity(inputs.rows());
         for r in 0..inputs.rows() {
+            let before = self.stats.cycles;
             let probs = self.infer(inputs.row(r), eps_src);
             out.row_mut(r).copy_from_slice(&probs);
+            let cycles = self.stats.cycles - before;
+            costs.push(RequestCost {
+                cycles,
+                energy_nj: self.energy_nj(cycles),
+            });
         }
-        out
+        (out, costs)
+    }
+
+    /// Serving entry point: runs one image through all configured MC
+    /// samples where sample `s` draws its weights from the substream
+    /// `eps.fork(s)` — the same per-sample forking convention the
+    /// software and quantized-host serving paths use. Because each row
+    /// re-derives every sample's substream from scratch, results are
+    /// independent of batch composition and arrival order.
+    ///
+    /// Returns the averaged class probabilities, the per-sample softmax
+    /// probability vectors (for MC-spread statistics), and this
+    /// request's exact [`RequestCost`].
+    pub fn infer_forked<S: StreamFork>(
+        &mut self,
+        input: &[f32],
+        eps: &S,
+    ) -> (Vec<f32>, Vec<Vec<f64>>, RequestCost) {
+        let classes = *self.qbnn.layer_sizes().last().expect("sizes");
+        let before = self.stats.cycles;
+        let mut acc = vec![0.0f64; classes];
+        let mut members = Vec::with_capacity(self.cfg.mc_samples);
+        for s in 0..self.cfg.mc_samples {
+            let mut eps_s = eps.fork(s as u64);
+            let logits = self.infer_sample(input, &mut eps_s);
+            let probs = softmax(&logits);
+            for (a, &p) in acc.iter_mut().zip(&probs) {
+                *a += p;
+            }
+            members.push(probs);
+        }
+        let probs: Vec<f32> = acc
+            .iter()
+            .map(|&v| (v / self.cfg.mc_samples as f64) as f32)
+            .collect();
+        let cycles = self.stats.cycles - before;
+        let cost = RequestCost {
+            cycles,
+            energy_nj: self.energy_nj(cycles),
+        };
+        (probs, members, cost)
+    }
+
+    /// System power draw in watts for this deployment under the
+    /// [`crate::power`] model (static + clock-scaled dynamic terms for
+    /// the PE array, memories, and the configured GRNG bank).
+    pub fn power_w(&self) -> f64 {
+        let sizes = self.qbnn.layer_sizes();
+        let widest = sizes.iter().copied().max().unwrap_or(0);
+        crate::power::system_power_w(&self.cfg, self.qbnn.total_weights(), widest)
+    }
+
+    /// Energy in nanojoules dissipated by `cycles` clock cycles at the
+    /// configured clock frequency and modeled system power.
+    pub fn energy_nj(&self, cycles: u64) -> f64 {
+        // seconds = cycles / (clock_mhz * 1e6); nJ = seconds * W * 1e9.
+        cycles as f64 * self.power_w() * 1e3 / self.cfg.clock_mhz
     }
 
     /// Runs one image through all configured MC samples and returns the
@@ -354,6 +450,59 @@ mod tests {
         let labels = vec![0usize; calib.rows()];
         let acc = q.evaluate_mc_parallel(&calib, &labels, 5, &eps, 2);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn per_request_costs_sum_to_batch_total() {
+        let (mut sim, _, calib) = deployed(10);
+        let mut eps = BoxMullerGrng::new(29);
+        let before = sim.stats().cycles;
+        let (out, costs) = sim.infer_batch_costed(&calib, &mut eps);
+        assert_eq!(costs.len(), calib.rows());
+        let total = sim.stats().cycles - before;
+        let summed: u64 = costs.iter().map(|c| c.cycles).sum();
+        assert_eq!(summed, total, "per-request cycles must sum to batch total");
+        // Energy is linear in cycles, so the sum matches to rounding.
+        let energy_total = sim.energy_nj(total);
+        let energy_summed: f64 = costs.iter().map(|c| c.energy_nj).sum();
+        assert!(
+            (energy_summed - energy_total).abs() <= 1e-9 * energy_total.max(1.0),
+            "energy sum {energy_summed} vs batch {energy_total}"
+        );
+        assert!(costs.iter().all(|c| c.cycles > 0 && c.energy_nj > 0.0));
+        // Costed output is the batch output (same loop, same eps order).
+        let mut plain = CycleAccelerator::new(small_cfg(), sim.network().clone());
+        let reference = plain.infer_batch(&calib, &mut BoxMullerGrng::new(29));
+        assert_eq!(out.data(), reference.data());
+    }
+
+    #[test]
+    fn forked_inference_is_batch_composition_independent() {
+        let (mut sim, _, calib) = deployed(11);
+        let eps = BoxMullerGrng::new(31);
+        let (alone, members, cost) = sim.infer_forked(calib.row(2), &eps);
+        assert_eq!(members.len(), small_cfg().mc_samples);
+        assert!(cost.cycles > 0 && cost.energy_nj > 0.0);
+        // Serving the same row after others must not change its answer.
+        let mut other = CycleAccelerator::new(small_cfg(), sim.network().clone());
+        let _ = other.infer_forked(calib.row(0), &eps);
+        let _ = other.infer_forked(calib.row(1), &eps);
+        let (again, _, cost_again) = other.infer_forked(calib.row(2), &eps);
+        let same = alone
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "forked inference depends on batch composition");
+        assert_eq!(cost.cycles, cost_again.cycles);
+    }
+
+    #[test]
+    fn energy_model_is_linear_in_cycles() {
+        let (sim, _, _) = deployed(12);
+        assert!(sim.power_w() > 0.0);
+        assert_eq!(sim.energy_nj(0), 0.0);
+        let one = sim.energy_nj(1);
+        assert!((sim.energy_nj(1000) - 1000.0 * one).abs() < 1e-9 * 1000.0 * one);
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn main() -> Result<(), VibnnError> {
             workers: 0,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
     )?;
 

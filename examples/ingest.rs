@@ -29,6 +29,7 @@ fn main() -> Result<(), VibnnError> {
             workers: 0,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
     )?;
 

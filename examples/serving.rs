@@ -53,6 +53,7 @@ fn main() -> Result<(), VibnnError> {
             max_batch: 16,
             max_queue: 256,
             workers: 0,
+            backend: None,
         },
     )?;
     let handle = engine.spawn();

@@ -5,6 +5,7 @@ use vibnn_grng::{GaussianSource, GrngKind, StreamFork};
 use vibnn_hw::{AcceleratorConfig, CycleAccelerator, QuantizedBnn, ResourceModel, Schedule};
 use vibnn_nn::Matrix;
 
+use crate::backend::BackendKind;
 use crate::VibnnError;
 
 /// Builder for a deployed [`Vibnn`] accelerator instance.
@@ -39,6 +40,7 @@ pub struct VibnnBuilder {
     config: AcceleratorConfig,
     calibration: Option<Matrix>,
     mc_samples: usize,
+    backend: BackendKind,
 }
 
 /// Checks that a parameter snapshot describes a deployable network:
@@ -111,6 +113,7 @@ impl VibnnBuilder {
             config: AcceleratorConfig::paper(),
             calibration: None,
             mc_samples: 8,
+            backend: BackendKind::default(),
         }
     }
 
@@ -146,6 +149,16 @@ impl VibnnBuilder {
     pub fn mc_samples(mut self, n: usize) -> Self {
         assert!(n > 0, "need at least one Monte Carlo sample");
         self.mc_samples = n;
+        self
+    }
+
+    /// Selects the deployment's default serving backend (default
+    /// [`BackendKind::Quantized`] — the historical path). Serving
+    /// engines honour this unless their own `ServeConfig::backend`
+    /// overrides it. Runtime-only: checkpoints do not persist it, so a
+    /// loaded deployment serves quantized unless re-selected.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
         self
     }
 
@@ -194,6 +207,7 @@ impl VibnnBuilder {
             params: self.params,
             bit_len: self.bit_len,
             classes,
+            default_backend: self.backend,
         })
     }
 
@@ -224,6 +238,10 @@ pub struct Vibnn {
     pub(crate) params: BnnParams,
     pub(crate) bit_len: u32,
     pub(crate) classes: usize,
+    /// Which backend serving engines dispatch through when their
+    /// `ServeConfig` does not override it. Runtime-only — kind-3
+    /// checkpoints do not persist it (loads default to quantized).
+    pub(crate) default_backend: BackendKind,
 }
 
 impl Vibnn {
@@ -260,6 +278,12 @@ impl Vibnn {
     /// The accelerator configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config
+    }
+
+    /// The deployment's default serving backend (see
+    /// [`VibnnBuilder::backend`]).
+    pub fn default_backend(&self) -> BackendKind {
+        self.default_backend
     }
 
     /// Batch prediction on the functional fixed-point datapath

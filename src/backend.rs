@@ -1,0 +1,569 @@
+//! Pluggable inference backends: one serving contract, three datapaths.
+//!
+//! The paper's deployment story is an accelerator serving Bayesian
+//! inference, yet a serving stack usually grows around whichever
+//! datapath existed first. This module makes the datapath a *plug*:
+//! [`InferenceBackend`] is the micro-batch contract the serving engine
+//! dispatches through, and three implementations cover the repo's
+//! datapaths end to end:
+//!
+//! - [`SoftwareBackend`] — the parallel float path (weights sampled as
+//!   `µ + σ·ε` in f32, dense forward, softmax), the precision reference.
+//! - [`QuantizedBackend`] — the quantized-host path the engine has
+//!   always used ([`QuantizedBnn::predict_proba_mc_members_parallel`]).
+//!   This is the **default**; its results are bit-identical to the
+//!   pre-backend serving engine.
+//! - [`CycleBackend`] — hardware in the loop: every request runs
+//!   through the cycle-ticked [`CycleAccelerator`], and the batch comes
+//!   back with exact cycle counts and energy (nJ) charged under the
+//!   [`vibnn_hw::power`] system model.
+//!
+//! # Determinism
+//!
+//! All three backends fork the engine's ε source per Monte Carlo
+//! sample (`eps.fork(s)`), never consume a shared stream, and process
+//! rows independently — so a request's answer depends only on its
+//! feature row, the deployment, the backend kind, and the ε seed;
+//! never on batch composition, arrival order, or worker count. The
+//! cluster router exploits this: spill is restricted to replicas with
+//! the same checkpoint fingerprint *and* the same backend kind, so
+//! rerouting can never change a result.
+//!
+//! # Cost accounting
+//!
+//! Every micro-batch returns a [`BackendCost`]. The software and
+//! quantized hosts charge zero cycles/energy (they are host code, not
+//! modeled hardware); the cycle backend charges the exact simulated
+//! cycles and the energy those cycles dissipate at the configured
+//! clock. Costs accumulate per engine and per cluster replica, surface
+//! in `ClusterMetrics`, and travel over the ingest wire.
+
+use vibnn_bnn::{reduce_mean, BnnParams};
+use vibnn_grng::{GaussianSource, StreamFork};
+use vibnn_hw::{CycleAccelerator, QuantizedBnn};
+use vibnn_nn::{relu, softmax_rows, Matrix};
+
+use crate::serve::ServeResult;
+use crate::Vibnn;
+
+/// Which datapath a serving slot runs inference through.
+///
+/// The default is [`BackendKind::Quantized`] — the quantized-host path
+/// the serving engine has always used — so existing deployments are
+/// unchanged unless a backend is selected explicitly (via
+/// `VibnnBuilder::backend`, `ServeConfig::backend`, or a cluster's
+/// per-replica kinds).
+///
+/// ```
+/// use vibnn::backend::BackendKind;
+///
+/// assert_eq!(BackendKind::default(), BackendKind::Quantized);
+/// // Kinds travel over the ingest wire as one byte.
+/// for kind in [BackendKind::Software, BackendKind::Quantized, BackendKind::Cycle] {
+///     assert_eq!(BackendKind::from_code(kind.code()), Some(kind));
+/// }
+/// assert_eq!(BackendKind::from_code(9), None);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Float-precision software path (µ + σ·ε in f32, dense forward).
+    Software,
+    /// Quantized host path — the historical serving datapath.
+    #[default]
+    Quantized,
+    /// Cycle-ticked accelerator model with cycle/energy accounting.
+    Cycle,
+}
+
+impl BackendKind {
+    /// Stable one-byte wire code (ingest metrics, checkpoint-free).
+    pub fn code(self) -> u8 {
+        match self {
+            BackendKind::Software => 0,
+            BackendKind::Quantized => 1,
+            BackendKind::Cycle => 2,
+        }
+    }
+
+    /// Inverse of [`Self::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(BackendKind::Software),
+            1 => Some(BackendKind::Quantized),
+            2 => Some(BackendKind::Cycle),
+            _ => None,
+        }
+    }
+
+    /// Instantiates this backend for a deployment. The returned object
+    /// is what a [`crate::serve::ServeEngine`] dispatches micro-batches
+    /// through.
+    pub fn instantiate<S: StreamFork + Sync>(
+        self,
+        vibnn: &Vibnn,
+    ) -> Box<dyn InferenceBackend<S>> {
+        match self {
+            BackendKind::Software => Box::new(SoftwareBackend::new(vibnn.params().clone())),
+            BackendKind::Quantized => Box::new(QuantizedBackend::new(vibnn.network().clone())),
+            BackendKind::Cycle => Box::new(CycleBackend::new(CycleAccelerator::new(
+                vibnn.config().clone(),
+                vibnn.network().clone(),
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Software => write!(f, "software"),
+            BackendKind::Quantized => write!(f, "quantized"),
+            BackendKind::Cycle => write!(f, "cycle"),
+        }
+    }
+}
+
+/// Hardware cost charged for served work: simulated clock cycles, the
+/// energy those cycles dissipate (nanojoules, from the
+/// [`vibnn_hw::power`] system model), and the Monte Carlo samples
+/// drawn. Host backends (software/quantized) charge zero cycles and
+/// energy; only the cycle backend meters modeled hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackendCost {
+    /// Simulated accelerator clock cycles.
+    pub cycles: u64,
+    /// Energy in nanojoules for those cycles at the configured clock.
+    pub energy_nj: f64,
+    /// Monte Carlo samples executed (rows × MC samples per request).
+    pub samples: u64,
+}
+
+impl BackendCost {
+    /// Folds another cost into this one (cumulative accounting).
+    pub fn accumulate(&mut self, other: BackendCost) {
+        self.cycles += other.cycles;
+        self.energy_nj += other.energy_nj;
+        self.samples += other.samples;
+    }
+}
+
+/// The micro-batch contract a serving slot dispatches through: run one
+/// validated chunk of feature rows through `samples` Monte Carlo draws
+/// and return one [`ServeResult`] per row (ids = row index within the
+/// chunk; the engine rewrites them) plus the batch's [`BackendCost`].
+///
+/// Implementations must keep the serving determinism contract: sample
+/// `s` draws from `eps.fork(s)`, rows are processed independently, and
+/// `workers` never affects results.
+///
+/// ```
+/// use vibnn::backend::{BackendKind, InferenceBackend};
+/// use vibnn::bnn::{Bnn, BnnConfig};
+/// use vibnn::grng::ZigguratGrng;
+/// use vibnn::nn::Matrix;
+/// use vibnn::VibnnBuilder;
+///
+/// let bnn = Bnn::new(BnnConfig::new(&[4, 8, 2]), 7);
+/// let vibnn = VibnnBuilder::new(bnn.params())
+///     .mc_samples(3)
+///     .calibration(Matrix::zeros(2, 4))
+///     .build()?;
+/// let mut backend = BackendKind::Cycle.instantiate::<ZigguratGrng>(&vibnn);
+/// let eps = ZigguratGrng::new(0x5EED);
+/// let (results, cost) = backend.serve_microbatch(&Matrix::zeros(2, 4), 3, &eps, 1);
+/// assert_eq!(results.len(), 2);
+/// assert!(cost.cycles > 0 && cost.energy_nj > 0.0);
+/// assert_eq!(cost.samples, 2 * 3);
+/// # Ok::<(), vibnn::VibnnError>(())
+/// ```
+pub trait InferenceBackend<S: StreamFork + Sync>: Send {
+    /// Which datapath this backend runs.
+    fn kind(&self) -> BackendKind;
+
+    /// Serves one micro-batch; see the trait docs for the contract.
+    fn serve_microbatch(
+        &mut self,
+        chunk: &Matrix,
+        samples: usize,
+        eps: &S,
+        workers: usize,
+    ) -> (Vec<ServeResult>, BackendCost);
+}
+
+/// Builds per-row [`ServeResult`]s from f32 Monte Carlo member
+/// matrices, with the mean derived through the shared fixed-lane
+/// [`reduce_mean`] — the exact arithmetic the pre-backend serving
+/// engine used, kept in one place so the quantized and software
+/// backends stay bit-compatible with it.
+fn results_from_members(members: &[Matrix], samples: usize) -> Vec<ServeResult> {
+    let mean = reduce_mean(members);
+    let mut out = Vec::with_capacity(mean.rows());
+    for r in 0..mean.rows() {
+        let proba = mean.row(r).to_vec();
+        let mut argmax = 0;
+        for (c, &p) in proba.iter().enumerate() {
+            if p > proba[argmax] {
+                argmax = c;
+            }
+        }
+        let entropy = entropy_nats(&proba);
+        let mut std_sum = 0.0f64;
+        for (c, &m) in proba.iter().enumerate() {
+            let mean_c = f64::from(m);
+            let var = members
+                .iter()
+                .map(|s| (f64::from(s[(r, c)]) - mean_c).powi(2))
+                .sum::<f64>()
+                / samples as f64;
+            std_sum += var.sqrt();
+        }
+        out.push(ServeResult {
+            id: r as u64,
+            argmax,
+            entropy,
+            mc_std: std_sum / proba.len() as f64,
+            proba,
+        });
+    }
+    out
+}
+
+/// Predictive entropy of a probability row, in nats.
+fn entropy_nats(proba: &[f32]) -> f64 {
+    -proba
+        .iter()
+        .map(|&p| {
+            let p = f64::from(p);
+            if p > 0.0 {
+                p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+}
+
+/// The quantized-host datapath — the serving engine's historical (and
+/// default) backend. Bit-identical to the pre-backend engine: members
+/// via [`QuantizedBnn::predict_proba_mc_members_parallel`], mean via
+/// the shared [`reduce_mean`].
+#[derive(Debug, Clone)]
+pub struct QuantizedBackend {
+    qbnn: QuantizedBnn,
+}
+
+impl QuantizedBackend {
+    /// Wraps a deployed quantized network.
+    pub fn new(qbnn: QuantizedBnn) -> Self {
+        Self { qbnn }
+    }
+}
+
+impl<S: StreamFork + Sync> InferenceBackend<S> for QuantizedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Quantized
+    }
+
+    fn serve_microbatch(
+        &mut self,
+        chunk: &Matrix,
+        samples: usize,
+        eps: &S,
+        workers: usize,
+    ) -> (Vec<ServeResult>, BackendCost) {
+        let members = self
+            .qbnn
+            .predict_proba_mc_members_parallel(chunk, samples, eps, workers);
+        let results = results_from_members(&members, samples);
+        let cost = BackendCost {
+            cycles: 0,
+            energy_nj: 0.0,
+            samples: (chunk.rows() * samples) as u64,
+        };
+        (results, cost)
+    }
+}
+
+/// The float-precision software datapath: sample `s` forks its own ε
+/// substream, draws every layer's weights as `µ + σ·ε` in f32 (weights
+/// row-major, then biases — the weight generator's table order), runs
+/// the dense forward with ReLU between layers, and softmaxes. Members
+/// reduce through the shared [`reduce_mean`], so results are
+/// bit-identical at every worker count and batch composition.
+#[derive(Debug, Clone)]
+pub struct SoftwareBackend {
+    params: BnnParams,
+}
+
+impl SoftwareBackend {
+    /// Wraps the deployment's float parameters.
+    pub fn new(params: BnnParams) -> Self {
+        Self { params }
+    }
+
+    /// One sampled forward pass ending in softmax.
+    fn sample_member(
+        &self,
+        x: &Matrix,
+        src: &mut impl GaussianSource,
+        eps: &mut Vec<f32>,
+    ) -> Matrix {
+        let last = self.params.layers() - 1;
+        let mut h: Option<Matrix> = None;
+        for l in 0..self.params.layers() {
+            let mu = &self.params.weight_mu[l];
+            let sigma = &self.params.weight_sigma[l];
+            let d_out = mu.cols();
+            let n_w = mu.rows() * d_out;
+            eps.resize(n_w + d_out, 0.0);
+            src.fill_f32(eps);
+            let mut w = mu.clone();
+            for ((wv, &sv), &ev) in w
+                .data_mut()
+                .iter_mut()
+                .zip(sigma.data())
+                .zip(eps.iter())
+            {
+                *wv += sv * ev;
+            }
+            let bias_eps = &eps[n_w..];
+            let input = h.as_ref().unwrap_or(x);
+            let mut out = input.matmul(&w);
+            let bias_mu = &self.params.bias_mu[l];
+            let bias_sigma = &self.params.bias_sigma[l];
+            for r in 0..out.rows() {
+                for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                    *v += bias_mu[c] + bias_sigma[c] * bias_eps[c];
+                }
+            }
+            if l < last {
+                relu(&mut out);
+            }
+            h = Some(out);
+        }
+        let mut probs = h.expect("at least one layer");
+        softmax_rows(&mut probs);
+        probs
+    }
+}
+
+impl<S: StreamFork + Sync> InferenceBackend<S> for SoftwareBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Software
+    }
+
+    fn serve_microbatch(
+        &mut self,
+        chunk: &Matrix,
+        samples: usize,
+        eps: &S,
+        workers: usize,
+    ) -> (Vec<ServeResult>, BackendCost) {
+        assert!(samples > 0, "need at least one Monte Carlo sample");
+        let members = vibnn_bnn::parallel_fork_map(
+            samples,
+            workers,
+            eps,
+            |_, src, scratch: &mut Vec<f32>| self.sample_member(chunk, src, scratch),
+        );
+        let results = results_from_members(&members, samples);
+        let cost = BackendCost {
+            cycles: 0,
+            energy_nj: 0.0,
+            samples: (chunk.rows() * samples) as u64,
+        };
+        (results, cost)
+    }
+}
+
+/// Hardware in the loop: every request runs through the cycle-ticked
+/// [`CycleAccelerator`] ([`CycleAccelerator::infer_forked`], so sample
+/// `s` of any request draws from `eps.fork(s)` exactly like the host
+/// backends), and the batch cost carries the exact simulated cycles
+/// plus the energy they dissipate under the [`vibnn_hw::power`] model.
+///
+/// Rows run sequentially on the single modeled accelerator — `workers`
+/// is ignored — but results remain independent of batch composition
+/// because each row re-derives its substreams from scratch.
+#[derive(Debug, Clone)]
+pub struct CycleBackend {
+    sim: CycleAccelerator,
+}
+
+impl CycleBackend {
+    /// Wraps a ticking accelerator model.
+    pub fn new(sim: CycleAccelerator) -> Self {
+        Self { sim }
+    }
+
+    /// The wrapped simulator (cumulative [`vibnn_hw::SimStats`]).
+    pub fn simulator(&self) -> &CycleAccelerator {
+        &self.sim
+    }
+}
+
+impl<S: StreamFork + Sync> InferenceBackend<S> for CycleBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cycle
+    }
+
+    fn serve_microbatch(
+        &mut self,
+        chunk: &Matrix,
+        samples: usize,
+        eps: &S,
+        _workers: usize,
+    ) -> (Vec<ServeResult>, BackendCost) {
+        let mut out = Vec::with_capacity(chunk.rows());
+        let mut cost = BackendCost::default();
+        for r in 0..chunk.rows() {
+            let (proba, members, row_cost) = self.sim.infer_forked(chunk.row(r), eps);
+            let mut argmax = 0;
+            for (c, &p) in proba.iter().enumerate() {
+                if p > proba[argmax] {
+                    argmax = c;
+                }
+            }
+            let entropy = entropy_nats(&proba);
+            let mut std_sum = 0.0f64;
+            for (c, &m) in proba.iter().enumerate() {
+                let mean_c = f64::from(m);
+                let var = members
+                    .iter()
+                    .map(|s| (s[c] - mean_c).powi(2))
+                    .sum::<f64>()
+                    / members.len() as f64;
+                std_sum += var.sqrt();
+            }
+            cost.accumulate(BackendCost {
+                cycles: row_cost.cycles,
+                energy_nj: row_cost.energy_nj,
+                samples: members.len() as u64,
+            });
+            out.push(ServeResult {
+                id: r as u64,
+                argmax,
+                entropy,
+                mc_std: std_sum / proba.len() as f64,
+                proba,
+            });
+        }
+        let _ = samples; // the simulator's configured MC count governs
+        (out, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VibnnBuilder;
+    use vibnn_bnn::{Bnn, BnnConfig};
+    use vibnn_grng::ZigguratGrng;
+
+    fn tiny_vibnn() -> Vibnn {
+        let bnn = Bnn::new(BnnConfig::new(&[3, 6, 2]).with_sigma_init(0.1), 11);
+        VibnnBuilder::new(bnn.params())
+            .mc_samples(3)
+            .calibration(Matrix::zeros(2, 3))
+            .build()
+            .unwrap()
+    }
+
+    fn rows() -> Matrix {
+        let mut x = Matrix::zeros(4, 3);
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = (i as f32 * 0.31).sin();
+        }
+        x
+    }
+
+    #[test]
+    fn kinds_round_trip_codes_and_default_is_quantized() {
+        assert_eq!(BackendKind::default(), BackendKind::Quantized);
+        for kind in [
+            BackendKind::Software,
+            BackendKind::Quantized,
+            BackendKind::Cycle,
+        ] {
+            assert_eq!(BackendKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_code(0xFF), None);
+    }
+
+    #[test]
+    fn every_backend_is_worker_count_invariant() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0xABCD);
+        for kind in [
+            BackendKind::Software,
+            BackendKind::Quantized,
+            BackendKind::Cycle,
+        ] {
+            let mut reference = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (base, _) = reference.serve_microbatch(&x, 3, &eps, 1);
+            for workers in [2usize, 4] {
+                let mut b = kind.instantiate::<ZigguratGrng>(&vibnn);
+                let (got, _) = b.serve_microbatch(&x, 3, &eps, workers);
+                for (a, g) in base.iter().zip(&got) {
+                    assert_eq!(a.proba, g.proba, "{kind} diverged at {workers} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_is_batch_composition_invariant() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0x1234);
+        for kind in [
+            BackendKind::Software,
+            BackendKind::Quantized,
+            BackendKind::Cycle,
+        ] {
+            let mut whole = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (base, _) = whole.serve_microbatch(&x, 3, &eps, 1);
+            let mut split = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (head, _) = split.serve_microbatch(&x.rows_slice(0, 2), 3, &eps, 1);
+            let (tail, _) = split.serve_microbatch(&x.rows_slice(2, 4), 3, &eps, 1);
+            let stitched: Vec<&ServeResult> = head.iter().chain(&tail).collect();
+            for (a, g) in base.iter().zip(stitched) {
+                assert_eq!(a.proba, g.proba, "{kind} depends on batch composition");
+            }
+        }
+    }
+
+    #[test]
+    fn only_the_cycle_backend_charges_hardware_cost() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0x77);
+        for (kind, metered) in [
+            (BackendKind::Software, false),
+            (BackendKind::Quantized, false),
+            (BackendKind::Cycle, true),
+        ] {
+            let mut b = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (_, cost) = b.serve_microbatch(&x, 3, &eps, 1);
+            assert_eq!(cost.samples, (x.rows() * 3) as u64, "{kind}");
+            assert_eq!(cost.cycles > 0, metered, "{kind} cycles");
+            assert_eq!(cost.energy_nj > 0.0, metered, "{kind} energy");
+        }
+    }
+
+    #[test]
+    fn cycle_backend_matches_the_ticked_model() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0x99);
+        let mut backend = BackendKind::Cycle.instantiate::<ZigguratGrng>(&vibnn);
+        let (served, _) = backend.serve_microbatch(&x, 3, &eps, 1);
+        let mut sim = CycleAccelerator::new(vibnn.config().clone(), vibnn.network().clone());
+        for (r, res) in served.iter().enumerate() {
+            let (probs, _, cost) = sim.infer_forked(x.row(r), &eps);
+            assert_eq!(res.proba, probs, "row {r} diverged from the ticked model");
+            assert!(cost.cycles > 0);
+        }
+    }
+}

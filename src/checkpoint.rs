@@ -137,6 +137,9 @@ impl Vibnn {
             params,
             bit_len,
             classes,
+            // The backend is a runtime serving choice, not part of the
+            // deployment: loads come back with the quantized default.
+            default_backend: crate::backend::BackendKind::default(),
         })
     }
 

@@ -69,6 +69,7 @@ use vibnn_bnn::replica_source;
 use vibnn_grng::{StreamFork, ZigguratGrng};
 use vibnn_nn::Matrix;
 
+use crate::backend::{BackendCost, BackendKind};
 use crate::serve::{ServeConfig, ServeEngine, ServeResult};
 use crate::{Vibnn, VibnnError};
 
@@ -98,6 +99,11 @@ pub struct ClusterConfig {
     /// batch request counts as overdue immediately, degenerating to
     /// queue-order dequeue.
     pub batch_skip_bound: u32,
+    /// The [`BackendKind`] every replica dispatches through. `None`
+    /// (the default) honours the deployment's default backend. For a
+    /// *mixed* pool — different backends per replica — use
+    /// [`ClusterEngine::with_backends`].
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +115,7 @@ impl Default for ClusterConfig {
             workers: 0,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         }
     }
 }
@@ -158,7 +165,7 @@ pub struct SwapReport {
 
 /// A live snapshot of one replica's state, from
 /// [`ClusterEngine::metrics`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaMetrics {
     /// Requests queued on this replica, not yet dispatched.
     pub queue_depth: usize,
@@ -182,6 +189,14 @@ pub struct ReplicaMetrics {
     /// Micro-batch size histogram: entry `b - 1` counts dispatched
     /// micro-batches of exactly `b` requests (length = `max_batch`).
     pub batch_histogram: Vec<u64>,
+    /// Which [`BackendKind`] this replica's serving slot dispatches
+    /// through. Fixed for the replica's lifetime — hot swaps replace
+    /// the checkpoint, never the backend.
+    pub backend: BackendKind,
+    /// Cumulative [`BackendCost`] this replica has charged (across hot
+    /// swaps). Zero cycles/energy for host backends; nonzero cycle and
+    /// energy totals for [`BackendKind::Cycle`] replicas.
+    pub cost: BackendCost,
 }
 
 /// Served requests the windowed uncertainty aggregates in
@@ -258,6 +273,9 @@ pub struct ClusterMetrics {
     /// Windowed + cumulative uncertainty aggregates over served
     /// requests.
     pub uncertainty: UncertaintyStats,
+    /// Cumulative [`BackendCost`] across every replica — the cluster's
+    /// hardware bill (cycles, nanojoules, MC samples) since start.
+    pub cost: BackendCost,
 }
 
 /// FNV-1a over the deployment's kind-3 serialization: two deployments
@@ -365,6 +383,13 @@ struct ReplicaState<S: StreamFork + Sync> {
     queued_fingerprint: u64,
     batch_hist: Vec<u64>,
     alive: bool,
+    /// Backend kind of this replica's serving slot. Fixed at
+    /// construction; hot swaps replace the checkpoint, never the
+    /// backend, so spill equivalence can gate on it directly.
+    backend: BackendKind,
+    /// Cumulative backend cost charged by this replica (survives hot
+    /// swaps — it is the slot's bill, not the engine's).
+    cost: BackendCost,
 }
 
 struct ClusterState<S: StreamFork + Sync> {
@@ -551,13 +576,42 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
     /// [`VibnnError::BadServeConfig`] if `replicas`, `max_batch`, or
     /// `max_queue` is 0.
     pub fn with_eps(vibnn: Vibnn, cfg: ClusterConfig, eps: S) -> Result<Self, VibnnError> {
+        let kind = cfg.backend.unwrap_or_else(|| vibnn.default_backend());
+        let kinds = vec![kind; cfg.replicas];
+        Self::with_backends(vibnn, cfg, eps, &kinds)
+    }
+
+    /// Builds a **mixed pool**: replica `i` dispatches through
+    /// `backends[i]`. The router is unchanged (home replica is still
+    /// `id mod replicas`), but spill is restricted to replicas of the
+    /// same checkpoint fingerprint *and* the same backend kind, so
+    /// every answer is attributable to exactly one
+    /// `(version, backend)` pair. `backends` must have exactly
+    /// `cfg.replicas` entries; `cfg.backend` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::BadServeConfig`] if `replicas`, `max_batch`, or
+    /// `max_queue` is 0, or `backends.len() != cfg.replicas`.
+    pub fn with_backends(
+        vibnn: Vibnn,
+        cfg: ClusterConfig,
+        eps: S,
+        backends: &[BackendKind],
+    ) -> Result<Self, VibnnError> {
         if cfg.replicas == 0 {
             return Err(VibnnError::BadServeConfig("replicas must be positive"));
+        }
+        if backends.len() != cfg.replicas {
+            return Err(VibnnError::BadServeConfig(
+                "one backend kind per replica required",
+            ));
         }
         let serve_cfg = ServeConfig {
             max_batch: cfg.max_batch,
             max_queue: cfg.max_queue,
             workers: cfg.workers,
+            backend: None,
         };
         let input_dim = vibnn.input_dim();
         let max_entropy = (vibnn.classes() as f64).ln();
@@ -565,17 +619,21 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         // Build every replica engine up front so a bad config fails before
         // any thread spawns.
         let mut engines = Vec::with_capacity(cfg.replicas);
-        for _ in 0..cfg.replicas {
+        for &kind in backends {
             engines.push(ServeEngine::with_eps(
                 vibnn.clone(),
-                serve_cfg,
+                ServeConfig {
+                    backend: Some(kind),
+                    ..serve_cfg
+                },
                 replica_source(&eps),
             )?);
         }
         let shared = Arc::new(ClusterShared {
             state: Mutex::new(ClusterState {
-                replicas: (0..cfg.replicas)
-                    .map(|_| ReplicaState {
+                replicas: backends
+                    .iter()
+                    .map(|&kind| ReplicaState {
                         queue: VecDeque::new(),
                         pending: 0,
                         served: 0,
@@ -585,6 +643,8 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                         queued_fingerprint: fingerprint,
                         batch_hist: vec![0; cfg.max_batch],
                         alive: true,
+                        backend: kind,
+                        cost: BackendCost::default(),
                     })
                     .collect(),
                 results: HashMap::new(),
@@ -705,9 +765,12 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         let id = st.next_id;
         let home = (id % st.replicas.len() as u64) as usize;
         // Route: home replica, unless spill finds a strictly less-loaded
-        // *equivalent* replica (same queued checkpoint fingerprint —
-        // never across a checkpoint boundary).
+        // *equivalent* replica (same queued checkpoint fingerprint AND
+        // same backend kind — never across a checkpoint or backend
+        // boundary, so every answer stays attributable to one
+        // `(version, backend)` pair).
         let home_fp = st.replicas[home].queued_fingerprint;
+        let home_backend = st.replicas[home].backend;
         let mut target = if st.replicas[home].alive {
             Some((home, st.replicas[home].pending))
         } else {
@@ -715,7 +778,11 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         };
         if self.shared.spill || target.is_none() {
             for (i, rep) in st.replicas.iter().enumerate() {
-                if i == home || !rep.alive || rep.queued_fingerprint != home_fp {
+                if i == home
+                    || !rep.alive
+                    || rep.queued_fingerprint != home_fp
+                    || rep.backend != home_backend
+                {
                     continue;
                 }
                 if target.map_or(true, |(_, pending)| rep.pending < pending) {
@@ -806,8 +873,14 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                     swap_pending: r.queued_version > r.version,
                     alive: r.alive,
                     batch_histogram: r.batch_hist.clone(),
+                    backend: r.backend,
+                    cost: r.cost,
                 })
                 .collect(),
+            cost: st.replicas.iter().fold(BackendCost::default(), |mut acc, r| {
+                acc.accumulate(r.cost);
+                acc
+            }),
             queued: st.queued_total,
             capacity: self.shared.max_queue,
             submitted: st.submitted,
@@ -871,8 +944,18 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         }
         // Standby construction (quantization, simulator setup) happens
         // before any queue mutation, so it never stalls the dispatcher.
+        // The standby keeps the replica's backend kind: the backend is a
+        // property of the serving slot, not of the checkpoint.
+        let kind = self.shared.lock().replicas[replica].backend;
         let fingerprint = checkpoint_fingerprint(&vibnn);
-        let engine = ServeEngine::with_eps(vibnn, self.serve_cfg, replica_source(&self.eps))?;
+        let engine = ServeEngine::with_eps(
+            vibnn,
+            ServeConfig {
+                backend: Some(kind),
+                ..self.serve_cfg
+            },
+            replica_source(&self.eps),
+        )?;
         let mut st = self.shared.lock();
         if st.stop || !st.replicas[replica].alive {
             return Err(VibnnError::EngineStopped);
@@ -1131,7 +1214,9 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
         // The synchronous serve path: one micro-batch, bit-identical to
         // the one-shot batched inference call (row widths were validated
         // at the cluster gate, so this cannot fail).
-        let results = engine.submit_batch(&x).expect("validated request width");
+        let (results, cost) = engine
+            .submit_batch_costed(&x)
+            .expect("validated request width");
         {
             let mut st = shared.lock();
             let n = batch.len();
@@ -1161,6 +1246,7 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
             let rep = &mut st.replicas[r];
             rep.served += n as u64;
             rep.batch_hist[n - 1] += 1;
+            rep.cost.accumulate(cost);
         }
         shared.result_ready.notify_all();
     }
@@ -1293,6 +1379,7 @@ mod tests {
                 workers: 1,
                 spill: false,
                 batch_skip_bound: 4,
+                backend: None,
             },
         )
         .unwrap();

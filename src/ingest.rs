@@ -65,6 +65,7 @@ use vibnn_bnn::checkpoint::{read_frame, write_frame, WireReader, WireWriter, MAX
 use vibnn_bnn::CheckpointError;
 use vibnn_grng::{StreamFork, ZigguratGrng};
 
+use crate::backend::{BackendCost, BackendKind};
 use crate::cluster::{ClusterEngine, Priority, SubmitOptions};
 use crate::serve::ServeResult;
 use crate::VibnnError;
@@ -332,6 +333,12 @@ pub struct IngestMetrics {
     /// Cumulative normalized-entropy histogram,
     /// [`crate::cluster::ENTROPY_BUCKETS`] buckets.
     pub entropy_histogram: Vec<u64>,
+    /// Cumulative [`BackendCost`] across every replica — zero
+    /// cycles/energy while only host backends serve.
+    pub cost: BackendCost,
+    /// Per-replica `(backend kind, cumulative cost)` pairs, in replica
+    /// order.
+    pub replica_costs: Vec<(BackendKind, BackendCost)>,
 }
 
 fn write_lane_deadline(w: &mut WireWriter, tag: u64, priority: Priority, deadline_micros: u64) {
@@ -574,6 +581,19 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             for b in 0..crate::cluster::ENTROPY_BUCKETS {
                 w.u64(metrics.entropy_histogram.get(b).copied().unwrap_or(0));
             }
+            // Backend cost accounting: cluster total, then per-replica
+            // (backend code, cycles, energy, samples). Energy rides as
+            // raw f64 LE bits like every float on this wire.
+            w.u64(metrics.cost.cycles);
+            w.f64(metrics.cost.energy_nj);
+            w.u64(metrics.cost.samples);
+            w.dim(metrics.replica_costs.len());
+            for (kind, cost) in &metrics.replica_costs {
+                w.u8(kind.code());
+                w.u64(cost.cycles);
+                w.f64(cost.energy_nj);
+                w.u64(cost.samples);
+            }
             w.into_bytes()
         }
         Reply::Shutdown { tag } => {
@@ -632,6 +652,34 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
             for b in &mut entropy_histogram {
                 *b = r.u64().map_err(protocol)?;
             }
+            let cost = BackendCost {
+                cycles: r.u64().map_err(protocol)?,
+                energy_nj: r.f64().map_err(protocol)?,
+                samples: r.u64().map_err(protocol)?,
+            };
+            let replica_count = r.dim().map_err(protocol)?;
+            // Each entry is ≥ 25 bytes on the wire; reject impossible
+            // counts before reserving anything.
+            if replica_count > bytes.len() {
+                return Err(VibnnError::Protocol(format!(
+                    "{replica_count} replica costs cannot fit"
+                )));
+            }
+            let mut replica_costs = Vec::with_capacity(replica_count);
+            for _ in 0..replica_count {
+                let code = r.u8().map_err(protocol)?;
+                let kind = BackendKind::from_code(code).ok_or_else(|| {
+                    VibnnError::Protocol(format!("unknown backend code {code}"))
+                })?;
+                replica_costs.push((
+                    kind,
+                    BackendCost {
+                        cycles: r.u64().map_err(protocol)?,
+                        energy_nj: r.f64().map_err(protocol)?,
+                        samples: r.u64().map_err(protocol)?,
+                    },
+                ));
+            }
             Reply::Metrics {
                 tag,
                 metrics: IngestMetrics {
@@ -653,6 +701,8 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
                     entropy_mean,
                     mc_std_mean,
                     entropy_histogram,
+                    cost,
+                    replica_costs,
                 },
             }
         }
@@ -733,6 +783,8 @@ impl<S: StreamFork + Sync + Send> ServerShared<S> {
             entropy_mean: m.uncertainty.entropy_mean,
             mc_std_mean: m.uncertainty.mc_std_mean,
             entropy_histogram: m.uncertainty.entropy_histogram,
+            cost: m.cost,
+            replica_costs: m.replicas.iter().map(|r| (r.backend, r.cost)).collect(),
         }
     }
 }
@@ -1372,6 +1424,29 @@ mod tests {
                     entropy_mean: 0.41,
                     mc_std_mean: 0.07,
                     entropy_histogram: vec![10, 20, 30, 40, 50, 60, 70, 19],
+                    cost: BackendCost {
+                        cycles: 123_456,
+                        energy_nj: 7_890.25,
+                        samples: 2_048,
+                    },
+                    replica_costs: vec![
+                        (
+                            BackendKind::Quantized,
+                            BackendCost {
+                                cycles: 0,
+                                energy_nj: 0.0,
+                                samples: 1_024,
+                            },
+                        ),
+                        (
+                            BackendKind::Cycle,
+                            BackendCost {
+                                cycles: 123_456,
+                                energy_nj: 7_890.25,
+                                samples: 1_024,
+                            },
+                        ),
+                    ],
                 },
             },
             Reply::Shutdown { tag: 4 },

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod accelerator;
+pub mod backend;
 mod checkpoint;
 pub mod cluster;
 mod error;
@@ -33,6 +34,7 @@ mod pipeline;
 pub mod serve;
 
 pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
+pub use backend::{BackendCost, BackendKind, InferenceBackend};
 pub use cluster::{
     ClusterConfig, ClusterEngine, ClusterMetrics, Priority, ReplicaMetrics, SubmitOptions,
     SwapReport, UncertaintyStats,

@@ -2,9 +2,13 @@
 
 use std::path::{Path, PathBuf};
 
-use vibnn_bnn::{Bnn, BnnConfig, BnnTrainReport, EarlyStop, LrSchedule, ScheduledRun, TrainSchedule};
+use vibnn_bnn::{
+    Bnn, BnnConfig, BnnTrainReport, EarlyStop, LrSchedule, ScheduledRun, TrainEpsSource,
+    TrainSchedule,
+};
 use vibnn_nn::Matrix;
 
+use crate::backend::BackendKind;
 use crate::{Vibnn, VibnnBuilder, VibnnError};
 
 /// A fallible, chainable train-and-deploy pipeline on top of the typed
@@ -45,6 +49,8 @@ pub struct Pipeline {
     lr: LrSchedule,
     early_stop: Option<EarlyStop>,
     checkpoint_every: Option<(usize, PathBuf)>,
+    train_eps: TrainEpsSource,
+    backend: Option<BackendKind>,
 }
 
 impl Pipeline {
@@ -62,6 +68,8 @@ impl Pipeline {
             lr: LrSchedule::Const,
             early_stop: None,
             checkpoint_every: None,
+            train_eps: TrainEpsSource::default(),
+            backend: None,
         }
     }
 
@@ -102,6 +110,27 @@ impl Pipeline {
         self
     }
 
+    /// Selects which generator family supplies training ε (see
+    /// [`TrainEpsSource`]). The default Ziggurat keeps every historical
+    /// stream bit-identical; the RLF and BNNWallace families train with
+    /// the paper's hardware GRNG designs instead. Runtime-only — kind-2
+    /// checkpoints don't persist the choice, and [`Pipeline::resume_from`]
+    /// re-applies **this** pipeline's setting to the loaded network.
+    pub fn train_eps_source(mut self, source: TrainEpsSource) -> Self {
+        self.train_eps = source;
+        self
+    }
+
+    /// Selects the default serving backend the deployment will carry
+    /// (see [`BackendKind`]); engines built without an explicit
+    /// [`crate::ServeConfig::backend`] dispatch through it. Applied at
+    /// [`TrainedPipeline::deploy`]; a `deploy_with` customization can
+    /// still override it via [`VibnnBuilder::backend`].
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = Some(kind);
+        self
+    }
+
     /// Enables patience-based early stopping on the epoch training loss.
     pub fn early_stop(mut self, patience: usize, min_delta: f64) -> Self {
         self.early_stop = Some(EarlyStop { patience, min_delta });
@@ -138,6 +167,7 @@ impl Pipeline {
     ///   stops after the epoch that failed to persist.
     pub fn train(self, x: &Matrix, y: &[usize]) -> Result<TrainedPipeline, VibnnError> {
         let mut bnn = Bnn::new(self.cfg, self.seed);
+        bnn.set_train_eps_source(self.train_eps);
         let run = train_round(
             &mut bnn,
             x,
@@ -152,7 +182,11 @@ impl Pipeline {
             },
             self.checkpoint_every.as_ref(),
         )?;
-        Ok(TrainedPipeline { bnn, run })
+        Ok(TrainedPipeline {
+            bnn,
+            run,
+            backend: self.backend,
+        })
     }
 
     /// Resumes a previously checkpointed training run for `epochs` more
@@ -194,7 +228,11 @@ impl Pipeline {
             },
             None,
         )?;
-        Ok(TrainedPipeline { bnn, run })
+        Ok(TrainedPipeline {
+            bnn,
+            run,
+            backend: None,
+        })
     }
 
     /// [`Pipeline::resume`] with this pipeline's full knob set: loads the
@@ -218,6 +256,7 @@ impl Pipeline {
         y: &[usize],
     ) -> Result<TrainedPipeline, VibnnError> {
         let mut bnn = Bnn::load(path)?;
+        bnn.set_train_eps_source(self.train_eps);
         let run = train_round(
             &mut bnn,
             x,
@@ -232,7 +271,11 @@ impl Pipeline {
             },
             self.checkpoint_every.as_ref(),
         )?;
-        Ok(TrainedPipeline { bnn, run })
+        Ok(TrainedPipeline {
+            bnn,
+            run,
+            backend: self.backend,
+        })
     }
 }
 
@@ -314,6 +357,7 @@ fn validate_dataset(
 pub struct TrainedPipeline {
     bnn: Bnn,
     run: ScheduledRun,
+    backend: Option<BackendKind>,
 }
 
 impl TrainedPipeline {
@@ -365,7 +409,10 @@ impl TrainedPipeline {
         calibration: Matrix,
         customize: impl FnOnce(VibnnBuilder) -> VibnnBuilder,
     ) -> Result<Deployed, VibnnError> {
-        let builder = VibnnBuilder::new(self.bnn.params()).calibration(calibration);
+        let mut builder = VibnnBuilder::new(self.bnn.params()).calibration(calibration);
+        if let Some(kind) = self.backend {
+            builder = builder.backend(kind);
+        }
         let vibnn = customize(builder).build()?;
         Ok(Deployed {
             bnn: self.bnn,

@@ -30,10 +30,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use vibnn_bnn::reduce_mean;
 use vibnn_grng::{StreamFork, ZigguratGrng};
 use vibnn_nn::Matrix;
 
+use crate::backend::{BackendCost, BackendKind, InferenceBackend};
 use crate::{Vibnn, VibnnError};
 
 /// Sizing knobs for a [`ServeEngine`].
@@ -47,6 +47,11 @@ pub struct ServeConfig {
     /// Worker threads for the Monte Carlo ensemble of each micro-batch
     /// (`0` honours `VIBNN_THREADS`; default 0). Never affects results.
     pub workers: usize,
+    /// Which [`BackendKind`] to dispatch micro-batches through. `None`
+    /// (the default) honours the deployment's default backend
+    /// (`VibnnBuilder::backend`, itself defaulting to
+    /// [`BackendKind::Quantized`] — the historical path).
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +60,7 @@ impl Default for ServeConfig {
             max_batch: 32,
             max_queue: 1024,
             workers: 0,
+            backend: None,
         }
     }
 }
@@ -107,11 +113,29 @@ pub struct ServeResult {
 /// assert!((sum - 1.0).abs() < 1e-5);
 /// # Ok::<(), vibnn::VibnnError>(())
 /// ```
-#[derive(Debug)]
 pub struct ServeEngine<S: StreamFork + Sync = ZigguratGrng> {
     vibnn: Vibnn,
     cfg: ServeConfig,
     eps: S,
+    /// The dispatch slot: the selected backend plus its cumulative
+    /// cost, behind one uncontended per-micro-batch lock so the
+    /// engine's `&self` submission API survives backends that mutate
+    /// (the cycle simulator's counters).
+    backend: Mutex<BackendSlot<S>>,
+}
+
+struct BackendSlot<S: StreamFork + Sync> {
+    exec: Box<dyn InferenceBackend<S>>,
+    cost: BackendCost,
+}
+
+impl<S: StreamFork + Sync> std::fmt::Debug for ServeEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("cfg", &self.cfg)
+            .field("backend", &self.backend_kind())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServeEngine<ZigguratGrng> {
@@ -142,7 +166,17 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
         if cfg.max_queue == 0 {
             return Err(VibnnError::BadServeConfig("max_queue must be positive"));
         }
-        Ok(Self { vibnn, cfg, eps })
+        let kind = cfg.backend.unwrap_or_else(|| vibnn.default_backend());
+        let exec = kind.instantiate::<S>(&vibnn);
+        Ok(Self {
+            vibnn,
+            cfg,
+            eps,
+            backend: Mutex::new(BackendSlot {
+                exec,
+                cost: BackendCost::default(),
+            }),
+        })
     }
 
     /// The wrapped deployment.
@@ -153,6 +187,21 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
     /// The serving configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// Which backend this engine dispatches micro-batches through.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.lock_backend().exec.kind()
+    }
+
+    /// Cumulative [`BackendCost`] charged by every micro-batch served
+    /// so far (host backends charge zero cycles/energy).
+    pub fn cost(&self) -> BackendCost {
+        self.lock_backend().cost
+    }
+
+    fn lock_backend(&self) -> MutexGuard<'_, BackendSlot<S>> {
+        self.backend.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Synchronously serves a batch of requests (one per row of `x`):
@@ -166,6 +215,22 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
     /// [`VibnnError::ShapeMismatch`] if `x` is not
     /// [`Vibnn::input_dim`] columns wide.
     pub fn submit_batch(&self, x: &Matrix) -> Result<Vec<ServeResult>, VibnnError> {
+        self.submit_batch_costed(x).map(|(results, _)| results)
+    }
+
+    /// [`Self::submit_batch`] plus the [`BackendCost`] this call charged
+    /// (also folded into the engine's cumulative [`Self::cost`]). Host
+    /// backends charge zero cycles/energy; the cycle backend reports
+    /// the exact simulated cycles and nanojoules for these rows.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::ShapeMismatch`] if `x` is not
+    /// [`Vibnn::input_dim`] columns wide.
+    pub fn submit_batch_costed(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Vec<ServeResult>, BackendCost), VibnnError> {
         if x.rows() > 0 && x.cols() != self.vibnn.input_dim() {
             return Err(VibnnError::ShapeMismatch {
                 context: "request width",
@@ -174,66 +239,34 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
             });
         }
         let mut out = Vec::with_capacity(x.rows());
+        let mut cost = BackendCost::default();
         let mut start = 0;
         while start < x.rows() {
             let end = (start + self.cfg.max_batch).min(x.rows());
             let chunk = x.rows_slice(start, end);
-            self.run_microbatch(&chunk, start as u64, &mut out);
+            cost.accumulate(self.run_microbatch(&chunk, start as u64, &mut out));
             start = end;
         }
-        Ok(out)
+        Ok((out, cost))
     }
 
-    /// Runs one micro-batch (rows already validated) and appends one
-    /// result per row, ids starting at `id_base`.
-    fn run_microbatch(&self, chunk: &Matrix, id_base: u64, out: &mut Vec<ServeResult>) {
+    /// Runs one micro-batch (rows already validated) through the
+    /// selected backend and appends one result per row, ids starting at
+    /// `id_base`. Returns the batch's cost (already accumulated into
+    /// the engine total).
+    fn run_microbatch(&self, chunk: &Matrix, id_base: u64, out: &mut Vec<ServeResult>) -> BackendCost {
         let samples = self.vibnn.mc_samples();
-        let members = self.vibnn.network().predict_proba_mc_members_parallel(
-            chunk,
-            samples,
-            &self.eps,
-            self.cfg.workers,
-        );
-        // The mean must be bit-identical to `predict_proba_parallel`, so
-        // it goes through the engine's one shared reduction.
-        let mean = reduce_mean(&members);
-        for r in 0..chunk.rows() {
-            let proba = mean.row(r).to_vec();
-            let mut argmax = 0;
-            for (c, &p) in proba.iter().enumerate() {
-                if p > proba[argmax] {
-                    argmax = c;
-                }
-            }
-            let entropy = -proba
-                .iter()
-                .map(|&p| {
-                    let p = f64::from(p);
-                    if p > 0.0 {
-                        p * p.ln()
-                    } else {
-                        0.0
-                    }
-                })
-                .sum::<f64>();
-            let mut std_sum = 0.0f64;
-            for (c, &m) in proba.iter().enumerate() {
-                let mean_c = f64::from(m);
-                let var = members
-                    .iter()
-                    .map(|s| (f64::from(s[(r, c)]) - mean_c).powi(2))
-                    .sum::<f64>()
-                    / samples as f64;
-                std_sum += var.sqrt();
-            }
-            out.push(ServeResult {
-                id: id_base + r as u64,
-                argmax,
-                entropy,
-                mc_std: std_sum / proba.len() as f64,
-                proba,
-            });
+        let mut slot = self.lock_backend();
+        let (results, cost) =
+            slot.exec
+                .serve_microbatch(chunk, samples, &self.eps, self.cfg.workers);
+        slot.cost.accumulate(cost);
+        drop(slot);
+        for (r, mut result) in results.into_iter().enumerate() {
+            result.id = id_base + r as u64;
+            out.push(result);
         }
+        cost
     }
 
     /// Moves the engine onto a background dispatcher thread and returns a

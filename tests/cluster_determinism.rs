@@ -74,6 +74,7 @@ fn cluster(
             workers,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -110,6 +111,7 @@ fn cluster_matches_single_engine_and_batched_path() {
             max_batch: 4,
             max_queue: 64,
             workers: 1,
+            backend: None,
         },
         probe_eps,
     )
@@ -203,6 +205,7 @@ fn spill_and_admission_preserve_bit_identity() {
             workers: 1,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )

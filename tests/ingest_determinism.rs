@@ -15,8 +15,12 @@
 use vibnn::bnn::{replica_source, Bnn, BnnConfig};
 use vibnn::cluster::{ClusterConfig, ClusterEngine};
 use vibnn::grng::ZigguratGrng;
+use vibnn::hw::CycleAccelerator;
 use vibnn::nn::{GaussianInit, Matrix};
-use vibnn::{IngestClient, IngestConfig, IngestServer, Priority, Vibnn, VibnnBuilder, VibnnError};
+use vibnn::{
+    BackendKind, IngestClient, IngestConfig, IngestServer, Priority, Vibnn, VibnnBuilder,
+    VibnnError,
+};
 
 const CLUSTER_SEED: u64 = 0xC1_0FFEE;
 const FEATURES: usize = 4;
@@ -83,6 +87,7 @@ fn try_server(
             workers: 1,
             spill: true,
             batch_skip_bound: 4,
+            backend: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -241,5 +246,67 @@ fn deadline_expired_requests_are_the_only_unanswered_ones() {
     let metrics = server.metrics();
     assert_eq!(metrics.deadline_expired, expired as u64);
     assert_eq!(metrics.served, 240 + answered as u64);
+    assert!(server.shutdown().shutdown().is_empty());
+}
+
+#[test]
+fn cycle_backend_serves_the_wire_with_nonzero_cost_metrics() {
+    let x = request_rows();
+    let vibnn = deployed(5);
+    // The ticked functional model on the cluster's derived replica
+    // source is the reference for every wire answer.
+    let eps = replica_source(&ZigguratGrng::new(CLUSTER_SEED));
+    let mut sim = CycleAccelerator::new(vibnn.config().clone(), vibnn.network().clone());
+    let reference: Vec<Vec<f32>> = (0..REQUESTS)
+        .map(|r| sim.infer_forked(x.row(r), &eps).0)
+        .collect();
+    let cluster = ClusterEngine::with_eps(
+        vibnn.clone(),
+        ClusterConfig {
+            replicas: 2,
+            max_batch: 4,
+            max_queue: 64,
+            workers: 1,
+            spill: true,
+            batch_skip_bound: 4,
+            backend: Some(BackendKind::Cycle),
+        },
+        ZigguratGrng::new(CLUSTER_SEED),
+    )
+    .expect("valid cluster config");
+    let server = match IngestServer::bind(cluster, "127.0.0.1:0", IngestConfig::default()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("skipping ingest determinism test: cannot bind loopback ({e})");
+            return;
+        }
+    };
+    let mut client = IngestClient::connect(server.local_addr()).expect("connect");
+    for r in 0..REQUESTS {
+        let res = client
+            .predict_with(x.row(r), Priority::Interactive, 0)
+            .expect("wire predict");
+        assert_eq!(
+            bits(&res.proba),
+            bits(&reference[r]),
+            "row {r} diverged from the ticked model over the wire"
+        );
+    }
+    // The hardware ledger travels the wire: nonzero cycles/energy in the
+    // Metrics reply, per-replica entries tagged Cycle, totals consistent.
+    let m = client.metrics().expect("wire metrics");
+    assert_eq!(m.served, REQUESTS as u64);
+    assert!(m.cost.cycles > 0, "cycle serving must charge cycles");
+    assert!(m.cost.energy_nj > 0.0, "cycle serving must charge energy");
+    assert_eq!(m.cost.samples as usize, REQUESTS * vibnn.mc_samples());
+    assert_eq!(m.replica_costs.len(), 2);
+    for (kind, _) in &m.replica_costs {
+        assert_eq!(*kind, BackendKind::Cycle);
+    }
+    assert_eq!(
+        m.cost.cycles,
+        m.replica_costs.iter().map(|(_, c)| c.cycles).sum::<u64>(),
+        "wire total is the sum of per-replica costs"
+    );
     assert!(server.shutdown().shutdown().is_empty());
 }

@@ -256,6 +256,7 @@ fn queue_full_travels_typed_and_the_connection_recovers() {
             workers: 1,
             spill: false,
             batch_skip_bound: 4,
+            backend: None,
         },
         IngestConfig::default(),
     ) else {

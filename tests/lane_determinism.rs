@@ -207,6 +207,7 @@ fn serving_inherits_the_lane_contract() {
                 max_batch: 4,
                 max_queue: 64,
                 workers,
+                backend: None,
             },
             ZigguratGrng::new(EPS_SEED),
         )

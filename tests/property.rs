@@ -12,6 +12,7 @@ use vibnn::ingest::{IngestMetrics, Reply, Request, WireError};
 use vibnn::rng::{BitVec, CircularLfsr, RlfLogic, RlfMode, SplitMix64};
 use vibnn::serve::ServeResult;
 use vibnn::Priority;
+use vibnn::{BackendCost, BackendKind};
 
 fn lane(code: u8) -> Priority {
     if code == 0 {
@@ -287,9 +288,11 @@ proptest! {
         prop_assert_eq!(decode_reply(&encode_reply(&batch)).unwrap(), batch);
     }
 
-    /// Metrics snapshots — counters, uncertainty means, and the
-    /// fixed-width entropy histogram — round-trip the reply codec
-    /// exactly for arbitrary values (f64 means travel as raw bits).
+    /// Metrics snapshots — counters, uncertainty means, the fixed-width
+    /// entropy histogram, and the backend cost accounting (cluster total
+    /// plus per-replica `(kind, cost)` entries) — round-trip the reply
+    /// codec exactly for arbitrary values (f64 means and energies travel
+    /// as raw bits).
     #[test]
     fn metrics_reply_codec_round_trips(
         tag in 0u64..,
@@ -300,7 +303,23 @@ proptest! {
             0u64..,
             vibnn::cluster::ENTROPY_BUCKETS..vibnn::cluster::ENTROPY_BUCKETS + 1,
         ),
+        total_cycles in 0u64..,
+        total_energy in 0.0f64..1e12,
+        total_samples in 0u64..,
+        replica_raw in prop::collection::vec(
+            (0u8..3, 0u64.., 0.0f64..1e12, 0u64..),
+            0usize..5,
+        ),
     ) {
+        let replica_costs: Vec<(BackendKind, BackendCost)> = replica_raw
+            .into_iter()
+            .map(|(code, cycles, energy_nj, samples)| {
+                (
+                    BackendKind::from_code(code).expect("codes 0..3 are valid"),
+                    BackendCost { cycles, energy_nj, samples },
+                )
+            })
+            .collect();
         let metrics = IngestMetrics {
             queued: counters[0],
             capacity: counters[1],
@@ -320,6 +339,12 @@ proptest! {
             entropy_mean,
             mc_std_mean,
             entropy_histogram: histogram,
+            cost: BackendCost {
+                cycles: total_cycles,
+                energy_nj: total_energy,
+                samples: total_samples,
+            },
+            replica_costs,
         };
         let reply = Reply::Metrics { tag, metrics };
         prop_assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);

@@ -60,6 +60,7 @@ fn engine(vibnn: Vibnn, max_batch: usize, workers: usize) -> ServeEngine<Ziggura
             max_batch,
             max_queue: 64,
             workers,
+            backend: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )
@@ -168,6 +169,7 @@ fn backpressure_and_shutdown_are_well_behaved() {
             max_batch: 2,
             max_queue: 1,
             workers: 1,
+            backend: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )
