@@ -50,6 +50,9 @@ cargo test -q --test ingest_protocol
 echo "==> ingest determinism suite (wire == direct submit, lanes/deadlines; skips itself if sockets are unavailable)"
 cargo test -q --test ingest_determinism
 
+echo "==> sampler determinism suite (ExactN == pre-policy bits, EarlyExit invariant everywhere, typed abstentions)"
+cargo test -q --test sampler_determinism
+
 echo "==> VIBNN_SCALE=quick smoke run (table1 + machine-readable GRNG bench)"
 VIBNN_SCALE=quick cargo run --release -p vibnn_bench --bin table1
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_grng.json" \
@@ -63,9 +66,13 @@ for field in phase_seconds allocations_per_step; do
         || { echo "FAIL: BENCH_train.json lacks the $field breakdown"; exit 1; }
 done
 
-echo "==> VIBNN_SCALE=quick serving bench (machine-readable, asserts serve == batched)"
+echo "==> VIBNN_SCALE=quick serving bench (machine-readable, asserts serve == batched and ExactN == batched)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_serve.json" \
     cargo run --release -p vibnn_bench --bin bench_serve
+for field in samples_used_mean policy_speedup; do
+    grep -q "\"$field\"" target/BENCH_serve.json \
+        || { echo "FAIL: BENCH_serve.json lacks the $field field"; exit 1; }
+done
 
 echo "==> VIBNN_SCALE=quick cluster bench (machine-readable, asserts cluster == batched)"
 VIBNN_SCALE=quick VIBNN_BENCH_OUT="target/BENCH_cluster.json" \

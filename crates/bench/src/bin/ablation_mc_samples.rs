@@ -1,8 +1,16 @@
-//! Ablation: Monte Carlo sample count vs accuracy and latency (eq. 6).
+//! Ablation: Monte Carlo sample count vs accuracy and latency (eq. 6),
+//! plus the adaptive operating curve — the same deployment served under
+//! `EarlyExit` with the stability threshold `k` swept, reporting
+//! accuracy against the mean `samples_used` each threshold actually
+//! spends (compare against the static-N rows: the adaptive points sit
+//! on or above the static curve at a fraction of the samples).
+use vibnn::sampler::PolicySpec;
+use vibnn::serve::{ServeConfig, ServeEngine};
+use vibnn::VibnnBuilder;
 use vibnn_bench::{pct, print_table, RunScale};
 use vibnn_bnn::{Bnn, BnnConfig};
 use vibnn_datasets::{mnist_like_with, MnistLikeSpec};
-use vibnn_grng::BnnWallaceGrng;
+use vibnn_grng::{BnnWallaceGrng, ZigguratGrng};
 use vibnn_hw::{AcceleratorConfig, QuantizedBnn, Schedule};
 
 fn main() {
@@ -49,5 +57,66 @@ fn main() {
         "Ablation: MC samples vs accuracy and modelled throughput",
         &["MC samples", "HW accuracy", "Cycles/image", "Images/s"],
         &rows,
+    );
+
+    // Adaptive operating curve: the identical parameters deployed with a
+    // fixed 16-sample budget, served under `EarlyExit{k, min_samples: 2}`
+    // as `k` sweeps. Accuracy is measured the same way as above; "mean
+    // samples" is what the requests actually cost under that threshold
+    // (the static rows effectively pin mean samples = N).
+    let budget = 16usize;
+    let vibnn = VibnnBuilder::new(bnn.params())
+        .mc_samples(budget)
+        .calibration(calib)
+        .build()
+        .expect("valid deployment");
+    let serve = |policy: PolicySpec| {
+        ServeEngine::with_eps(
+            vibnn.clone(),
+            ServeConfig {
+                max_batch: 128,
+                max_queue: 256,
+                workers: 1,
+                backend: None,
+                policy: Some(policy),
+            },
+            ZigguratGrng::new(35),
+        )
+        .expect("valid serve config")
+        .submit_batch(&ds.test_x)
+        .expect("serve test set")
+    };
+    let mut curve = Vec::new();
+    for (label, policy) in std::iter::once(("exact N".to_owned(), PolicySpec::ExactN)).chain(
+        [1u32, 2, 3, 4].into_iter().map(|k| {
+            (
+                format!("early-exit k={k}"),
+                PolicySpec::EarlyExit { k, min_samples: 2 },
+            )
+        }),
+    ) {
+        let results = serve(policy);
+        let correct = results
+            .iter()
+            .zip(&ds.test_y)
+            .filter(|(res, &label)| res.argmax == label)
+            .count();
+        let acc = correct as f64 / ds.test_y.len().max(1) as f64;
+        let mean = results
+            .iter()
+            .map(|r| u64::from(r.samples_used))
+            .sum::<u64>() as f64
+            / results.len().max(1) as f64;
+        curve.push(vec![
+            label,
+            pct(acc),
+            format!("{mean:.2}"),
+            budget.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: EarlyExit stability threshold vs accuracy and mean samples used",
+        &["Policy", "Accuracy", "Mean samples", "Budget"],
+        &curve,
     );
 }

@@ -114,6 +114,7 @@ fn engine(
             max_queue: 256,
             workers,
             backend: Some(backend),
+            policy: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )

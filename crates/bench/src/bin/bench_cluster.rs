@@ -118,6 +118,7 @@ fn cluster(
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -164,6 +165,7 @@ fn single_engine_rps(
             max_queue: 256,
             workers,
             backend: None,
+            policy: None,
         },
         eps,
     )

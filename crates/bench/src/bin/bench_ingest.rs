@@ -130,6 +130,7 @@ fn cluster(vibnn: Vibnn) -> ClusterEngine<ZigguratGrng> {
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )

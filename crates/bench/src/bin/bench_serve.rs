@@ -8,6 +8,12 @@
 //! timing anything it asserts the serving determinism contract: engine
 //! results must be bit-identical to the one-shot batched call.
 //!
+//! It then compares sampling policies at one fixed configuration:
+//! `ExactN` (the pinned reference — re-asserted bit-identical to the
+//! batched call before its timing counts) against `EarlyExit`, reporting
+//! requests/sec, accuracy on the synthetic labels, the mean
+//! `samples_used`, and the resulting `policy_speedup`.
+//!
 //! Output path: `$VIBNN_BENCH_OUT` if set, else `BENCH_serve.json` in the
 //! working directory. `VIBNN_SCALE=quick` shrinks the workload.
 
@@ -17,7 +23,8 @@ use std::time::Instant;
 use vibnn::bnn::{Bnn, BnnConfig};
 use vibnn::grng::ZigguratGrng;
 use vibnn::nn::{GaussianInit, Matrix};
-use vibnn::serve::{ServeConfig, ServeEngine};
+use vibnn::sampler::PolicySpec;
+use vibnn::serve::{ServeConfig, ServeEngine, ServeResult};
 use vibnn::{Vibnn, VibnnBuilder, VibnnError};
 use vibnn_bench::RunScale;
 
@@ -96,6 +103,15 @@ fn deploy(w: &Workload) -> Vibnn {
 }
 
 fn engine(vibnn: Vibnn, max_batch: usize, workers: usize) -> ServeEngine<ZigguratGrng> {
+    policy_engine(vibnn, max_batch, workers, None)
+}
+
+fn policy_engine(
+    vibnn: Vibnn,
+    max_batch: usize,
+    workers: usize,
+    policy: Option<PolicySpec>,
+) -> ServeEngine<ZigguratGrng> {
     ServeEngine::with_eps(
         vibnn,
         ServeConfig {
@@ -103,10 +119,41 @@ fn engine(vibnn: Vibnn, max_batch: usize, workers: usize) -> ServeEngine<Ziggura
             max_queue: 256,
             workers,
             backend: None,
+            policy,
         },
         ZigguratGrng::new(EPS_SEED),
     )
     .expect("valid serve config")
+}
+
+fn accuracy(results: &[ServeResult], y: &[usize]) -> f64 {
+    let correct = results
+        .iter()
+        .zip(y)
+        .filter(|(res, &label)| res.argmax == label)
+        .count();
+    correct as f64 / y.len().max(1) as f64
+}
+
+fn mean_samples(results: &[ServeResult]) -> f64 {
+    let total: u64 = results.iter().map(|r| u64::from(r.samples_used)).sum();
+    total as f64 / results.len().max(1) as f64
+}
+
+/// Times the synchronous micro-batched path under one sampling policy,
+/// returning `(requests/sec, results)`.
+fn policy_rps(
+    vibnn: Vibnn,
+    x: &Matrix,
+    max_batch: usize,
+    policy: PolicySpec,
+) -> (f64, Vec<ServeResult>) {
+    let eng = policy_engine(vibnn, max_batch, 1, Some(policy));
+    let _ = eng.submit_batch(x).expect("warm-up serve");
+    let start = Instant::now();
+    let results = eng.submit_batch(x).expect("serve");
+    let elapsed = start.elapsed().as_secs_f64();
+    (x.rows() as f64 / elapsed, results)
 }
 
 /// Requests/sec for `requests` single-row submissions through the
@@ -148,7 +195,7 @@ fn sync_rps(vibnn: Vibnn, x: &Matrix, max_batch: usize, workers: usize) -> f64 {
 fn main() {
     let scale = RunScale::from_env();
     let w = Workload::from_scale(scale);
-    let (x, _) = synth_rows(w.requests, w.features, 17);
+    let (x, y) = synth_rows(w.requests, w.features, 17);
     let vibnn = deploy(&w);
 
     // Determinism gate: engine rows must be bit-identical to the batched
@@ -191,6 +238,38 @@ fn main() {
         }
     }
 
+    // Sampling-policy comparison at one fixed configuration. `ExactN`
+    // is the pinned reference: its bits must match the batched parallel
+    // call (the historical serve path) before its timing counts.
+    let early = PolicySpec::EarlyExit {
+        k: 2,
+        min_samples: 2,
+    };
+    let (exact_rps, exact_results) = policy_rps(vibnn.clone(), &x, 128, PolicySpec::ExactN);
+    for (r, res) in exact_results.iter().enumerate() {
+        let same = res
+            .proba
+            .iter()
+            .zip(reference.row(r))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "ExactN diverged from the batched reference at row {r}");
+        assert_eq!(res.samples_used as usize, w.mc_samples);
+    }
+    let (early_rps, early_results) = policy_rps(vibnn.clone(), &x, 128, early);
+    let exact_acc = accuracy(&exact_results, &y);
+    let early_acc = accuracy(&early_results, &y);
+    let early_mean_samples = mean_samples(&early_results);
+    let policy_speedup = early_rps / exact_rps;
+    println!(
+        "policy exact-n     {exact_rps:9.1} req/s  acc {exact_acc:.3}  \
+         mean samples {:.2}",
+        w.mc_samples as f64
+    );
+    println!(
+        "policy early-exit  {early_rps:9.1} req/s  acc {early_acc:.3}  \
+         mean samples {early_mean_samples:.2}  speedup {policy_speedup:.2}x"
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(
@@ -215,7 +294,24 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"policy_comparison\": {\n");
+    json.push_str("    \"config\": {\"max_batch\": 128, \"workers\": 1},\n");
+    let _ = writeln!(json, "    \"exact_n_bit_identical_to_batched\": true,");
+    let _ = writeln!(
+        json,
+        "    \"exact_n\": {{\"requests_per_sec\": {exact_rps:.1}, \
+         \"accuracy\": {exact_acc:.4}, \"samples_used_mean\": {:.2}}},",
+        w.mc_samples as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"early_exit\": {{\"k\": 2, \"min_samples\": 2, \
+         \"requests_per_sec\": {early_rps:.1}, \"accuracy\": {early_acc:.4}, \
+         \"samples_used_mean\": {early_mean_samples:.2}}},"
+    );
+    let _ = writeln!(json, "    \"policy_speedup\": {policy_speedup:.2}");
+    json.push_str("  }\n}\n");
 
     let path =
         std::env::var("VIBNN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_owned());

@@ -194,6 +194,27 @@ impl CycleAccelerator {
         (probs, members, cost)
     }
 
+    /// One Monte Carlo member of [`Self::infer_forked`], on demand:
+    /// runs `input` through sample `sample`, drawing weights from the
+    /// substream `eps.fork(sample)` — exactly the member that
+    /// `infer_forked` would compute at that position — and returns its
+    /// softmax probability vector. Calling this for `sample` in
+    /// `0..mc_samples` and averaging reproduces `infer_forked` bit for
+    /// bit; stopping earlier reproduces a deployment configured with
+    /// that smaller sample count. Cycle and memory counters accumulate
+    /// as usual, so callers can attribute per-sample cost through
+    /// [`Self::stats`] deltas and [`Self::energy_nj`].
+    pub fn infer_sample_forked<S: StreamFork>(
+        &mut self,
+        input: &[f32],
+        sample: u64,
+        eps: &S,
+    ) -> Vec<f64> {
+        let mut eps_s = eps.fork(sample);
+        let logits = self.infer_sample(input, &mut eps_s);
+        softmax(&logits)
+    }
+
     /// System power draw in watts for this deployment under the
     /// [`crate::power`] model (static + clock-scaled dynamic terms for
     /// the PE array, memories, and the configured GRNG bank).

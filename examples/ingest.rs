@@ -30,6 +30,7 @@ fn main() -> Result<(), VibnnError> {
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
     )?;
 

@@ -54,6 +54,7 @@ fn main() -> Result<(), VibnnError> {
             max_queue: 256,
             workers: 0,
             backend: None,
+            policy: None,
         },
     )?;
     let handle = engine.spawn();

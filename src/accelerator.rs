@@ -6,6 +6,7 @@ use vibnn_hw::{AcceleratorConfig, CycleAccelerator, QuantizedBnn, ResourceModel,
 use vibnn_nn::Matrix;
 
 use crate::backend::BackendKind;
+use crate::sampler::PolicySpec;
 use crate::VibnnError;
 
 /// Builder for a deployed [`Vibnn`] accelerator instance.
@@ -41,6 +42,7 @@ pub struct VibnnBuilder {
     calibration: Option<Matrix>,
     mc_samples: usize,
     backend: BackendKind,
+    policy: PolicySpec,
 }
 
 /// Checks that a parameter snapshot describes a deployable network:
@@ -114,6 +116,7 @@ impl VibnnBuilder {
             calibration: None,
             mc_samples: 8,
             backend: BackendKind::default(),
+            policy: PolicySpec::default(),
         }
     }
 
@@ -159,6 +162,17 @@ impl VibnnBuilder {
     /// loaded deployment serves quantized unless re-selected.
     pub fn backend(mut self, kind: BackendKind) -> Self {
         self.backend = kind;
+        self
+    }
+
+    /// Selects the deployment's default sampling policy (default
+    /// [`PolicySpec::ExactN`] — the full-budget reference, bit-identical
+    /// to the historical serve path). Serving engines honour this
+    /// unless their own `ServeConfig::policy` overrides it.
+    /// Runtime-only: checkpoints do not persist it, so a loaded
+    /// deployment serves exact-N unless re-selected.
+    pub fn sampling_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -208,6 +222,7 @@ impl VibnnBuilder {
             bit_len: self.bit_len,
             classes,
             default_backend: self.backend,
+            default_policy: self.policy,
         })
     }
 
@@ -242,6 +257,10 @@ pub struct Vibnn {
     /// `ServeConfig` does not override it. Runtime-only — kind-3
     /// checkpoints do not persist it (loads default to quantized).
     pub(crate) default_backend: BackendKind,
+    /// Which sampling policy serving engines apply when their
+    /// `ServeConfig` does not override it. Runtime-only — checkpoints
+    /// do not persist it (loads default to exact-N).
+    pub(crate) default_policy: PolicySpec,
 }
 
 impl Vibnn {
@@ -284,6 +303,12 @@ impl Vibnn {
     /// [`VibnnBuilder::backend`]).
     pub fn default_backend(&self) -> BackendKind {
         self.default_backend
+    }
+
+    /// The deployment's default sampling policy (see
+    /// [`VibnnBuilder::sampling_policy`]).
+    pub fn default_policy(&self) -> PolicySpec {
+        self.default_policy
     }
 
     /// Batch prediction on the functional fixed-point datapath

@@ -41,10 +41,11 @@
 use vibnn_bnn::{reduce_mean, BnnParams};
 use vibnn_grng::{GaussianSource, StreamFork};
 use vibnn_hw::{CycleAccelerator, QuantizedBnn};
-use vibnn_nn::{relu, softmax_rows, Matrix};
+use vibnn_nn::{relu, softmax_rows, Matrix, LANES};
 
+use crate::sampler::{RowTracker, SampleDecision, SamplingPolicy};
 use crate::serve::ServeResult;
-use crate::Vibnn;
+use crate::{Vibnn, VibnnError};
 
 /// Which datapath a serving slot runs inference through.
 ///
@@ -147,6 +148,67 @@ impl BackendCost {
     }
 }
 
+/// One row's outcome under an adaptive sampling policy: an answer, or
+/// a typed abstention (a risk-tiered policy declining to predict).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowOutcome {
+    /// The request was answered.
+    Served(ServeResult),
+    /// A risk-tiered policy declined to answer after exhausting the
+    /// sample budget on a still-uncertain request.
+    Abstained {
+        /// Request id (row index within the chunk; engines rewrite it).
+        id: u64,
+        /// Monte Carlo samples drawn before abstaining.
+        samples_used: u32,
+        /// Final normalized predictive entropy, in thousandths of
+        /// `ln(classes)`.
+        entropy_milli: u32,
+    },
+}
+
+impl RowOutcome {
+    /// The request id this outcome answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            RowOutcome::Served(r) => r.id,
+            RowOutcome::Abstained { id, .. } => *id,
+        }
+    }
+
+    /// Rewrites the request id (engines map chunk-relative row indices
+    /// to global ids).
+    pub fn set_id(&mut self, id: u64) {
+        match self {
+            RowOutcome::Served(r) => r.id = id,
+            RowOutcome::Abstained { id: slot, .. } => *slot = id,
+        }
+    }
+
+    /// The served result, or the abstention as its typed error.
+    pub fn into_result(self) -> Result<ServeResult, VibnnError> {
+        match self {
+            RowOutcome::Served(r) => Ok(r),
+            RowOutcome::Abstained {
+                samples_used,
+                entropy_milli,
+                ..
+            } => Err(VibnnError::Abstained {
+                samples_used,
+                entropy_milli,
+            }),
+        }
+    }
+
+    /// Samples this row actually drew.
+    pub fn samples_used(&self) -> u32 {
+        match self {
+            RowOutcome::Served(r) => r.samples_used,
+            RowOutcome::Abstained { samples_used, .. } => *samples_used,
+        }
+    }
+}
+
 /// The micro-batch contract a serving slot dispatches through: run one
 /// validated chunk of feature rows through `samples` Monte Carlo draws
 /// and return one [`ServeResult`] per row (ids = row index within the
@@ -188,6 +250,191 @@ pub trait InferenceBackend<S: StreamFork + Sync>: Send {
         eps: &S,
         workers: usize,
     ) -> (Vec<ServeResult>, BackendCost);
+
+    /// The incremental per-sample seam: serves one micro-batch where
+    /// each row draws Monte Carlo members one at a time (sample `s`
+    /// still from `eps.fork(s)`), consults `policy` after every member,
+    /// and stops — or abstains — per row as soon as the policy decides.
+    /// `max_samples` is the budget a row can never exceed.
+    ///
+    /// The determinism contract extends to stopping: a row's member
+    /// sequence and its policy observations are pure functions of that
+    /// row's features and the ε substreams, so `samples_used` and the
+    /// served bits are independent of batch composition, arrival order,
+    /// and `workers`. A row that stops after `n` samples returns
+    /// exactly what [`Self::serve_microbatch`] would return for that
+    /// row with `samples = n`.
+    ///
+    /// The default implementation is a non-adaptive fallback for
+    /// backends without an incremental datapath: it runs the full
+    /// budget through [`Self::serve_microbatch`] and never abstains.
+    /// All built-in backends override it with a true early-exit path.
+    fn serve_adaptive(
+        &mut self,
+        chunk: &Matrix,
+        policy: &dyn SamplingPolicy,
+        max_samples: usize,
+        eps: &S,
+        workers: usize,
+    ) -> (Vec<RowOutcome>, BackendCost) {
+        let _ = policy;
+        let (results, cost) = self.serve_microbatch(chunk, max_samples, eps, workers);
+        (results.into_iter().map(RowOutcome::Served).collect(), cost)
+    }
+}
+
+/// Drives the adaptive sampling loop for the host (software/quantized)
+/// backends: `member_for(s, active)` computes sample `s`'s softmax
+/// member for the still-active rows, each row's [`RowTracker`] folds in
+/// its member, and the policy decides per row. Stopped rows are dropped
+/// from subsequent member evaluations (that is the speedup), and a
+/// finished row's result is rebuilt from its own flat member history
+/// through [`result_from_history`] — the same arithmetic as the batched
+/// path, which is element-wise per row, so stopping one row never
+/// perturbs another. Returns the outcomes plus total samples drawn.
+fn drive_adaptive_rows<F>(
+    chunk: &Matrix,
+    policy: &dyn SamplingPolicy,
+    max_samples: usize,
+    mut member_for: F,
+) -> (Vec<RowOutcome>, u64)
+where
+    F: FnMut(usize, &Matrix) -> Matrix,
+{
+    assert!(max_samples > 0, "need at least one Monte Carlo sample");
+    let rows = chunk.rows();
+    let mut classes = 0usize;
+    let mut trackers: Vec<RowTracker> = Vec::new();
+    // Row r's sample k occupies histories[r][k*classes..(k+1)*classes];
+    // one flat buffer per row keeps the hot loop allocation-free.
+    let mut histories: Vec<Vec<f32>> = vec![Vec::new(); rows];
+    let mut abstained: Vec<bool> = vec![false; rows];
+    let mut active: Vec<usize> = (0..rows).collect();
+    let mut sub = Matrix::zeros(0, 0);
+    let mut drawn_total = 0u64;
+    for s in 0..max_samples {
+        if active.is_empty() {
+            break;
+        }
+        let member = if active.len() == rows {
+            member_for(s, chunk)
+        } else {
+            sub.resize(active.len(), chunk.cols());
+            for (i, &r) in active.iter().enumerate() {
+                sub.row_mut(i).copy_from_slice(chunk.row(r));
+            }
+            member_for(s, &sub)
+        };
+        if trackers.is_empty() {
+            classes = member.cols();
+            trackers = (0..rows)
+                .map(|_| RowTracker::new(classes, max_samples))
+                .collect();
+            for h in &mut histories {
+                h.reserve_exact(classes * max_samples);
+            }
+        }
+        drawn_total += active.len() as u64;
+        let mut still = Vec::with_capacity(active.len());
+        for (i, &r) in active.iter().enumerate() {
+            let probs = member.row(i);
+            histories[r].extend_from_slice(probs);
+            let obs = trackers[r].observe_f32(probs);
+            match policy.decide(&obs) {
+                SampleDecision::Continue | SampleDecision::Escalate => still.push(r),
+                SampleDecision::Stop => {}
+                SampleDecision::Abstain => abstained[r] = true,
+            }
+        }
+        active = still;
+    }
+    let out = histories
+        .iter()
+        .enumerate()
+        .map(|(r, history)| {
+            if abstained[r] {
+                RowOutcome::Abstained {
+                    id: r as u64,
+                    samples_used: (history.len() / classes) as u32,
+                    entropy_milli: trackers[r].entropy_milli(),
+                }
+            } else {
+                let mut res = result_from_history(history, classes);
+                res.id = r as u64;
+                RowOutcome::Served(res)
+            }
+        })
+        .collect();
+    (out, drawn_total)
+}
+
+/// Builds one row's [`ServeResult`] from its flat member history
+/// (`samples × classes`, row-major), with the mean derived through the
+/// same fixed-lane rule as [`reduce_mean`] — lane `l` folds members
+/// `l, l+LANES, …` element-wise and lanes combine in ascending order,
+/// then one reciprocal multiply — so an adaptive row's result is
+/// bit-identical to the batched path at the same member count.
+fn result_from_history(history: &[f32], classes: usize) -> ServeResult {
+    let samples = history.len() / classes;
+    debug_assert!(samples > 0 && history.len() == samples * classes);
+    let mut proba: Vec<f32> = history[..classes].to_vec();
+    if samples <= LANES {
+        for k in 1..samples {
+            for (c, p) in proba.iter_mut().enumerate() {
+                *p += history[k * classes + c];
+            }
+        }
+    } else {
+        let mut k = LANES;
+        while k < samples {
+            for (c, p) in proba.iter_mut().enumerate() {
+                *p += history[k * classes + c];
+            }
+            k += LANES;
+        }
+        let mut lane = vec![0.0f32; classes];
+        for l in 1..LANES {
+            lane.copy_from_slice(&history[l * classes..(l + 1) * classes]);
+            let mut k = l + LANES;
+            while k < samples {
+                for (c, v) in lane.iter_mut().enumerate() {
+                    *v += history[k * classes + c];
+                }
+                k += LANES;
+            }
+            for (c, p) in proba.iter_mut().enumerate() {
+                *p += lane[c];
+            }
+        }
+    }
+    let recip = 1.0 / samples as f32;
+    for p in &mut proba {
+        *p *= recip;
+    }
+    let mut argmax = 0;
+    for (c, &p) in proba.iter().enumerate() {
+        if p > proba[argmax] {
+            argmax = c;
+        }
+    }
+    let entropy = entropy_nats(&proba);
+    let mut std_sum = 0.0f64;
+    for (c, &m) in proba.iter().enumerate() {
+        let mean_c = f64::from(m);
+        let var = (0..samples)
+            .map(|k| (f64::from(history[k * classes + c]) - mean_c).powi(2))
+            .sum::<f64>()
+            / samples as f64;
+        std_sum += var.sqrt();
+    }
+    ServeResult {
+        id: 0,
+        argmax,
+        entropy,
+        mc_std: std_sum / classes as f64,
+        samples_used: samples as u32,
+        proba,
+    }
 }
 
 /// Builds per-row [`ServeResult`]s from f32 Monte Carlo member
@@ -222,6 +469,7 @@ fn results_from_members(members: &[Matrix], samples: usize) -> Vec<ServeResult> 
             argmax,
             entropy,
             mc_std: std_sum / proba.len() as f64,
+            samples_used: samples as u32,
             proba,
         });
     }
@@ -281,6 +529,34 @@ impl<S: StreamFork + Sync> InferenceBackend<S> for QuantizedBackend {
             samples: (chunk.rows() * samples) as u64,
         };
         (results, cost)
+    }
+
+    fn serve_adaptive(
+        &mut self,
+        chunk: &Matrix,
+        policy: &dyn SamplingPolicy,
+        max_samples: usize,
+        eps: &S,
+        _workers: usize,
+    ) -> (Vec<RowOutcome>, BackendCost) {
+        // Samples are evaluated one at a time (the exit decision gates
+        // the next draw), so the sample-parallel worker pool does not
+        // apply here; sample `s` still draws from `eps.fork(s)` with
+        // the weights sampled once per member for every active row.
+        let mut scratch: Vec<f64> = Vec::new();
+        let (out, drawn) = drive_adaptive_rows(chunk, policy, max_samples, |s, active| {
+            let mut src = eps.fork(s as u64);
+            let weights = self.qbnn.sample_weights_with(&mut src, &mut scratch);
+            let mut probs = self.qbnn.forward_with_weights(active, &weights);
+            softmax_rows(&mut probs);
+            probs
+        });
+        let cost = BackendCost {
+            cycles: 0,
+            energy_nj: 0.0,
+            samples: drawn,
+        };
+        (out, cost)
     }
 }
 
@@ -374,6 +650,30 @@ impl<S: StreamFork + Sync> InferenceBackend<S> for SoftwareBackend {
         };
         (results, cost)
     }
+
+    fn serve_adaptive(
+        &mut self,
+        chunk: &Matrix,
+        policy: &dyn SamplingPolicy,
+        max_samples: usize,
+        eps: &S,
+        _workers: usize,
+    ) -> (Vec<RowOutcome>, BackendCost) {
+        // Sequential per-sample evaluation (see the quantized backend's
+        // note); sample `s` forks `eps.fork(s)` exactly as
+        // `parallel_fork_map` does on the batched path.
+        let mut scratch: Vec<f32> = Vec::new();
+        let (out, drawn) = drive_adaptive_rows(chunk, policy, max_samples, |s, active| {
+            let mut src = eps.fork(s as u64);
+            self.sample_member(active, &mut src, &mut scratch)
+        });
+        let cost = BackendCost {
+            cycles: 0,
+            energy_nj: 0.0,
+            samples: drawn,
+        };
+        (out, cost)
+    }
 }
 
 /// Hardware in the loop: every request runs through the cycle-ticked
@@ -445,10 +745,103 @@ impl<S: StreamFork + Sync> InferenceBackend<S> for CycleBackend {
                 argmax,
                 entropy,
                 mc_std: std_sum / proba.len() as f64,
+                samples_used: members.len() as u32,
                 proba,
             });
         }
         let _ = samples; // the simulator's configured MC count governs
+        (out, cost)
+    }
+
+    fn serve_adaptive(
+        &mut self,
+        chunk: &Matrix,
+        policy: &dyn SamplingPolicy,
+        max_samples: usize,
+        eps: &S,
+        _workers: usize,
+    ) -> (Vec<RowOutcome>, BackendCost) {
+        assert!(max_samples > 0, "need at least one Monte Carlo sample");
+        let mut out = Vec::with_capacity(chunk.rows());
+        let mut cost = BackendCost::default();
+        for r in 0..chunk.rows() {
+            let before = self.sim.stats().cycles;
+            let mut tracker: Option<RowTracker> = None;
+            let mut acc: Vec<f64> = Vec::new();
+            let mut members: Vec<Vec<f64>> = Vec::new();
+            let mut abstained = false;
+            loop {
+                let s = members.len() as u64;
+                let probs = self.sim.infer_sample_forked(chunk.row(r), s, eps);
+                let t = tracker
+                    .get_or_insert_with(|| RowTracker::new(probs.len(), max_samples));
+                let obs = t.observe(&probs);
+                if acc.is_empty() {
+                    acc = vec![0.0f64; probs.len()];
+                }
+                for (a, &p) in acc.iter_mut().zip(&probs) {
+                    *a += p;
+                }
+                members.push(probs);
+                match policy.decide(&obs) {
+                    SampleDecision::Continue | SampleDecision::Escalate => {
+                        if members.len() >= max_samples {
+                            break; // clamp a policy that never stops
+                        }
+                    }
+                    SampleDecision::Stop => break,
+                    SampleDecision::Abstain => {
+                        abstained = true;
+                        break;
+                    }
+                }
+            }
+            let n = members.len();
+            let cycles = self.sim.stats().cycles - before;
+            cost.accumulate(BackendCost {
+                cycles,
+                energy_nj: self.sim.energy_nj(cycles),
+                samples: n as u64,
+            });
+            let tracker = tracker.expect("at least one sample");
+            if abstained {
+                out.push(RowOutcome::Abstained {
+                    id: r as u64,
+                    samples_used: n as u32,
+                    entropy_milli: tracker.entropy_milli(),
+                });
+                continue;
+            }
+            // The mean is the simulator's own arithmetic: a single f64
+            // accumulation chain over members, truncated to f32 — what
+            // `infer_forked` computes for a deployment with `n` samples.
+            let proba: Vec<f32> = acc.iter().map(|&v| (v / n as f64) as f32).collect();
+            let mut argmax = 0;
+            for (c, &p) in proba.iter().enumerate() {
+                if p > proba[argmax] {
+                    argmax = c;
+                }
+            }
+            let entropy = entropy_nats(&proba);
+            let mut std_sum = 0.0f64;
+            for (c, &m) in proba.iter().enumerate() {
+                let mean_c = f64::from(m);
+                let var = members
+                    .iter()
+                    .map(|s| (s[c] - mean_c).powi(2))
+                    .sum::<f64>()
+                    / n as f64;
+                std_sum += var.sqrt();
+            }
+            out.push(RowOutcome::Served(ServeResult {
+                id: r as u64,
+                argmax,
+                entropy,
+                mc_std: std_sum / proba.len() as f64,
+                samples_used: n as u32,
+                proba,
+            }));
+        }
         (out, cost)
     }
 }
@@ -549,6 +942,105 @@ mod tests {
             assert_eq!(cost.samples, (x.rows() * 3) as u64, "{kind}");
             assert_eq!(cost.cycles > 0, metered, "{kind} cycles");
             assert_eq!(cost.energy_nj > 0.0, metered, "{kind} energy");
+        }
+    }
+
+    #[test]
+    fn adaptive_exact_n_matches_the_batched_path_bit_for_bit() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0x5151);
+        let policy = crate::sampler::PolicySpec::ExactN.instantiate();
+        for kind in [
+            BackendKind::Software,
+            BackendKind::Quantized,
+            BackendKind::Cycle,
+        ] {
+            let mut reference = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (base, base_cost) = reference.serve_microbatch(&x, 3, &eps, 1);
+            let mut adaptive = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (got, cost) = adaptive.serve_adaptive(&x, policy.as_ref(), 3, &eps, 1);
+            assert_eq!(got.len(), base.len());
+            for (b, g) in base.iter().zip(&got) {
+                let RowOutcome::Served(g) = g else {
+                    panic!("{kind}: ExactN must never abstain")
+                };
+                assert_eq!(b.proba, g.proba, "{kind} proba diverged");
+                assert_eq!(b.argmax, g.argmax, "{kind} argmax diverged");
+                assert_eq!(b.entropy.to_bits(), g.entropy.to_bits(), "{kind} entropy");
+                assert_eq!(b.mc_std.to_bits(), g.mc_std.to_bits(), "{kind} mc_std");
+                assert_eq!(g.samples_used, 3, "{kind} samples_used");
+            }
+            assert_eq!(cost.samples, base_cost.samples, "{kind} sample count");
+        }
+    }
+
+    #[test]
+    fn an_early_exit_row_matches_a_smaller_static_budget() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0x2323);
+        for kind in [
+            BackendKind::Software,
+            BackendKind::Quantized,
+            BackendKind::Cycle,
+        ] {
+            let policy = crate::sampler::PolicySpec::EarlyExit { k: 1, min_samples: 1 }
+                .instantiate();
+            let mut adaptive = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (out, _) = adaptive.serve_adaptive(&x, policy.as_ref(), 3, &eps, 1);
+            for (r, o) in out.iter().enumerate() {
+                let RowOutcome::Served(res) = o else {
+                    panic!("{kind}: EarlyExit must never abstain")
+                };
+                let n = res.samples_used as usize;
+                assert!(n >= 1 && n <= 3, "{kind} row {r} samples_used {n}");
+                // A row stopped at n samples must carry exactly the bits
+                // a static-n deployment would have served it.
+                let reference: Vec<f32> = if kind == BackendKind::Cycle {
+                    let mut cfg = vibnn.config().clone();
+                    cfg.mc_samples = n;
+                    let mut sim = CycleAccelerator::new(cfg, vibnn.network().clone());
+                    sim.infer_forked(x.row(r), &eps).0
+                } else {
+                    let mut fresh = kind.instantiate::<ZigguratGrng>(&vibnn);
+                    let (base, _) = fresh.serve_microbatch(&x.rows_slice(r, r + 1), n, &eps, 1);
+                    base[0].proba.clone()
+                };
+                assert_eq!(res.proba, reference, "{kind} row {r} at {n} samples");
+            }
+        }
+    }
+
+    #[test]
+    fn risk_tiered_abstentions_are_typed_at_the_full_budget() {
+        let vibnn = tiny_vibnn();
+        let x = rows();
+        let eps = ZigguratGrng::new(0x4242);
+        // Threshold 0: every request counts as high-entropy, so every
+        // row escalates to the full budget and then abstains.
+        let policy = crate::sampler::PolicySpec::RiskTiered {
+            k: 1,
+            min_samples: 1,
+            escalate_milli: 0,
+            abstain: true,
+        }
+        .instantiate();
+        for kind in [
+            BackendKind::Software,
+            BackendKind::Quantized,
+            BackendKind::Cycle,
+        ] {
+            let mut adaptive = kind.instantiate::<ZigguratGrng>(&vibnn);
+            let (out, cost) = adaptive.serve_adaptive(&x, policy.as_ref(), 3, &eps, 1);
+            assert_eq!(cost.samples, (x.rows() * 3) as u64, "{kind} burns the budget");
+            for o in &out {
+                let RowOutcome::Abstained { samples_used, .. } = o else {
+                    panic!("{kind}: expected an abstention, got {o:?}")
+                };
+                assert_eq!(*samples_used, 3, "{kind} abstains only at the budget");
+                assert!(o.clone().into_result().is_err());
+            }
         }
     }
 

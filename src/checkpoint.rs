@@ -137,9 +137,11 @@ impl Vibnn {
             params,
             bit_len,
             classes,
-            // The backend is a runtime serving choice, not part of the
-            // deployment: loads come back with the quantized default.
+            // Backend and sampling policy are runtime serving choices,
+            // not part of the deployment: loads come back with the
+            // quantized / exact-N defaults.
             default_backend: crate::backend::BackendKind::default(),
+            default_policy: crate::sampler::PolicySpec::default(),
         })
     }
 

@@ -69,7 +69,8 @@ use vibnn_bnn::replica_source;
 use vibnn_grng::{StreamFork, ZigguratGrng};
 use vibnn_nn::Matrix;
 
-use crate::backend::{BackendCost, BackendKind};
+use crate::backend::{BackendCost, BackendKind, RowOutcome};
+use crate::sampler::PolicySpec;
 use crate::serve::{ServeConfig, ServeEngine, ServeResult};
 use crate::{Vibnn, VibnnError};
 
@@ -104,6 +105,13 @@ pub struct ClusterConfig {
     /// *mixed* pool — different backends per replica — use
     /// [`ClusterEngine::with_backends`].
     pub backend: Option<BackendKind>,
+    /// The [`PolicySpec`] every replica samples under. `None` (the
+    /// default) honours the deployment's default policy. For a *mixed*
+    /// pool — different policies per replica — use
+    /// [`ClusterEngine::with_policies`]. Spill never crosses a policy
+    /// boundary, so every answer is attributable to exactly one
+    /// `(version, backend, policy)` triple.
+    pub policy: Option<PolicySpec>,
 }
 
 impl Default for ClusterConfig {
@@ -116,6 +124,7 @@ impl Default for ClusterConfig {
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         }
     }
 }
@@ -197,6 +206,10 @@ pub struct ReplicaMetrics {
     /// swaps). Zero cycles/energy for host backends; nonzero cycle and
     /// energy totals for [`BackendKind::Cycle`] replicas.
     pub cost: BackendCost,
+    /// Which [`PolicySpec`] this replica's serving slot samples under.
+    /// Fixed for the replica's lifetime, like the backend — hot swaps
+    /// replace the checkpoint, never the policy.
+    pub policy: PolicySpec,
 }
 
 /// Served requests the windowed uncertainty aggregates in
@@ -233,6 +246,38 @@ pub struct UncertaintyStats {
     /// (`entropy / ln(classes)`), [`ENTROPY_BUCKETS`] equal buckets with
     /// the last bucket absorbing the top edge and anything above it.
     pub entropy_histogram: Vec<u64>,
+}
+
+/// Adaptive-sampling aggregates over served requests, from
+/// [`ClusterEngine::metrics`].
+///
+/// All counts are cumulative since the cluster started. Cumulative
+/// counts commute, so like the entropy histogram these are
+/// deterministic in aggregate at any worker/replica count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SamplingStats {
+    /// Total Monte Carlo samples drawn across every **served** request
+    /// (abstentions' work is visible in [`BackendCost::samples`]
+    /// instead).
+    pub samples_used_total: u64,
+    /// Mean `samples_used` per served request; `0` before the first
+    /// completion. Under [`PolicySpec::ExactN`] this equals the
+    /// deployment's `mc_samples`; adaptive policies pull it down.
+    pub mean_samples: f64,
+    /// Histogram of `samples_used` over served requests: bucket `s - 1`
+    /// counts requests answered with exactly `s` samples (length = the
+    /// founding deployment's `mc_samples`; the last bucket absorbs
+    /// anything above it, as after a swap to a larger budget).
+    pub histogram: Vec<u64>,
+    /// Requests a [`PolicySpec::RiskTiered`] policy refused to answer
+    /// ([`VibnnError::Abstained`]); they cost their full sample budget
+    /// but are **not** counted as served.
+    pub abstained: u64,
+    /// Requests shed at admission with [`VibnnError::BudgetExceeded`]
+    /// because their remaining deadline could not cover the predicted
+    /// per-sample cycle cost on a [`BackendKind::Cycle`] replica; none
+    /// of them cost any Monte Carlo work.
+    pub budget_shed: u64,
 }
 
 /// A live snapshot of the whole cluster, from [`ClusterEngine::metrics`].
@@ -276,6 +321,9 @@ pub struct ClusterMetrics {
     /// Cumulative [`BackendCost`] across every replica — the cluster's
     /// hardware bill (cycles, nanojoules, MC samples) since start.
     pub cost: BackendCost,
+    /// Cumulative adaptive-sampling aggregates: `samples_used`
+    /// distribution over served requests, abstentions, and budget sheds.
+    pub sampling: SamplingStats,
 }
 
 /// FNV-1a over the deployment's kind-3 serialization: two deployments
@@ -318,6 +366,11 @@ enum Work<S: StreamFork + Sync> {
 /// until the submitter collects it.
 enum Outcome {
     Served(ServeResult),
+    /// A [`PolicySpec::RiskTiered`] replica refused to answer ⇒
+    /// [`VibnnError::Abstained`] (typed, exactly attributable: the
+    /// caller learns the sample spend and the entropy that triggered
+    /// the refusal).
+    Abstained { samples_used: u32, entropy_milli: u32 },
     /// Deadline expired in the queue ⇒ [`VibnnError::DeadlineExceeded`].
     Expired,
     /// Stranded behind a swap marker at shutdown ⇒
@@ -329,6 +382,13 @@ impl Outcome {
     fn into_result(self) -> Result<ServeResult, VibnnError> {
         match self {
             Outcome::Served(r) => Ok(r),
+            Outcome::Abstained {
+                samples_used,
+                entropy_milli,
+            } => Err(VibnnError::Abstained {
+                samples_used,
+                entropy_milli,
+            }),
             Outcome::Expired => Err(VibnnError::DeadlineExceeded),
             Outcome::Cancelled => Err(VibnnError::EngineStopped),
         }
@@ -390,6 +450,11 @@ struct ReplicaState<S: StreamFork + Sync> {
     /// Cumulative backend cost charged by this replica (survives hot
     /// swaps — it is the slot's bill, not the engine's).
     cost: BackendCost,
+    /// Sampling policy of this replica's serving slot. Fixed at
+    /// construction like the backend; spill equivalence gates on it so
+    /// a request admitted under one policy is never answered under
+    /// another.
+    policy: PolicySpec,
 }
 
 struct ClusterState<S: StreamFork + Sync> {
@@ -413,6 +478,17 @@ struct ClusterState<S: StreamFork + Sync> {
     /// Cumulative normalized-entropy histogram over every served
     /// request ([`ENTROPY_BUCKETS`] buckets).
     entropy_hist: Vec<u64>,
+    /// Total `samples_used` across served requests (the
+    /// [`SamplingStats`] numerator).
+    samples_used_total: u64,
+    /// `samples_used` histogram over served requests (bucket `s - 1`
+    /// counts requests answered with exactly `s` samples; length = the
+    /// founding `mc_samples`, last bucket absorbing).
+    samples_hist: Vec<u64>,
+    /// Requests that ended in a typed abstention.
+    abstained: u64,
+    /// Requests shed at admission by the deadline/cost budget gate.
+    budget_shed: u64,
     stop: bool,
 }
 
@@ -466,6 +542,13 @@ struct ClusterShared<S: StreamFork + Sync> {
     /// entropy histogram (hot swaps keep the founding scale so buckets
     /// stay comparable across versions).
     max_entropy: f64,
+    /// Founding deployment's full Monte Carlo budget — the predicted
+    /// work multiplier for the admission budget gate and the
+    /// `samples_used` histogram length.
+    mc_samples: usize,
+    /// Founding deployment's accelerator clock, for converting a
+    /// predicted cycle count into wall time at admission.
+    clock_mhz: f64,
 }
 
 impl<S: StreamFork + Sync> ClusterShared<S> {
@@ -577,17 +660,19 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
     /// `max_queue` is 0.
     pub fn with_eps(vibnn: Vibnn, cfg: ClusterConfig, eps: S) -> Result<Self, VibnnError> {
         let kind = cfg.backend.unwrap_or_else(|| vibnn.default_backend());
-        let kinds = vec![kind; cfg.replicas];
-        Self::with_backends(vibnn, cfg, eps, &kinds)
+        let policy = cfg.policy.unwrap_or_else(|| vibnn.default_policy());
+        let slots = vec![(kind, policy); cfg.replicas];
+        Self::with_slots(vibnn, cfg, eps, slots)
     }
 
     /// Builds a **mixed pool**: replica `i` dispatches through
     /// `backends[i]`. The router is unchanged (home replica is still
     /// `id mod replicas`), but spill is restricted to replicas of the
-    /// same checkpoint fingerprint *and* the same backend kind, so
-    /// every answer is attributable to exactly one
-    /// `(version, backend)` pair. `backends` must have exactly
-    /// `cfg.replicas` entries; `cfg.backend` is ignored.
+    /// same checkpoint fingerprint, backend kind, *and* sampling
+    /// policy, so every answer is attributable to exactly one
+    /// `(version, backend, policy)` triple. `backends` must have
+    /// exactly `cfg.replicas` entries; `cfg.backend` is ignored (every
+    /// replica samples under `cfg.policy` / the deployment default).
     ///
     /// # Errors
     ///
@@ -599,31 +684,76 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         eps: S,
         backends: &[BackendKind],
     ) -> Result<Self, VibnnError> {
-        if cfg.replicas == 0 {
-            return Err(VibnnError::BadServeConfig("replicas must be positive"));
-        }
         if backends.len() != cfg.replicas {
             return Err(VibnnError::BadServeConfig(
                 "one backend kind per replica required",
             ));
+        }
+        let policy = cfg.policy.unwrap_or_else(|| vibnn.default_policy());
+        let slots = backends.iter().map(|&k| (k, policy)).collect();
+        Self::with_slots(vibnn, cfg, eps, slots)
+    }
+
+    /// Builds a **mixed-policy pool**: replica `i` samples under
+    /// `policies[i]` (all through the same backend, `cfg.backend` / the
+    /// deployment default). Useful for canarying an adaptive policy on
+    /// part of the pool while the rest stays on the pinned
+    /// [`PolicySpec::ExactN`] reference. Spill never crosses a policy
+    /// boundary, so the two halves stay exactly attributable.
+    /// `policies` must have exactly `cfg.replicas` entries;
+    /// `cfg.policy` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::BadServeConfig`] if `replicas`, `max_batch`, or
+    /// `max_queue` is 0, `policies.len() != cfg.replicas`, or any
+    /// policy fails [`PolicySpec::validate`].
+    pub fn with_policies(
+        vibnn: Vibnn,
+        cfg: ClusterConfig,
+        eps: S,
+        policies: &[PolicySpec],
+    ) -> Result<Self, VibnnError> {
+        if policies.len() != cfg.replicas {
+            return Err(VibnnError::BadServeConfig(
+                "one sampling policy per replica required",
+            ));
+        }
+        let kind = cfg.backend.unwrap_or_else(|| vibnn.default_backend());
+        let slots = policies.iter().map(|&p| (kind, p)).collect();
+        Self::with_slots(vibnn, cfg, eps, slots)
+    }
+
+    fn with_slots(
+        vibnn: Vibnn,
+        cfg: ClusterConfig,
+        eps: S,
+        slots: Vec<(BackendKind, PolicySpec)>,
+    ) -> Result<Self, VibnnError> {
+        if cfg.replicas == 0 {
+            return Err(VibnnError::BadServeConfig("replicas must be positive"));
         }
         let serve_cfg = ServeConfig {
             max_batch: cfg.max_batch,
             max_queue: cfg.max_queue,
             workers: cfg.workers,
             backend: None,
+            policy: None,
         };
         let input_dim = vibnn.input_dim();
         let max_entropy = (vibnn.classes() as f64).ln();
+        let mc_samples = vibnn.mc_samples();
+        let clock_mhz = vibnn.config().clock_mhz;
         let fingerprint = checkpoint_fingerprint(&vibnn);
         // Build every replica engine up front so a bad config fails before
         // any thread spawns.
         let mut engines = Vec::with_capacity(cfg.replicas);
-        for &kind in backends {
+        for &(kind, policy) in &slots {
             engines.push(ServeEngine::with_eps(
                 vibnn.clone(),
                 ServeConfig {
                     backend: Some(kind),
+                    policy: Some(policy),
                     ..serve_cfg
                 },
                 replica_source(&eps),
@@ -631,9 +761,9 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         }
         let shared = Arc::new(ClusterShared {
             state: Mutex::new(ClusterState {
-                replicas: backends
+                replicas: slots
                     .iter()
-                    .map(|&kind| ReplicaState {
+                    .map(|&(kind, policy)| ReplicaState {
                         queue: VecDeque::new(),
                         pending: 0,
                         served: 0,
@@ -645,6 +775,7 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                         alive: true,
                         backend: kind,
                         cost: BackendCost::default(),
+                        policy,
                     })
                     .collect(),
                 results: HashMap::new(),
@@ -661,6 +792,10 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                 swaps_completed: 0,
                 uncertainty_recent: VecDeque::with_capacity(UNCERTAINTY_WINDOW),
                 entropy_hist: vec![0; ENTROPY_BUCKETS],
+                samples_used_total: 0,
+                samples_hist: vec![0; mc_samples],
+                abstained: 0,
+                budget_shed: 0,
                 stop: false,
             }),
             work_ready: Condvar::new(),
@@ -672,6 +807,8 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             spill: cfg.spill,
             input_dim,
             max_entropy,
+            mc_samples,
+            clock_mhz,
         });
         let dispatchers = engines
             .into_iter()
@@ -735,7 +872,12 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
     /// Everything [`submit`](Self::submit) can return, plus
     /// [`VibnnError::DeadlineExceeded`] when `opts.deadline` has already
     /// passed — the request is refused at the admission gate, before an
-    /// id is issued or a replica touched.
+    /// id is issued or a replica touched — and
+    /// [`VibnnError::BudgetExceeded`] when the target replica is a
+    /// [`BackendKind::Cycle`] slot whose cost ledger predicts a
+    /// full-budget pass longer than the time left until `opts.deadline`
+    /// (also refused before an id is issued; counted in
+    /// [`SamplingStats::budget_shed`]).
     pub fn submit_with(&self, features: Vec<f32>, opts: SubmitOptions) -> Result<u64, VibnnError> {
         if features.len() != self.shared.input_dim {
             return Err(VibnnError::ShapeMismatch {
@@ -766,11 +908,12 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         let home = (id % st.replicas.len() as u64) as usize;
         // Route: home replica, unless spill finds a strictly less-loaded
         // *equivalent* replica (same queued checkpoint fingerprint AND
-        // same backend kind — never across a checkpoint or backend
-        // boundary, so every answer stays attributable to one
-        // `(version, backend)` pair).
+        // same backend kind AND same sampling policy — never across a
+        // checkpoint, backend, or policy boundary, so every answer stays
+        // attributable to one `(version, backend, policy)` triple).
         let home_fp = st.replicas[home].queued_fingerprint;
         let home_backend = st.replicas[home].backend;
+        let home_policy = st.replicas[home].policy;
         let mut target = if st.replicas[home].alive {
             Some((home, st.replicas[home].pending))
         } else {
@@ -782,6 +925,7 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                     || !rep.alive
                     || rep.queued_fingerprint != home_fp
                     || rep.backend != home_backend
+                    || rep.policy != home_policy
                 {
                     continue;
                 }
@@ -795,6 +939,35 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             // elsewhere could change the result, so refuse instead.
             return Err(VibnnError::EngineStopped);
         };
+        // Cost budget gate: on a cycle-accurate replica whose ledger
+        // already prices a sample, a deadlined request whose remaining
+        // time cannot cover a worst-case full-budget pass is shed now —
+        // typed, counted, and free of Monte Carlo work — instead of
+        // expiring in the queue after burning a dispatch slot. The
+        // prediction uses the slot's observed mean cycles per sample and
+        // the *full* `mc_samples` budget (adaptive policies may finish
+        // earlier, but admission must not bet on it).
+        if let Some(deadline) = opts.deadline {
+            let rep = &st.replicas[target];
+            if rep.backend == BackendKind::Cycle
+                && rep.cost.samples > 0
+                && self.shared.clock_mhz > 0.0
+            {
+                let per_sample = rep.cost.cycles as f64 / rep.cost.samples as f64;
+                let predicted_secs = per_sample * self.shared.mc_samples as f64
+                    / (self.shared.clock_mhz * 1e6);
+                let remaining = deadline
+                    .saturating_duration_since(std::time::Instant::now())
+                    .as_secs_f64();
+                if predicted_secs > remaining {
+                    st.budget_shed += 1;
+                    return Err(VibnnError::BudgetExceeded {
+                        predicted_micros: (predicted_secs * 1e6) as u64,
+                        remaining_micros: (remaining * 1e6) as u64,
+                    });
+                }
+            }
+        }
         st.next_id += 1;
         st.submitted += 1;
         st.queued_total += 1;
@@ -875,12 +1048,24 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
                     batch_histogram: r.batch_hist.clone(),
                     backend: r.backend,
                     cost: r.cost,
+                    policy: r.policy,
                 })
                 .collect(),
             cost: st.replicas.iter().fold(BackendCost::default(), |mut acc, r| {
                 acc.accumulate(r.cost);
                 acc
             }),
+            sampling: SamplingStats {
+                samples_used_total: st.samples_used_total,
+                mean_samples: if st.served_total == 0 {
+                    0.0
+                } else {
+                    st.samples_used_total as f64 / st.served_total as f64
+                },
+                histogram: st.samples_hist.clone(),
+                abstained: st.abstained,
+                budget_shed: st.budget_shed,
+            },
             queued: st.queued_total,
             capacity: self.shared.max_queue,
             submitted: st.submitted,
@@ -944,14 +1129,19 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
         }
         // Standby construction (quantization, simulator setup) happens
         // before any queue mutation, so it never stalls the dispatcher.
-        // The standby keeps the replica's backend kind: the backend is a
-        // property of the serving slot, not of the checkpoint.
-        let kind = self.shared.lock().replicas[replica].backend;
+        // The standby keeps the replica's backend kind and sampling
+        // policy: both are properties of the serving slot, not of the
+        // checkpoint.
+        let (kind, policy) = {
+            let st = self.shared.lock();
+            (st.replicas[replica].backend, st.replicas[replica].policy)
+        };
         let fingerprint = checkpoint_fingerprint(&vibnn);
         let engine = ServeEngine::with_eps(
             vibnn,
             ServeConfig {
                 backend: Some(kind),
+                policy: Some(policy),
                 ..self.serve_cfg
             },
             replica_source(&self.eps),
@@ -1037,7 +1227,7 @@ impl<S: StreamFork + Sync + Send + 'static> ClusterEngine<S> {
             .drain()
             .filter_map(|(_, o)| match o {
                 Outcome::Served(r) => Some(r),
-                Outcome::Expired | Outcome::Cancelled => None,
+                Outcome::Abstained { .. } | Outcome::Expired | Outcome::Cancelled => None,
             })
             .collect();
         leftover.sort_by_key(|r| r.id);
@@ -1212,39 +1402,70 @@ fn dispatcher_loop<S: StreamFork + Sync + Send>(
             x.row_mut(row).copy_from_slice(features);
         }
         // The synchronous serve path: one micro-batch, bit-identical to
-        // the one-shot batched inference call (row widths were validated
-        // at the cluster gate, so this cannot fail).
-        let (results, cost) = engine
-            .submit_batch_costed(&x)
+        // the one-shot batched inference call under `ExactN` and to the
+        // pure per-row adaptive drivers otherwise (row widths were
+        // validated at the cluster gate, so this cannot fail).
+        let (outcomes, cost) = engine
+            .submit_batch_outcomes_costed(&x)
             .expect("validated request width");
         {
             let mut st = shared.lock();
             let n = batch.len();
-            for ((id, _, lane), mut result) in batch.into_iter().zip(results) {
-                result.id = id;
-                // Uncertainty tap: a deque push + one histogram increment
-                // per request under the lock already held for publishing —
-                // no extra synchronization on the serve path.
-                if st.uncertainty_recent.len() == UNCERTAINTY_WINDOW {
-                    st.uncertainty_recent.pop_front();
-                }
-                st.uncertainty_recent.push_back((result.entropy, result.mc_std));
-                let bucket = if shared.max_entropy > 0.0 {
-                    ((result.entropy / shared.max_entropy * ENTROPY_BUCKETS as f64) as usize)
-                        .min(ENTROPY_BUCKETS - 1)
-                } else {
-                    0
-                };
-                st.entropy_hist[bucket] += 1;
-                st.results.insert(id, Outcome::Served(result));
-                match lane {
-                    Priority::Interactive => st.served_interactive += 1,
-                    Priority::Batch => st.served_batch += 1,
+            let mut served = 0u64;
+            for ((id, _, lane), mut outcome) in batch.into_iter().zip(outcomes) {
+                outcome.set_id(id);
+                match outcome {
+                    RowOutcome::Served(result) => {
+                        // Uncertainty tap: a deque push + histogram
+                        // increments per request under the lock already
+                        // held for publishing — no extra synchronization
+                        // on the serve path. Early-exit entropies flow
+                        // through here unchanged, so the uncertainty
+                        // trigger sees whatever the policy computed.
+                        if st.uncertainty_recent.len() == UNCERTAINTY_WINDOW {
+                            st.uncertainty_recent.pop_front();
+                        }
+                        st.uncertainty_recent.push_back((result.entropy, result.mc_std));
+                        let bucket = if shared.max_entropy > 0.0 {
+                            ((result.entropy / shared.max_entropy * ENTROPY_BUCKETS as f64)
+                                as usize)
+                                .min(ENTROPY_BUCKETS - 1)
+                        } else {
+                            0
+                        };
+                        st.entropy_hist[bucket] += 1;
+                        st.samples_used_total += u64::from(result.samples_used);
+                        let hist_len = st.samples_hist.len();
+                        let sb = (result.samples_used as usize)
+                            .saturating_sub(1)
+                            .min(hist_len - 1);
+                        st.samples_hist[sb] += 1;
+                        st.results.insert(id, Outcome::Served(result));
+                        match lane {
+                            Priority::Interactive => st.served_interactive += 1,
+                            Priority::Batch => st.served_batch += 1,
+                        }
+                        served += 1;
+                    }
+                    RowOutcome::Abstained {
+                        samples_used,
+                        entropy_milli,
+                        ..
+                    } => {
+                        st.abstained += 1;
+                        st.results.insert(
+                            id,
+                            Outcome::Abstained {
+                                samples_used,
+                                entropy_milli,
+                            },
+                        );
+                    }
                 }
             }
-            st.served_total += n as u64;
+            st.served_total += served;
             let rep = &mut st.replicas[r];
-            rep.served += n as u64;
+            rep.served += served;
             rep.batch_hist[n - 1] += 1;
             rep.cost.accumulate(cost);
         }
@@ -1380,6 +1601,7 @@ mod tests {
                 spill: false,
                 batch_skip_bound: 4,
                 backend: None,
+                policy: None,
             },
         )
         .unwrap();

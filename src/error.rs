@@ -77,6 +77,28 @@ pub enum VibnnError {
     UnknownRequest(u64),
     /// A cluster operation named a replica index outside the pool.
     UnknownReplica(usize),
+    /// A risk-tiered sampling policy declined to answer: after
+    /// `samples_used` Monte Carlo draws the prediction's normalized
+    /// entropy was still at or above the policy's escalation threshold.
+    /// `entropy_milli` is that final entropy in thousandths of the
+    /// maximum `ln(classes)`, so the abstention is exactly attributable.
+    Abstained {
+        /// Monte Carlo samples drawn before abstaining (the full budget).
+        samples_used: u32,
+        /// Final normalized predictive entropy, in thousandths.
+        entropy_milli: u32,
+    },
+    /// Admission predicted the request cannot finish before its
+    /// deadline: the target replica's observed per-sample cycle cost
+    /// times the configured sample budget exceeds the deadline's
+    /// remaining time, so the request is shed before costing any Monte
+    /// Carlo work.
+    BudgetExceeded {
+        /// Predicted time to serve the request, in microseconds.
+        predicted_micros: u64,
+        /// Time remaining until the deadline at admission, in microseconds.
+        remaining_micros: u64,
+    },
 }
 
 impl std::fmt::Display for VibnnError {
@@ -107,6 +129,23 @@ impl std::fmt::Display for VibnnError {
             VibnnError::EngineStopped => write!(f, "serving engine has stopped"),
             VibnnError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
             VibnnError::UnknownReplica(i) => write!(f, "unknown replica index {i}"),
+            VibnnError::Abstained {
+                samples_used,
+                entropy_milli,
+            } => write!(
+                f,
+                "abstained: entropy {}.{:03} of max after {samples_used} samples",
+                entropy_milli / 1000,
+                entropy_milli % 1000
+            ),
+            VibnnError::BudgetExceeded {
+                predicted_micros,
+                remaining_micros,
+            } => write!(
+                f,
+                "budget exceeded: predicted {predicted_micros}us of work, \
+                 {remaining_micros}us until the deadline"
+            ),
         }
     }
 }

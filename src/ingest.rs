@@ -243,6 +243,22 @@ pub enum WireError {
         /// The width the request carried.
         got: u64,
     },
+    /// A risk-tiered sampling policy refused to answer, exactly like
+    /// [`VibnnError::Abstained`].
+    Abstained {
+        /// Monte Carlo samples spent before abstaining.
+        samples_used: u64,
+        /// Normalized entropy at refusal, in thousandths of the maximum.
+        entropy_milli: u64,
+    },
+    /// The admission budget gate shed the request, exactly like
+    /// [`VibnnError::BudgetExceeded`].
+    BudgetExceeded {
+        /// Predicted full-budget service time, microseconds.
+        predicted_micros: u64,
+        /// Time left until the deadline at admission, microseconds.
+        remaining_micros: u64,
+    },
     /// The peer violated the wire protocol.
     Protocol(String),
     /// Any other server-side failure, as display text.
@@ -261,6 +277,20 @@ impl From<&VibnnError> for WireError {
             VibnnError::ShapeMismatch { expected, got, .. } => WireError::ShapeMismatch {
                 expected: *expected as u64,
                 got: *got as u64,
+            },
+            VibnnError::Abstained {
+                samples_used,
+                entropy_milli,
+            } => WireError::Abstained {
+                samples_used: u64::from(*samples_used),
+                entropy_milli: u64::from(*entropy_milli),
+            },
+            VibnnError::BudgetExceeded {
+                predicted_micros,
+                remaining_micros,
+            } => WireError::BudgetExceeded {
+                predicted_micros: *predicted_micros,
+                remaining_micros: *remaining_micros,
             },
             VibnnError::Protocol(why) => WireError::Protocol(why.clone()),
             other => WireError::Other(other.to_string()),
@@ -284,6 +314,20 @@ impl WireError {
                 context: "request width",
                 expected: expected as usize,
                 got: got as usize,
+            },
+            WireError::Abstained {
+                samples_used,
+                entropy_milli,
+            } => VibnnError::Abstained {
+                samples_used: samples_used as u32,
+                entropy_milli: entropy_milli as u32,
+            },
+            WireError::BudgetExceeded {
+                predicted_micros,
+                remaining_micros,
+            } => VibnnError::BudgetExceeded {
+                predicted_micros,
+                remaining_micros,
             },
             WireError::Protocol(why) => VibnnError::Protocol(why),
             WireError::Other(why) => VibnnError::Protocol(format!("server-side error: {why}")),
@@ -339,6 +383,18 @@ pub struct IngestMetrics {
     /// Per-replica `(backend kind, cumulative cost)` pairs, in replica
     /// order.
     pub replica_costs: Vec<(BackendKind, BackendCost)>,
+    /// Total Monte Carlo samples across served requests (see
+    /// [`crate::cluster::SamplingStats`]).
+    pub samples_used_total: u64,
+    /// Mean `samples_used` per served request.
+    pub mean_samples: f64,
+    /// `samples_used` histogram over served requests (bucket `s - 1`
+    /// counts requests answered with exactly `s` samples).
+    pub samples_histogram: Vec<u64>,
+    /// Requests refused with a typed abstention.
+    pub abstained: u64,
+    /// Requests shed at admission by the deadline/cost budget gate.
+    pub budget_shed: u64,
 }
 
 fn write_lane_deadline(w: &mut WireWriter, tag: u64, priority: Priority, deadline_micros: u64) {
@@ -354,6 +410,7 @@ fn write_result(w: &mut WireWriter, r: &ServeResult) {
     w.u64(r.argmax as u64);
     w.f64(r.entropy);
     w.f64(r.mc_std);
+    w.u64(u64::from(r.samples_used));
 }
 
 fn read_result(r: &mut WireReader<'_>) -> Result<ServeResult, VibnnError> {
@@ -363,12 +420,15 @@ fn read_result(r: &mut WireReader<'_>) -> Result<ServeResult, VibnnError> {
     let argmax = r.u64().map_err(protocol)? as usize;
     let entropy = r.f64().map_err(protocol)?;
     let mc_std = r.f64().map_err(protocol)?;
+    let samples_used = u32::try_from(r.u64().map_err(protocol)?)
+        .map_err(|_| VibnnError::Protocol("samples_used overflows u32".into()))?;
     Ok(ServeResult {
         id,
         proba,
         argmax,
         entropy,
         mc_std,
+        samples_used,
     })
 }
 
@@ -405,6 +465,22 @@ fn write_wire_error(w: &mut WireWriter, e: &WireError) {
             w.u8(6);
             write_string(w, why);
         }
+        WireError::Abstained {
+            samples_used,
+            entropy_milli,
+        } => {
+            w.u8(7);
+            w.u64(*samples_used);
+            w.u64(*entropy_milli);
+        }
+        WireError::BudgetExceeded {
+            predicted_micros,
+            remaining_micros,
+        } => {
+            w.u8(8);
+            w.u64(*predicted_micros);
+            w.u64(*remaining_micros);
+        }
     }
 }
 
@@ -422,6 +498,14 @@ fn read_wire_error(r: &mut WireReader<'_>) -> Result<WireError, VibnnError> {
         },
         5 => WireError::Protocol(read_string(r)?),
         6 => WireError::Other(read_string(r)?),
+        7 => WireError::Abstained {
+            samples_used: r.u64().map_err(protocol)?,
+            entropy_milli: r.u64().map_err(protocol)?,
+        },
+        8 => WireError::BudgetExceeded {
+            predicted_micros: r.u64().map_err(protocol)?,
+            remaining_micros: r.u64().map_err(protocol)?,
+        },
         code => return Err(VibnnError::Protocol(format!("unknown error code {code}"))),
     })
 }
@@ -594,6 +678,16 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 w.f64(cost.energy_nj);
                 w.u64(cost.samples);
             }
+            // Adaptive sampling aggregates: the histogram length is the
+            // deployment's `mc_samples`, so it travels dim-prefixed.
+            w.u64(metrics.samples_used_total);
+            w.f64(metrics.mean_samples);
+            w.dim(metrics.samples_histogram.len());
+            for &b in &metrics.samples_histogram {
+                w.u64(b);
+            }
+            w.u64(metrics.abstained);
+            w.u64(metrics.budget_shed);
             w.into_bytes()
         }
         Reply::Shutdown { tag } => {
@@ -680,6 +774,22 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
                     },
                 ));
             }
+            let samples_used_total = r.u64().map_err(protocol)?;
+            let mean_samples = r.f64().map_err(protocol)?;
+            let hist_len = r.dim().map_err(protocol)?;
+            // Each bucket is 8 bytes on the wire; reject impossible
+            // counts before reserving anything.
+            if hist_len > bytes.len() {
+                return Err(VibnnError::Protocol(format!(
+                    "{hist_len} sample buckets cannot fit"
+                )));
+            }
+            let mut samples_histogram = vec![0u64; hist_len];
+            for b in &mut samples_histogram {
+                *b = r.u64().map_err(protocol)?;
+            }
+            let abstained = r.u64().map_err(protocol)?;
+            let budget_shed = r.u64().map_err(protocol)?;
             Reply::Metrics {
                 tag,
                 metrics: IngestMetrics {
@@ -703,6 +813,11 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, VibnnError> {
                     entropy_histogram,
                     cost,
                     replica_costs,
+                    samples_used_total,
+                    mean_samples,
+                    samples_histogram,
+                    abstained,
+                    budget_shed,
                 },
             }
         }
@@ -785,6 +900,11 @@ impl<S: StreamFork + Sync + Send> ServerShared<S> {
             entropy_histogram: m.uncertainty.entropy_histogram,
             cost: m.cost,
             replica_costs: m.replicas.iter().map(|r| (r.backend, r.cost)).collect(),
+            samples_used_total: m.sampling.samples_used_total,
+            mean_samples: m.sampling.mean_samples,
+            samples_histogram: m.sampling.histogram,
+            abstained: m.sampling.abstained,
+            budget_shed: m.sampling.budget_shed,
         }
     }
 }
@@ -1351,6 +1471,7 @@ mod tests {
             argmax: 1,
             entropy: 1.04,
             mc_std: 0.007,
+            samples_used: 4,
         }
     }
 
@@ -1447,6 +1568,11 @@ mod tests {
                             },
                         ),
                     ],
+                    samples_used_total: 1_620,
+                    mean_samples: 3.25,
+                    samples_histogram: vec![12, 34, 56, 397],
+                    abstained: 5,
+                    budget_shed: 2,
                 },
             },
             Reply::Shutdown { tag: 4 },
@@ -1464,6 +1590,20 @@ mod tests {
             Reply::Error {
                 tag: 7,
                 error: WireError::Other("poisoned lock".into()),
+            },
+            Reply::Error {
+                tag: 8,
+                error: WireError::Abstained {
+                    samples_used: 8,
+                    entropy_milli: 912,
+                },
+            },
+            Reply::Error {
+                tag: 9,
+                error: WireError::BudgetExceeded {
+                    predicted_micros: 1_500,
+                    remaining_micros: 250,
+                },
             },
         ];
         for reply in replies {
@@ -1489,6 +1629,28 @@ mod tests {
         assert!(matches!(
             WireError::from(&VibnnError::DeadlineExceeded).into_vibnn(),
             VibnnError::DeadlineExceeded
+        ));
+        assert!(matches!(
+            WireError::from(&VibnnError::Abstained {
+                samples_used: 6,
+                entropy_milli: 873,
+            })
+            .into_vibnn(),
+            VibnnError::Abstained {
+                samples_used: 6,
+                entropy_milli: 873,
+            }
+        ));
+        assert!(matches!(
+            WireError::from(&VibnnError::BudgetExceeded {
+                predicted_micros: 900,
+                remaining_micros: 10,
+            })
+            .into_vibnn(),
+            VibnnError::BudgetExceeded {
+                predicted_micros: 900,
+                remaining_micros: 10,
+            }
         ));
         // Unstructured variants degrade to display text, not a panic.
         let other = WireError::from(&VibnnError::MissingCalibration);

@@ -31,6 +31,7 @@ pub mod experiments;
 pub mod ingest;
 pub mod online;
 mod pipeline;
+pub mod sampler;
 pub mod serve;
 
 pub use accelerator::{train_and_deploy, Vibnn, VibnnBuilder};
@@ -43,6 +44,7 @@ pub use error::VibnnError;
 pub use ingest::{IngestClient, IngestConfig, IngestServer};
 pub use online::{OnlineConfig, OnlineEvent, OnlineEventKind, OnlineReport, OnlineRuntime, RoundReport};
 pub use pipeline::{Deployed, Pipeline, TrainedPipeline};
+pub use sampler::{PolicySpec, SampleDecision, SampleObservation, SamplingPolicy};
 pub use serve::{ServeConfig, ServeEngine, ServeHandle, ServeResult};
 
 pub use vibnn_bnn as bnn;

@@ -89,13 +89,21 @@ pub struct OnlineConfig {
     pub mc_samples: usize,
     /// Retrain when the windowed mean served entropy (nats) exceeds
     /// this. `f64::INFINITY` disables uncertainty triggering.
+    ///
+    /// The window consumes whatever entropy each served result carries:
+    /// under an adaptive [`crate::sampler::PolicySpec`] on
+    /// [`OnlineConfig::cluster`] that is the early-exit entropy tap —
+    /// the estimate computed over however many samples the policy
+    /// actually drew — so uncertainty-triggered retraining works
+    /// unchanged (and cheaper) on adaptively sampled traffic.
     pub entropy_threshold: f64,
     /// Served requests in the sliding trigger window.
     pub trigger_window: usize,
     /// Also retrain every `n` rounds regardless of uncertainty
     /// (`0` disables the periodic fallback).
     pub periodic_fallback: usize,
-    /// Serving-cluster shape.
+    /// Serving-cluster shape, including the optional
+    /// [`ClusterConfig::policy`] for adaptive sampling.
     pub cluster: ClusterConfig,
     /// Cluster serving-ε seed.
     pub cluster_seed: u64,

@@ -9,6 +9,7 @@ use vibnn_bnn::{
 use vibnn_nn::Matrix;
 
 use crate::backend::BackendKind;
+use crate::sampler::PolicySpec;
 use crate::{Vibnn, VibnnBuilder, VibnnError};
 
 /// A fallible, chainable train-and-deploy pipeline on top of the typed
@@ -51,6 +52,7 @@ pub struct Pipeline {
     checkpoint_every: Option<(usize, PathBuf)>,
     train_eps: TrainEpsSource,
     backend: Option<BackendKind>,
+    sampling_policy: Option<PolicySpec>,
 }
 
 impl Pipeline {
@@ -70,6 +72,7 @@ impl Pipeline {
             checkpoint_every: None,
             train_eps: TrainEpsSource::default(),
             backend: None,
+            sampling_policy: None,
         }
     }
 
@@ -131,6 +134,16 @@ impl Pipeline {
         self
     }
 
+    /// Selects the default sampling [`PolicySpec`] the deployment will
+    /// carry; engines built without an explicit
+    /// [`crate::ServeConfig::policy`] apply it. Applied at
+    /// [`TrainedPipeline::deploy`]; a `deploy_with` customization can
+    /// still override it via [`VibnnBuilder::sampling_policy`].
+    pub fn sampling_policy(mut self, policy: PolicySpec) -> Self {
+        self.sampling_policy = Some(policy);
+        self
+    }
+
     /// Enables patience-based early stopping on the epoch training loss.
     pub fn early_stop(mut self, patience: usize, min_delta: f64) -> Self {
         self.early_stop = Some(EarlyStop { patience, min_delta });
@@ -186,6 +199,7 @@ impl Pipeline {
             bnn,
             run,
             backend: self.backend,
+            sampling_policy: self.sampling_policy,
         })
     }
 
@@ -232,6 +246,7 @@ impl Pipeline {
             bnn,
             run,
             backend: None,
+            sampling_policy: None,
         })
     }
 
@@ -275,6 +290,7 @@ impl Pipeline {
             bnn,
             run,
             backend: self.backend,
+            sampling_policy: self.sampling_policy,
         })
     }
 }
@@ -358,6 +374,7 @@ pub struct TrainedPipeline {
     bnn: Bnn,
     run: ScheduledRun,
     backend: Option<BackendKind>,
+    sampling_policy: Option<PolicySpec>,
 }
 
 impl TrainedPipeline {
@@ -412,6 +429,9 @@ impl TrainedPipeline {
         let mut builder = VibnnBuilder::new(self.bnn.params()).calibration(calibration);
         if let Some(kind) = self.backend {
             builder = builder.backend(kind);
+        }
+        if let Some(policy) = self.sampling_policy {
+            builder = builder.sampling_policy(policy);
         }
         let vibnn = customize(builder).build()?;
         Ok(Deployed {

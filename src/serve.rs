@@ -33,7 +33,8 @@ use std::thread::JoinHandle;
 use vibnn_grng::{StreamFork, ZigguratGrng};
 use vibnn_nn::Matrix;
 
-use crate::backend::{BackendCost, BackendKind, InferenceBackend};
+use crate::backend::{BackendCost, BackendKind, InferenceBackend, RowOutcome};
+use crate::sampler::{PolicySpec, SamplingPolicy};
 use crate::{Vibnn, VibnnError};
 
 /// Sizing knobs for a [`ServeEngine`].
@@ -52,6 +53,11 @@ pub struct ServeConfig {
     /// (`VibnnBuilder::backend`, itself defaulting to
     /// [`BackendKind::Quantized`] — the historical path).
     pub backend: Option<BackendKind>,
+    /// Which sampling [`PolicySpec`] governs per-request Monte Carlo
+    /// budgets. `None` (the default) honours the deployment's default
+    /// policy (`VibnnBuilder::sampling_policy`, itself defaulting to
+    /// [`PolicySpec::ExactN`] — the pinned full-budget reference).
+    pub policy: Option<PolicySpec>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +67,7 @@ impl Default for ServeConfig {
             max_queue: 1024,
             workers: 0,
             backend: None,
+            policy: None,
         }
     }
 }
@@ -84,6 +91,12 @@ pub struct ServeResult {
     /// member probabilities (the ensemble-spread / model-uncertainty
     /// signal that motivates BNNs).
     pub mc_std: f64,
+    /// Monte Carlo samples actually drawn for this request. Equal to the
+    /// deployment's `mc_samples` under [`PolicySpec::ExactN`]; an
+    /// adaptive policy may stop earlier (the per-request speedup
+    /// metric, aggregated in `ClusterMetrics` and carried per reply on
+    /// the ingest wire).
+    pub samples_used: u32,
 }
 
 /// A deployed [`Vibnn`] wrapped for request serving, with an internally
@@ -122,6 +135,12 @@ pub struct ServeEngine<S: StreamFork + Sync = ZigguratGrng> {
     /// engine's `&self` submission API survives backends that mutate
     /// (the cycle simulator's counters).
     backend: Mutex<BackendSlot<S>>,
+    /// The resolved sampling policy ([`ServeConfig::policy`], falling
+    /// back to the deployment default). `ExactN` dispatches through the
+    /// historical batched path; anything else through the backend's
+    /// incremental [`InferenceBackend::serve_adaptive`] seam.
+    policy: PolicySpec,
+    policy_exec: Box<dyn SamplingPolicy>,
 }
 
 struct BackendSlot<S: StreamFork + Sync> {
@@ -134,6 +153,7 @@ impl<S: StreamFork + Sync> std::fmt::Debug for ServeEngine<S> {
         f.debug_struct("ServeEngine")
             .field("cfg", &self.cfg)
             .field("backend", &self.backend_kind())
+            .field("policy", &self.policy)
             .finish_non_exhaustive()
     }
 }
@@ -168,6 +188,9 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
         }
         let kind = cfg.backend.unwrap_or_else(|| vibnn.default_backend());
         let exec = kind.instantiate::<S>(&vibnn);
+        let policy = cfg.policy.unwrap_or_else(|| vibnn.default_policy());
+        policy.validate().map_err(VibnnError::BadServeConfig)?;
+        let policy_exec = policy.instantiate();
         Ok(Self {
             vibnn,
             cfg,
@@ -176,6 +199,8 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
                 exec,
                 cost: BackendCost::default(),
             }),
+            policy,
+            policy_exec,
         })
     }
 
@@ -192,6 +217,11 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
     /// Which backend this engine dispatches micro-batches through.
     pub fn backend_kind(&self) -> BackendKind {
         self.lock_backend().exec.kind()
+    }
+
+    /// Which sampling policy governs per-request Monte Carlo budgets.
+    pub fn sampling_policy(&self) -> PolicySpec {
+        self.policy
     }
 
     /// Cumulative [`BackendCost`] charged by every micro-batch served
@@ -212,8 +242,12 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
     ///
     /// # Errors
     ///
-    /// [`VibnnError::ShapeMismatch`] if `x` is not
-    /// [`Vibnn::input_dim`] columns wide.
+    /// - [`VibnnError::ShapeMismatch`] — `x` is not
+    ///   [`Vibnn::input_dim`] columns wide.
+    /// - [`VibnnError::Abstained`] — a risk-tiered policy declined one
+    ///   of the rows (use
+    ///   [`Self::submit_batch_outcomes_costed`] to attribute
+    ///   abstentions per row instead of failing the batch).
     pub fn submit_batch(&self, x: &Matrix) -> Result<Vec<ServeResult>, VibnnError> {
         self.submit_batch_costed(x).map(|(results, _)| results)
     }
@@ -231,6 +265,28 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
         &self,
         x: &Matrix,
     ) -> Result<(Vec<ServeResult>, BackendCost), VibnnError> {
+        let (outcomes, cost) = self.submit_batch_outcomes_costed(x)?;
+        let mut out = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            out.push(outcome.into_result()?);
+        }
+        Ok((out, cost))
+    }
+
+    /// The outcome-level batch API: like
+    /// [`Self::submit_batch_costed`], but an abstaining row comes back
+    /// as its own [`RowOutcome::Abstained`] instead of failing the
+    /// whole call — the entry point for callers (the cluster router)
+    /// that must attribute abstentions per request.
+    ///
+    /// # Errors
+    ///
+    /// [`VibnnError::ShapeMismatch`] if `x` is not
+    /// [`Vibnn::input_dim`] columns wide.
+    pub fn submit_batch_outcomes_costed(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Vec<RowOutcome>, BackendCost), VibnnError> {
         if x.rows() > 0 && x.cols() != self.vibnn.input_dim() {
             return Err(VibnnError::ShapeMismatch {
                 context: "request width",
@@ -251,20 +307,33 @@ impl<S: StreamFork + Sync> ServeEngine<S> {
     }
 
     /// Runs one micro-batch (rows already validated) through the
-    /// selected backend and appends one result per row, ids starting at
-    /// `id_base`. Returns the batch's cost (already accumulated into
-    /// the engine total).
-    fn run_microbatch(&self, chunk: &Matrix, id_base: u64, out: &mut Vec<ServeResult>) -> BackendCost {
+    /// selected backend and appends one outcome per row, ids starting
+    /// at `id_base`. `ExactN` takes the historical batched path —
+    /// bit-identical to the pre-adaptive engine — while adaptive
+    /// policies go through the backend's incremental seam. Returns the
+    /// batch's cost (already accumulated into the engine total).
+    fn run_microbatch(&self, chunk: &Matrix, id_base: u64, out: &mut Vec<RowOutcome>) -> BackendCost {
         let samples = self.vibnn.mc_samples();
         let mut slot = self.lock_backend();
-        let (results, cost) =
-            slot.exec
-                .serve_microbatch(chunk, samples, &self.eps, self.cfg.workers);
+        let (rows, cost) = if self.policy == PolicySpec::ExactN {
+            let (results, cost) =
+                slot.exec
+                    .serve_microbatch(chunk, samples, &self.eps, self.cfg.workers);
+            (results.into_iter().map(RowOutcome::Served).collect(), cost)
+        } else {
+            slot.exec.serve_adaptive(
+                chunk,
+                self.policy_exec.as_ref(),
+                samples,
+                &self.eps,
+                self.cfg.workers,
+            )
+        };
         slot.cost.accumulate(cost);
         drop(slot);
-        for (r, mut result) in results.into_iter().enumerate() {
-            result.id = id_base + r as u64;
-            out.push(result);
+        for (r, mut row) in rows.into_iter().enumerate() {
+            row.set_id(id_base + r as u64);
+            out.push(row);
         }
         cost
     }
@@ -322,7 +391,7 @@ impl Drop for AliveGuard<'_> {
 
 struct QueueState {
     queue: VecDeque<(u64, Vec<f32>)>,
-    results: HashMap<u64, ServeResult>,
+    results: HashMap<u64, RowOutcome>,
     next_id: u64,
     stop: bool,
     worker_alive: bool,
@@ -401,9 +470,9 @@ fn dispatcher_loop<S: StreamFork + Sync>(engine: &ServeEngine<S>, shared: &Share
         let mut fresh = Vec::with_capacity(batch.len());
         engine.run_microbatch(&x, 0, &mut fresh);
         let mut st = shared.lock();
-        for ((id, _), mut result) in batch.into_iter().zip(fresh) {
-            result.id = id;
-            st.results.insert(id, result);
+        for ((id, _), mut outcome) in batch.into_iter().zip(fresh) {
+            outcome.set_id(id);
+            st.results.insert(id, outcome);
         }
         drop(st);
         shared.result_ready.notify_all();
@@ -442,9 +511,14 @@ impl ServeHandle {
         self.shared.try_submit(features)
     }
 
-    /// Takes a finished result without blocking, if it is ready.
-    pub fn try_take(&self, id: u64) -> Option<ServeResult> {
-        self.shared.lock().results.remove(&id)
+    /// Takes a finished result without blocking, if it is ready. An
+    /// abstained request surfaces as `Some(Err(VibnnError::Abstained))`.
+    pub fn try_take(&self, id: u64) -> Option<Result<ServeResult, VibnnError>> {
+        self.shared
+            .lock()
+            .results
+            .remove(&id)
+            .map(RowOutcome::into_result)
     }
 
     /// Blocks until the result for `id` is ready and takes it.
@@ -455,14 +529,16 @@ impl ServeHandle {
     ///   would block forever).
     /// - [`VibnnError::EngineStopped`] — the dispatcher shut down before
     ///   producing the result.
+    /// - [`VibnnError::Abstained`] — a risk-tiered sampling policy
+    ///   declined this request at its full sample budget.
     pub fn wait(&self, id: u64) -> Result<ServeResult, VibnnError> {
         let mut st = self.shared.lock();
         if id >= st.next_id {
             return Err(VibnnError::UnknownRequest(id));
         }
         loop {
-            if let Some(r) = st.results.remove(&id) {
-                return Ok(r);
+            if let Some(outcome) = st.results.remove(&id) {
+                return outcome.into_result();
             }
             if !st.worker_alive {
                 return Err(VibnnError::EngineStopped);
@@ -481,11 +557,22 @@ impl ServeHandle {
     }
 
     /// Stops the dispatcher after it drains the queue, joins it, and
-    /// returns every unclaimed result sorted by request id.
+    /// returns every unclaimed *served* result sorted by request id
+    /// (abstained requests, claimable per id via
+    /// [`Self::try_take`]/[`Self::wait`] while the handle lives, are
+    /// dropped here — they carry no prediction).
     pub fn shutdown(mut self) -> Vec<ServeResult> {
         self.stop_and_join();
-        let mut leftover: Vec<ServeResult> =
-            self.shared.lock().results.drain().map(|(_, r)| r).collect();
+        let mut leftover: Vec<ServeResult> = self
+            .shared
+            .lock()
+            .results
+            .drain()
+            .filter_map(|(_, outcome)| match outcome {
+                RowOutcome::Served(r) => Some(r),
+                RowOutcome::Abstained { .. } => None,
+            })
+            .collect();
         leftover.sort_by_key(|r| r.id);
         leftover
     }

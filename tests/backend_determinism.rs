@@ -70,6 +70,7 @@ fn engine(vibnn: Vibnn, backend: Option<BackendKind>, workers: usize) -> ServeEn
             max_queue: 64,
             workers,
             backend,
+            policy: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )
@@ -125,6 +126,7 @@ fn quantized_cluster_is_bit_identical_to_the_historical_path() {
                 spill: true,
                 batch_skip_bound: 4,
                 backend: None,
+                policy: None,
             },
             ZigguratGrng::new(EPS_SEED),
         )
@@ -194,6 +196,7 @@ fn mixed_pool_answers_are_attributable_to_exactly_one_backend() {
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(EPS_SEED),
         &kinds,

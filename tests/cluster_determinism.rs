@@ -75,6 +75,7 @@ fn cluster(
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -112,6 +113,7 @@ fn cluster_matches_single_engine_and_batched_path() {
             max_queue: 64,
             workers: 1,
             backend: None,
+            policy: None,
         },
         probe_eps,
     )
@@ -206,6 +208,7 @@ fn spill_and_admission_preserve_bit_identity() {
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )

@@ -88,6 +88,7 @@ fn try_server(
             spill: true,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )
@@ -270,6 +271,7 @@ fn cycle_backend_serves_the_wire_with_nonzero_cost_metrics() {
             spill: true,
             batch_skip_bound: 4,
             backend: Some(BackendKind::Cycle),
+            policy: None,
         },
         ZigguratGrng::new(CLUSTER_SEED),
     )

@@ -257,6 +257,7 @@ fn queue_full_travels_typed_and_the_connection_recovers() {
             spill: false,
             batch_skip_bound: 4,
             backend: None,
+            policy: None,
         },
         IngestConfig::default(),
     ) else {

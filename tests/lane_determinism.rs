@@ -208,6 +208,7 @@ fn serving_inherits_the_lane_contract() {
                 max_queue: 64,
                 workers,
                 backend: None,
+                policy: None,
             },
             ZigguratGrng::new(EPS_SEED),
         )

@@ -267,6 +267,7 @@ proptest! {
         p0 in 0.0f32..1.0,
         entropy in 0.0f64..2.0,
         mc_std in 0.0f64..1.0,
+        samples_used in 1u32..1025,
     ) {
         let result = ServeResult {
             id,
@@ -274,6 +275,7 @@ proptest! {
             argmax: usize::from(p0 < 0.5),
             entropy,
             mc_std,
+            samples_used,
         };
         let single = Reply::Predict { tag, result: result.clone() };
         prop_assert_eq!(decode_reply(&encode_reply(&single)).unwrap(), single);
@@ -310,6 +312,11 @@ proptest! {
             (0u8..3, 0u64.., 0.0f64..1e12, 0u64..),
             0usize..5,
         ),
+        samples_used_total in 0u64..,
+        mean_samples in 0.0f64..1e4,
+        samples_histogram in prop::collection::vec(0u64.., 0usize..12),
+        abstained in 0u64..,
+        budget_shed in 0u64..,
     ) {
         let replica_costs: Vec<(BackendKind, BackendCost)> = replica_raw
             .into_iter()
@@ -345,6 +352,11 @@ proptest! {
                 samples: total_samples,
             },
             replica_costs,
+            samples_used_total,
+            mean_samples,
+            samples_histogram,
+            abstained,
+            budget_shed,
         };
         let reply = Reply::Metrics { tag, metrics };
         prop_assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
@@ -367,6 +379,14 @@ proptest! {
             WireError::ShapeMismatch { expected, got },
             WireError::Protocol("torn frame header".to_owned()),
             WireError::Other("replica thread failure".to_owned()),
+            WireError::Abstained {
+                samples_used: depth,
+                entropy_milli: capacity,
+            },
+            WireError::BudgetExceeded {
+                predicted_micros: expected,
+                remaining_micros: got,
+            },
         ] {
             let reply = Reply::Error { tag, error };
             prop_assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);

@@ -61,6 +61,7 @@ fn engine(vibnn: Vibnn, max_batch: usize, workers: usize) -> ServeEngine<Ziggura
             max_queue: 64,
             workers,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )
@@ -170,6 +171,7 @@ fn backpressure_and_shutdown_are_well_behaved() {
             max_queue: 1,
             workers: 1,
             backend: None,
+            policy: None,
         },
         ZigguratGrng::new(EPS_SEED),
     )
